@@ -1,0 +1,37 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper.  ``emit`` prints
+the regenerated rows (visible with ``pytest -s``) and also writes them to
+``benchmarks/out/<experiment>.txt`` so the artifacts survive output
+capture; EXPERIMENTS.md indexes those files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def emit(experiment: str, text: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, experiment + ".txt")
+    with open(path, "w") as f:
+        f.write(text.rstrip() + "\n")
+    print("\n[{}]".format(experiment))
+    print(text)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Plain fixed-width table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Experiment A3 — substrate ablation: model-checker scaling.
+
+The verification phase's cost is the reachable state space of the
+desynchronized design.  This bench measures how states, transitions and
+exploration rate scale with FIFO depth and datapath width (the producer's
+value modulus) under the free environment — the "cost of assurance" curve
+for the rebuilt backend.
+
+Expected shape: states grow geometrically with FIFO depth (each slot adds
+a value dimension) and polynomially with the datapath modulus.
+"""
+
+import time
+
+from repro.designs import modular_producer_consumer
+from repro.desync import desynchronize
+from repro.mc import compile_lts
+
+from _report import emit, table
+
+FREE = [{}, {"p_act": True}, {"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+
+
+def explore(capacity, modulus):
+    res = desynchronize(
+        modular_producer_consumer(modulus=modulus), capacities=capacity
+    )
+    t0 = time.perf_counter()
+    lts = compile_lts(res.program, alphabet=FREE, max_states=500000)
+    dt = time.perf_counter() - t0
+    return lts.num_states(), lts.num_transitions(), dt
+
+
+def run_experiment():
+    rows = []
+    by_depth = {}
+    by_modulus = {}
+    for capacity in (1, 2, 3, 4):
+        states, transitions, dt = explore(capacity, 2)
+        rows.append(
+            (capacity, 2, states, transitions,
+             "{:.3f}".format(dt), int(transitions / dt) if dt else 0)
+        )
+        by_depth[capacity] = states
+    for modulus in (2, 3, 4):
+        states, transitions, dt = explore(2, modulus)
+        rows.append(
+            (2, modulus, states, transitions,
+             "{:.3f}".format(dt), int(transitions / dt) if dt else 0)
+        )
+        by_modulus[modulus] = states
+    return rows, by_depth, by_modulus
+
+
+def test_a3_mc_scaling(benchmark):
+    rows, by_depth, by_modulus = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    emit(
+        "A3_mc_scaling",
+        table(
+            ["FIFO depth", "modulus", "states", "transitions",
+             "explore time (s)", "reactions/s"],
+            rows,
+        ),
+    )
+    # geometric growth in depth
+    depths = sorted(by_depth)
+    for a, b in zip(depths, depths[1:]):
+        assert by_depth[b] > by_depth[a]
+    assert by_depth[4] >= 8 * by_depth[2]
+    # growth in datapath width
+    mods = sorted(by_modulus)
+    for a, b in zip(mods, mods[1:]):
+        assert by_modulus[b] > by_modulus[a]

@@ -1,0 +1,76 @@
+"""Experiment A5 — ablation: the latency/loss trade against FIFO depth.
+
+Buffering is not free: under a bursty producer, a deeper FIFO converts
+losses into *waiting* — items survive, but sit in the backlog longer.
+This bench sweeps the channel depth under a fixed bursty workload and
+reports losses, delivered throughput, mean/max item latency and peak
+occupancy, computed by :mod:`repro.desync.stats`.
+
+Expected shape: losses fall to zero once depth reaches the burst backlog;
+max latency grows with depth until saturation, then plateaus; throughput
+is capped by the reader's rate throughout.
+"""
+
+from repro.designs import producer_consumer
+from repro.desync import desynchronize
+from repro.desync.stats import channel_stats
+from repro.sim import simulate, stimuli
+
+from _report import emit, table
+
+HORIZON = 120
+BURST, GAP, READER = 6, 6, 2
+
+
+def run_depth(capacity):
+    res = desynchronize(producer_consumer(), capacities=capacity)
+    ch = res.channels[0]
+    stim = stimuli.merge(
+        stimuli.bursty("p_act", burst=BURST, gap=GAP),
+        stimuli.periodic(ch.rreq, READER, phase=1),
+    )
+    trace = simulate(res.program, stim, n=HORIZON)
+    return channel_stats(trace, ch.write_port, ch.read_port, alarm=ch.alarm)
+
+
+def run_experiment():
+    rows = []
+    series = {}
+    for depth in (1, 2, 3, 4, 6, 8):
+        s = run_depth(depth)
+        rows.append(
+            (
+                depth,
+                s.lost,
+                s.reads,
+                "{:.2f}".format(s.throughput),
+                "{:.2f}".format(s.mean_latency),
+                "{:.0f}".format(s.max_latency),
+                s.peak_occupancy,
+            )
+        )
+        series[depth] = s
+    return rows, series
+
+
+def test_a5_latency_vs_depth(benchmark):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "A5_latency_depth",
+        table(
+            ["depth", "lost", "delivered", "throughput",
+             "mean latency", "max latency", "peak occupancy"],
+            rows,
+        ),
+    )
+    depths = sorted(series)
+    losses = [series[d].lost for d in depths]
+    assert losses == sorted(losses, reverse=True)      # deeper -> fewer losses
+    assert losses[-1] == 0                              # deep enough: lossless
+    assert losses[0] > 0                                # depth 1 is lossy here
+    # max latency grows with depth until the backlog fits, then plateaus
+    max_lat = [series[d].max_latency for d in depths]
+    assert max_lat[0] < max_lat[-1]
+    # the reader caps throughput at ~1/READER regardless of depth
+    for d in depths:
+        assert series[d].throughput <= 1.0 / READER + 0.01

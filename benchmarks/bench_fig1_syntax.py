@@ -1,0 +1,69 @@
+"""Experiment F1 — Figure 1: the abstract syntax of core Signal.
+
+Regenerates the grammar table as a coverage matrix: every production of
+Figure 1 (plus the dialect's derived forms) is exercised through a
+parse -> pretty-print -> parse round-trip, which must be the identity on
+ASTs.  The benchmark measures frontend throughput on the corpus.
+"""
+
+from repro.lang import (
+    format_component,
+    format_expression,
+    parse_component,
+    parse_expression,
+)
+
+from _report import emit, table
+
+EXPRESSION_CORPUS = [
+    ("x = pre val y      (delay)", "pre 0 data"),
+    ("x = y when z       (sampling)", "msgin when (not full)"),
+    ("x = y default z    (merge)", "msgin default (pre 0 data)"),
+    ("x = f(y, z, ...)   (function)", "a + b * c - 1"),
+    ("boolean operators", "not a and (b or c) xor d"),
+    ("comparisons", "(a = b) default (c /= d) default (a <= b)"),
+    ("clock shorthand ^x", "true when (^msgin default full)"),
+    ("named functions", "max(a, min(b, c))"),
+    ("Example 1, data equation", "(msgin when (not full)) default (pre 0 data)"),
+    ("Example 1, output equation", "data when (^msgin default full)"),
+]
+
+COMPONENT_CORPUS = [
+    (
+        "component with io/locals/constraints",
+        "process C = (? integer a; ? event e; ! integer x;)"
+        "(| x := a when e | a ^= e |) end",
+    ),
+    (
+        "multi-equation with where block",
+        "process D = (? integer msgin; ? event rq; ! integer msgout;)"
+        "(| tick := (^msgin) default rq"
+        " | data := msgin default (pre 0 data)"
+        " | data ^= tick"
+        " | msgout := data when rq |)"
+        " where event tick; integer data; end",
+    ),
+]
+
+
+def roundtrip_corpus():
+    results = []
+    for label, text in EXPRESSION_CORPUS:
+        ast = parse_expression(text)
+        ok = parse_expression(format_expression(ast)) == ast
+        results.append((label, "expression", "ok" if ok else "FAIL"))
+    for label, text in COMPONENT_CORPUS:
+        comp = parse_component(text)
+        again = parse_component(format_component(comp))
+        ok = list(again.statements) == list(comp.statements)
+        results.append((label, "component", "ok" if ok else "FAIL"))
+    return results
+
+
+def test_fig1_syntax_roundtrip(benchmark):
+    results = benchmark(roundtrip_corpus)
+    emit(
+        "F1_fig1_syntax",
+        table(["Figure 1 production / dialect form", "kind", "round-trip"], results),
+    )
+    assert all(status == "ok" for _, _, status in results)

@@ -1,0 +1,64 @@
+"""Experiment F2 — Figure 2: sample behavior of the 1-place buffer.
+
+Regenerates the figure's trace table (msgin / in / full / data-out /
+msgout rows) by simulating the Example 1 component against an access
+pattern exercising every protocol case: plain write, plain read, write
+while full (alarm), simultaneous read+write on a full buffer, read from
+an empty buffer.
+
+The published figure's exact numbers did not survive the paper's
+digitization; the reproduced table asserts the protocol properties the
+figure illustrates: FIFO order, causality (no read before its write),
+occupancy alternation, and alarm on rejected writes.
+"""
+
+from repro.desync import one_place_fifo
+from repro.sim import Reactor, SimTrace
+from repro.tags.channels import in_afifo, in_bounded_fifo
+from repro.tags.behavior import Behavior
+from repro.tags.trace import SignalTrace
+
+from _report import emit
+
+ACCESSES = [
+    {"msgin": 1},                # write 1
+    {"rreq": True},              # read -> 1
+    {"msgin": 3},                # write 3
+    {"msgin": 4},                # write on full -> alarm, 4 lost
+    {"msgin": 5, "rreq": True},  # read 3; simultaneous write rejected
+    {"rreq": True},              # read on empty -> nothing
+    {"msgin": 6},                # write 6
+    {"rreq": True},              # read -> 6
+]
+
+
+def run_scenario():
+    comp, ports = one_place_fifo()
+    reactor = Reactor(comp)
+    trace = SimTrace()
+    for row in ACCESSES:
+        trace.append(reactor.react(row))
+    return trace, ports
+
+
+def test_fig2_one_place_buffer(benchmark):
+    trace, ports = benchmark(run_scenario)
+    rendered = trace.render(["msgin", ports.ok, ports.alarm, ports.full, "msgout"])
+    emit("F2_fig2_one_place_buffer", rendered)
+
+    # exact protocol checks (the properties Figure 2 illustrates)
+    assert trace.values("msgout") == [1, 3, 6]          # FIFO order, no loss of accepted items
+    assert trace.values("msgin") == [1, 3, 4, 5, 6]      # write attempts
+    assert trace.values(ports.full) == [True, False, True, True, False, False, True, False]
+    assert trace.presence_count(ports.alarm) == 2        # writes 4 and 5 rejected
+    assert trace.presence_count(ports.ok) == 3           # writes 1, 3, 6 accepted
+
+    # the accepted-write/read projection is a bounded FIFO of capacity 1
+    accepted = [(t, row["msgin"]) for t, row in enumerate(trace.instants)
+                if "msgin" in row and ports.ok in row]
+    b = Behavior({
+        "x": SignalTrace(accepted),
+        "y": trace.trace_of("msgout"),
+    })
+    assert in_afifo(b)
+    assert in_bounded_fifo(b, 1)

@@ -1,0 +1,82 @@
+"""Experiment F4 — Figure 4 + Section 5.2: buffer-size estimation.
+
+Regenerates the methodology result: the instrumented-FIFO estimation loop
+(simulate, read the consecutive-miss registers, grow, iterate) converges
+in a small number of iterations, and the converged size tracks the
+workload's burst length.
+
+Reported series: per burst length — iterations to quiescence, final
+size, total alarms seen on the way, and the peak occupancy of the
+converged (alarm-free) run as a cross-check (converged size must cover
+it).
+"""
+
+from repro.designs import producer_consumer
+from repro.desync import desynchronize, estimate_buffer_sizes, minimal_bound
+from repro.sim import simulate
+from repro.workloads import burst_sweep
+
+from _report import emit, table
+
+HORIZON = 120
+
+
+def run_sweep():
+    rows = []
+    series = []
+    for workload in burst_sweep(bursts=(1, 2, 3, 5, 8), slack=1):
+        report = estimate_buffer_sizes(
+            producer_consumer(),
+            workload.stimulus_factory,
+            horizon=HORIZON,
+            initial=1,
+        )
+        assert report.converged, workload.name
+        # cross-check: replay the converged design, measure true occupancy
+        res = desynchronize(producer_consumer(), capacities=report.sizes)
+        trace = simulate(res.program, workload.stimulus(), n=HORIZON)
+        ch = res.channels[0]
+        assert trace.presence_count(ch.alarm) == 0
+        peak = minimal_bound(trace, ch.write_port, ch.read_port)
+        total_alarms = sum(step.alarms["x"] for step in report.history)
+        trajectory = " -> ".join(
+            str(step.sizes["x"]) for step in report.history
+        ) + " -> {}".format(report.sizes["x"])
+        rows.append(
+            (
+                workload.params["burst"],
+                report.iterations,
+                trajectory,
+                report.sizes["x"],
+                peak,
+                total_alarms,
+            )
+        )
+        series.append((workload.params["burst"], report.sizes["x"], peak,
+                       report.iterations))
+    return rows, series
+
+
+def test_fig4_estimation_convergence(benchmark):
+    rows, series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "F4_fig4_estimation",
+        table(
+            [
+                "burst",
+                "iterations",
+                "size trajectory",
+                "final size",
+                "peak occupancy",
+                "alarms during estimation",
+            ],
+            rows,
+        ),
+    )
+    # shape: final size grows with the burst and covers the real peak
+    finals = [final for _, final, _, _ in series]
+    assert finals == sorted(finals) and finals[-1] > finals[0]
+    for burst, final, peak, iters in series:
+        assert final >= peak
+        assert final <= max(2, burst + 1)  # no gross over-provisioning
+        assert iters <= 5                  # quick convergence

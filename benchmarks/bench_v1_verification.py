@@ -1,0 +1,69 @@
+"""Experiment V1 — Section 5.2 verification: "check that no alarm is raised".
+
+Regenerates the verification phase with the rebuilt model-checking
+backend: the desynchronized (finite-state) producer/consumer is compiled
+to an explicit LTS and the invariant "the channel alarm never occurs" is
+checked,
+
+- for the estimated capacity under the polled-environment assumption
+  (expected: PROVEN), and
+- for under-provisioned capacities in the free environment (expected: a
+  shortest counterexample whose length grows with the capacity — the
+  error trace the paper feeds back into simulation).
+"""
+
+from repro.designs import modular_producer_consumer
+from repro.desync import desynchronize
+from repro.mc import check_never_present, compile_lts
+
+from _report import emit, table
+
+POLLED = [{"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+FREE = [{}, {"p_act": True}, {"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+
+
+def verify(capacity, alphabet):
+    res = desynchronize(modular_producer_consumer(modulus=2), capacities=capacity)
+    lts = compile_lts(res.program, alphabet=alphabet)
+    ce = check_never_present(lts, res.channels[0].alarm)
+    return lts, ce
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for capacity in (1, 2, 3, 4):
+        for env_name, alphabet in (("polled", POLLED), ("free", FREE)):
+            lts, ce = verify(capacity, alphabet)
+            rows.append(
+                (
+                    capacity,
+                    env_name,
+                    lts.num_states(),
+                    lts.num_transitions(),
+                    "PROVEN" if ce is None else "alarm in {} steps".format(len(ce)),
+                )
+            )
+            results[(capacity, env_name)] = (lts.num_states(), ce)
+    return rows, results
+
+
+def test_v1_verification(benchmark):
+    rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "V1_verification",
+        table(
+            ["capacity", "environment", "states", "transitions", "verdict"],
+            rows,
+        ),
+    )
+    for capacity in (1, 2, 3, 4):
+        # polled environment: every capacity is safe (reads keep up)
+        assert results[(capacity, "polled")][1] is None
+        # free environment: always refutable, with a longer error trace
+        ce = results[(capacity, "free")][1]
+        assert ce is not None
+        assert len(ce) == capacity + 1  # fill the buffer, then one more write
+    # state count grows with capacity (the cost of verification)
+    states = [results[(c, "free")][0] for c in (1, 2, 3, 4)]
+    assert states == sorted(states) and states[-1] > states[0]

@@ -1,0 +1,118 @@
+"""A tour of the Signal language frontend and the analysis toolchain.
+
+Covers: parsing the textual dialect, pretty-printing, type checking,
+clock calculus (synchrony classes, master clock, endochrony diagnosis),
+causality analysis, core-form normalization, simulation against the
+denotational semantics of Table 1, and equivalence checking of two
+implementations with the model checker.
+
+Run:  python examples/signal_language_tour.py
+"""
+
+import operator
+
+from repro.clocks import analyze_clocks
+from repro.lang import (
+    check_component,
+    format_component,
+    normalize_component,
+    parse_component,
+)
+from repro.lang.analysis import instantaneous_cycles
+from repro.mc import compile_lts, trace_equivalent
+from repro.sim import Reactor, simulate, stimuli
+from repro.tags.denotation import in_default, in_func, in_pre, in_when
+
+SOURCE = """
+% A watchdog: counts ticks since the last kick; barks when the count
+% exceeds a threshold carried by the (slower) configuration signal.
+process Watchdog =
+  ( ? event tick;
+    ? event kick;
+    ? integer limit;
+    ! event bark;
+  )
+(| base := tick default kick default (^limit)
+ | n := ((0 when kick) default ((pre 0 n) + 1 when tick) default (pre 0 n))
+ | n ^= base
+ | lim := limit default (pre 8 lim)
+ | lim ^= base
+ | bark := (true when (n > lim)) when tick
+ |)
+where
+  event base;
+  integer n, lim;
+end
+"""
+
+
+def main():
+    comp = parse_component(SOURCE)
+    check_component(comp)
+    print("== parsed and type-checked; pretty-printed source ==")
+    print(format_component(comp))
+
+    print("\n== clock analysis ==")
+    analysis = analyze_clocks(comp)
+    print(analysis.render())
+    print("input-deterministic (runs without an oracle):",
+          analysis.is_input_deterministic())
+    print("instantaneous cycles:", instantaneous_cycles(comp) or "none")
+
+    print("\n== core-form normalization (Figure 1 syntax) ==")
+    core = normalize_component(comp, to_core=True)
+    print("equations before: {}, after: {}".format(
+        len(comp.equations()), len(core.equations())))
+
+    print("\n== simulation ==")
+    stim = stimuli.merge(
+        stimuli.periodic("tick", 1),
+        stimuli.periodic("kick", 5),      # kicked every 5 ticks
+        stimuli.periodic("limit", 12, values=iter([3, 2])),
+    )
+    trace = simulate(comp, stim, n=14)
+    print(trace.render(["tick", "kick", "limit", "n", "bark"]))
+
+    print("\n== Table 1 conformance spot-checks ==")
+    b = trace.behavior(["n", "lim", "bark"])
+    # n's `pre` inside the increment path makes a direct check awkward;
+    # check the primitive operators on a dedicated component instead.
+    prim = parse_component(
+        "process Prim = (? integer a; ? integer c; ? boolean s;"
+        " ! integer p; ! integer w; ! integer d; ! integer f;)"
+        "(| p := pre 0 a | w := a when s | d := a default c"
+        " | f := a + a |) end"
+    )
+    ptrace = simulate(
+        prim,
+        stimuli.merge(
+            stimuli.bernoulli("a", 0.7, values=stimuli.counter(), seed=1),
+            stimuli.bernoulli("c", 0.5, values=stimuli.counter(100), seed=2),
+            stimuli.bernoulli("s", 0.6, values=iter([True, False] * 50), seed=3),
+        ),
+        n=30,
+    )
+    pb = ptrace.behavior(["a", "c", "s", "p", "w", "d", "f"])
+    print("pre     in [[x = pre 0 a]]     :", in_pre(pb, "p", "a", 0))
+    print("when    in [[x = a when s]]    :", in_when(pb, "w", "a", "s"))
+    print("default in [[x = a default c]] :", in_default(pb, "d", "a", "c"))
+    print("f       in [[x = a + a]]       :",
+          in_func(pb, "f", ["a", "a"], operator.add))
+
+    print("\n== equivalence of two adder implementations ==")
+    direct = parse_component(
+        "process A1 = (? integer a; ! integer s;) (| s := a + a |) end"
+    )
+    shifty = parse_component(
+        "process A2 = (? integer a; ! integer s;) (| s := 2 * a |) end"
+    )
+    alphabet = [{}, {"a": 0}, {"a": 1}, {"a": 2}]
+    d = trace_equivalent(
+        compile_lts(direct, alphabet=alphabet),
+        compile_lts(shifty, alphabet=alphabet),
+    )
+    print("a + a  vs  2 * a :", "equivalent" if d is None else d)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""A GALS token ring: cyclic dependencies, invariants, liveness.
+
+The ring closes a loop of data dependencies (the general network of
+Theorem 2).  Each station stores an arriving token and forwards it,
+incremented, on its next local tick.  This example:
+
+1. simulates the synchronous ring and prints the token's lap trace;
+2. model-checks the single-token invariant and shows the *real* bug the
+   checker found during development: re-seeding a live ring used to
+   inject a second token (the injector now latches its seed);
+3. checks liveness: once seeded, the token's return is inevitable;
+4. deploys the ring as a GALS network with independent jittered clocks
+   and verifies the token still hops in order.
+
+Run:  python examples/token_ring.py
+"""
+
+from repro.designs import token_ring
+from repro.gals import AsyncNetwork, schedules
+from repro.mc import check_invariant, compile_lts, inevitable
+from repro.sim import simulate, stimuli
+
+
+def main():
+    # -- 1. synchronous simulation -------------------------------------------
+    prog = token_ring(stations=3)
+    ticks = ["inj_tick", "s1_tick", "s2_tick", "s3_tick"]
+    rows = []
+    for t in range(14):
+        row = {name: True for name in ticks}
+        if t == 0:
+            row["seed"] = True
+        rows.append(row)
+    trace = simulate(prog, stimuli.rows(rows), n=len(rows))
+    print("== synchronous ring, token hops ==")
+    print(trace.render(["seed", "tok0", "tok1", "tok2", "tok3"]))
+
+    # -- 2. safety: exactly one token ------------------------------------------
+    finite = token_ring(stations=1, modulus=4)
+    alphabet = [
+        {"inj_tick": True, "s1_tick": True},
+        {"inj_tick": True, "s1_tick": True, "seed": True},  # seed anytime!
+    ]
+    lts = compile_lts(finite, alphabet=alphabet)
+    ce = check_invariant(
+        lts,
+        lambda out: sum(1 for k in out if k.startswith("tok")) <= 1,
+        name="at most one token in flight",
+    )
+    print("\n== model checking ({} states) ==".format(lts.num_states()))
+    print("single-token invariant (seed offered at every instant):",
+          "PROVEN" if ce is None else "VIOLATED\n" + ce.render())
+    print("(an earlier injector accepted repeated seeds and the checker")
+    print(" produced a two-token counterexample; the injector now latches)")
+
+    # -- 3. liveness: the token keeps coming back ------------------------------
+    seeded_alphabet = [{"inj_tick": True, "s1_tick": True, "seed": True}]
+    lts2 = compile_lts(finite, alphabet=seeded_alphabet)
+    lasso = inevitable(lts2, lambda out: "tok1" in out)
+    print("token return inevitable once ticking:",
+          "YES" if lasso is None else "NO:\n" + lasso.render())
+
+    # -- 4. GALS deployment -----------------------------------------------------
+    # Each station on its own jittered clock; the data-driven behavior of
+    # the stations means tokens move at the pace of the slowest island.
+    # (Channels are unbounded here: exactly one token is ever in flight.)
+    net = AsyncNetwork.from_program(
+        token_ring(stations=3),
+        schedules={
+            "Inject": schedules.periodic(1.0, jitter=0.2, seed=1),
+            "S1": schedules.periodic(1.3, jitter=0.2, seed=2),
+            "S2": schedules.periodic(0.7, jitter=0.2, seed=3),
+            "S3": schedules.periodic(1.9, jitter=0.2, seed=4),
+        },
+        activations={
+            "Inject": "inj_tick",
+            "S1": "s1_tick",
+            "S2": "s2_tick",
+            "S3": "s3_tick",
+        },
+    )
+    # seed by hand: push a token into the Inject node's seed... the seed is
+    # an environment event; emulate it by a one-shot schedule on a tiny
+    # helper — simplest is to give Inject a first reaction with seed via a
+    # dedicated pre-run reaction:
+    net._reactors["Inject"].react({"seed": True})
+    gals = net.run(horizon=30.0)
+    print("\n== GALS deployment ==")
+    print("firings:", gals.firings)
+    toks = list(gals.values("tok0__w"))
+    print("tok0 values seen at the injector output:", toks[:8])
+    assert toks == sorted(toks), "token order broken!"
+    print("token hops stay ordered under jittered island clocks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+editable-install path on environments that lack ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

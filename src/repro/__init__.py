@@ -1,0 +1,42 @@
+"""repro — a polychronous (Signal) toolkit for GALS design.
+
+Reproduction of *Modeling and Validating Globally Asynchronous Design in
+Synchronous Frameworks* (Mousavi, Le Guernic, Talpin, Shukla, Basten —
+DATE 2004).
+
+The package provides, from the ground up:
+
+- :mod:`repro.tags` — the tagged denotational model of polychrony
+  (behaviors, stretching / relaxation / flow equivalence, asynchronous
+  composition, FIFO channel semantics);
+- :mod:`repro.lang` — a Signal language frontend (AST, parser, printer,
+  types, analyses);
+- :mod:`repro.clocks` — the clock calculus (synchrony classes, hierarchy,
+  endochrony diagnostics);
+- :mod:`repro.sim` — a constructive reaction simulator;
+- :mod:`repro.desync` — the paper's contribution: FIFO-based
+  desynchronization, instrumentation, buffer-size estimation;
+- :mod:`repro.mc` — an explicit-state model checker ("no alarm is ever
+  raised", with counterexample input sequences);
+- :mod:`repro.gals` — asynchronous (GALS) deployment simulation;
+- :mod:`repro.workloads` — environment scenarios;
+- :mod:`repro.designs` — canonical multi-component designs.
+
+Quickstart::
+
+    from repro.designs import producer_consumer
+    from repro.desync import desynchronize
+    from repro.sim import simulate, stimuli
+
+    res = desynchronize(producer_consumer(), capacities=2)
+    stim = stimuli.merge(stimuli.periodic("p_act", 1),
+                         stimuli.periodic("x_rreq", 1))
+    trace = simulate(res.program, stim, n=20)
+    print(trace.render(["x__w", "x__r", "y"]))
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors  # noqa: F401
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,315 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+- ``check FILE``      parse, type-check, causality- and clock-check
+- ``format FILE``     pretty-print back to Signal source
+- ``clocks FILE``     clock calculus report
+- ``simulate FILE``   run against periodic stimuli, render the trace
+- ``desync FILE``     desynchronize and print the transformed program
+- ``estimate FILE``   Section 5.2 buffer-size estimation loop
+- ``verify FILE``     model-check an invariant ("signal never present")
+
+Stimulus specs (``--stim``) are ``name:period[:phase[:value]]`` —
+e.g. ``--stim tick:1 --stim data:3:1:42`` gives an event every instant
+and the constant 42 every third instant starting at 1.
+
+Example::
+
+    python -m repro simulate design.sig --stim tick:1 -n 10 --vcd out.vcd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.clocks import analyze_clocks
+from repro.errors import ReproError
+from repro.lang import (
+    check_program,
+    flatten_program,
+    format_program,
+    parse_program,
+)
+from repro.lang.analysis import instantaneous_cycles
+from repro.sim import simulate, stimuli
+from repro.sim.vcd import write_vcd
+
+
+def _load(path: str):
+    with open(path) as f:
+        return parse_program(f.read())
+
+
+def _parse_stim(specs):
+    parts = []
+    for spec in specs or []:
+        fields = spec.split(":")
+        if len(fields) < 2:
+            raise SystemExit("bad --stim {!r}: want name:period[:phase[:value]]".format(spec))
+        name = fields[0]
+        period = int(fields[1])
+        phase = int(fields[2]) if len(fields) > 2 else 0
+        if len(fields) > 3:
+            raw = fields[3]
+            if raw in ("true", "false"):
+                value = raw == "true"
+            elif raw == "count":
+                parts.append(
+                    stimuli.periodic(name, period, values=stimuli.counter(), phase=phase)
+                )
+                continue
+            else:
+                value = int(raw)
+            import itertools
+
+            parts.append(
+                stimuli.periodic(name, period, values=itertools.repeat(value), phase=phase)
+            )
+            continue
+        parts.append(stimuli.periodic(name, period, phase=phase))
+    if not parts:
+        return stimuli.silence()
+    return stimuli.merge(*parts)
+
+
+def cmd_check(args) -> int:
+    prog = _load(args.file)
+    check_program(prog)
+    flat = flatten_program(prog)
+    cycles = instantaneous_cycles(flat)
+    analysis = analyze_clocks(flat)
+    print("{}: {} component(s), {} signals — types OK".format(
+        prog.name, len(prog.components), len(flat.signals())))
+    if cycles:
+        print("CAUSALITY CYCLES: {}".format(cycles))
+        return 1
+    print("causality: no instantaneous cycles")
+    print("clocks: {}".format(
+        "input-deterministic (no oracle needed)"
+        if analysis.is_input_deterministic()
+        else "free clocks present: {}".format(sorted(analysis.free))
+    ))
+    return 0
+
+
+def cmd_format(args) -> int:
+    print(format_program(_load(args.file)))
+    return 0
+
+
+def cmd_clocks(args) -> int:
+    flat = flatten_program(_load(args.file))
+    print(analyze_clocks(flat).render())
+    return 0
+
+
+def cmd_graph(args) -> int:
+    from repro.lang.graph import clock_graph_dot, program_graph_dot, signal_graph_dot
+
+    prog = _load(args.file)
+    if args.view == "program":
+        print(program_graph_dot(prog))
+    elif args.view == "signals":
+        print(signal_graph_dot(flatten_program(prog)))
+    else:
+        print(clock_graph_dot(flatten_program(prog)))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    prog = _load(args.file)
+    trace = simulate(prog, _parse_stim(args.stim), n=args.n)
+    columns = args.signals.split(",") if args.signals else None
+    print(trace.render(columns))
+    if args.vcd:
+        write_vcd(args.vcd, trace, component=flatten_program(prog))
+        print("\nwrote {}".format(args.vcd))
+    return 0
+
+
+def cmd_desync(args) -> int:
+    from repro.desync import desynchronize
+
+    prog = _load(args.file)
+    result = desynchronize(
+        prog, capacities=args.capacity, kind=args.kind, instrument=args.instrument
+    )
+    print(format_program(result.program))
+    print()
+    for ch in result.channels:
+        print("% channel {}: {} -> {} (capacity {}, read request {})".format(
+            ch.signal, ch.producer, ch.consumer, ch.capacity, ch.rreq))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from repro.desync import estimate_buffer_sizes
+
+    prog = _load(args.file)
+    report = estimate_buffer_sizes(
+        prog,
+        lambda: _parse_stim(args.stim),
+        horizon=args.n,
+        initial=args.initial,
+        kind=args.kind,
+    )
+    print(report.render())
+    return 0 if report.converged else 1
+
+
+def cmd_verify(args) -> int:
+    from repro.mc import (
+        bounded_never_present,
+        check_never_present,
+        compile_lts,
+        input_alphabet,
+    )
+    from repro.mc.symbolic import SymbolicChecker
+
+    prog = _load(args.file)
+    flat = flatten_program(prog)
+    alphabet = input_alphabet(
+        flat,
+        int_values=tuple(int(v) for v in args.int_values.split(",")),
+        always_present=args.always or (),
+        never_present=args.never_input or (),
+    )
+    if args.backend == "symbolic":
+        chk = SymbolicChecker(flat, alphabet=alphabet)
+        print("symbolic: {} reachable states, {} BDD nodes, {} iterations".format(
+            chk.state_count(), chk.bdd.node_count(), chk.iterations or "-"))
+        ce = chk.check_never_present(args.never)
+        if ce is None:
+            print("PROVEN: {!r} is never present".format(args.never))
+            return 0
+        print(ce.render())
+        return 1
+    if args.backend == "bounded":
+        result = bounded_never_present(
+            flat, args.never, depth=args.depth, alphabet=alphabet
+        )
+        print("bounded search to depth {}: {} reactions".format(
+            args.depth, result.explored))
+        if result.safe_up_to_bound:
+            print("SAFE up to depth {}: {!r} never occurred".format(
+                args.depth, args.never))
+            return 0
+        print(result.counterexample.render())
+        return 1
+    lts = compile_lts(flat, alphabet=alphabet, max_states=args.max_states)
+    print("explored {} states / {} transitions".format(
+        lts.num_states(), lts.num_transitions()))
+    ce = check_never_present(lts, args.never)
+    if ce is None:
+        print("PROVEN: {!r} is never present".format(args.never))
+        return 0
+    print(ce.render())
+    return 1
+
+
+def cmd_coverage(args) -> int:
+    from repro.sim.coverage import measure_coverage
+
+    prog = _load(args.file)
+    flat = flatten_program(prog)
+    trace = simulate(prog, _parse_stim(args.stim), n=args.n)
+    groups = [g.split(",") for g in (args.group or [])]
+    report = measure_coverage(trace, component=flat, clock_groups=groups)
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Polychronous (Signal) toolkit for GALS design"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse, type, causality and clock check")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("format", help="pretty-print Signal source")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_format)
+
+    p = sub.add_parser("clocks", help="clock calculus report")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_clocks)
+
+    p = sub.add_parser("graph", help="export Graphviz DOT views")
+    p.add_argument("file")
+    p.add_argument(
+        "--view", choices=("program", "signals", "clocks"), default="program"
+    )
+    p.set_defaults(fn=cmd_graph)
+
+    p = sub.add_parser("simulate", help="simulate with periodic stimuli")
+    p.add_argument("file")
+    p.add_argument("--stim", action="append", help="name:period[:phase[:value|count]]")
+    p.add_argument("-n", type=int, default=20, help="number of instants")
+    p.add_argument("--signals", help="comma-separated columns to render")
+    p.add_argument("--vcd", help="write a VCD waveform to this path")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("desync", help="insert FIFO channels (Theorems 1-2)")
+    p.add_argument("file")
+    p.add_argument("--capacity", type=int, default=1)
+    p.add_argument("--kind", choices=("direct", "chain"), default="direct")
+    p.add_argument("--instrument", action="store_true", help="add Figure 4 watchdogs")
+    p.set_defaults(fn=cmd_desync)
+
+    p = sub.add_parser("estimate", help="buffer-size estimation loop (Sec 5.2)")
+    p.add_argument("file")
+    p.add_argument("--stim", action="append", required=True)
+    p.add_argument("-n", type=int, default=100, help="horizon per iteration")
+    p.add_argument("--initial", type=int, default=1)
+    p.add_argument("--kind", choices=("direct", "chain"), default="direct")
+    p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("verify", help="model-check 'signal never present'")
+    p.add_argument("file")
+    p.add_argument("--never", required=True, help="signal that must never occur")
+    p.add_argument(
+        "--backend",
+        choices=("explicit", "symbolic", "bounded"),
+        default="explicit",
+        help="explicit LTS, symbolic BDD (boolean designs), or bounded search",
+    )
+    p.add_argument("--depth", type=int, default=12, help="bound for --backend bounded")
+    p.add_argument("--int-values", default="0,1", help="integer input domain")
+    p.add_argument("--always", action="append", help="pin an input present")
+    p.add_argument("--never-input", action="append", help="tie an input off")
+    p.add_argument("--max-states", type=int, default=200000)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("coverage", help="measure stimulus coverage")
+    p.add_argument("file")
+    p.add_argument("--stim", action="append", required=True)
+    p.add_argument("-n", type=int, default=50)
+    p.add_argument(
+        "--group", action="append",
+        help="comma-separated signals whose presence patterns to track",
+    )
+    p.set_defaults(fn=cmd_coverage)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

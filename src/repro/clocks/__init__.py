@@ -1,0 +1,41 @@
+"""Clock calculus for Signal components.
+
+The front-end analysis that the Polychrony toolset performs before code
+generation, rebuilt here at the scale the paper's designs need:
+
+- :mod:`repro.clocks.expr` — clock expressions (signal clocks, boolean
+  samplings, unions, intersections) with normalization;
+- :mod:`repro.clocks.calculus` — extraction of clock constraints from the
+  equations (one per core operator);
+- :mod:`repro.clocks.hierarchy` — equivalence classes of synchronous
+  signals (union-find), subset relations between clocks, master-clock
+  detection and input-determinism (endochrony) diagnostics.
+"""
+
+from repro.clocks.expr import (
+    CEmpty,
+    CInter,
+    CSample,
+    CUnion,
+    CVar,
+    ClockExpr,
+    inter,
+    union,
+)
+from repro.clocks.calculus import ClockConstraint, extract_constraints
+from repro.clocks.hierarchy import ClockAnalysis, analyze_clocks
+
+__all__ = [
+    "CEmpty",
+    "CInter",
+    "CSample",
+    "CUnion",
+    "CVar",
+    "ClockExpr",
+    "inter",
+    "union",
+    "ClockConstraint",
+    "extract_constraints",
+    "ClockAnalysis",
+    "analyze_clocks",
+]

@@ -1,0 +1,153 @@
+"""Extraction of clock constraints from Signal equations.
+
+Per core operator (Table 1 clocks):
+
+========================  =======================================
+``x := pre v y``          ``^x = ^y``
+``x := y when z``         ``^x = ^y * [z]``  (``[z]``: z present & true)
+``x := y default z``      ``^x = ^y + ^z``
+``x := f(y, ...)``        ``^x = ^y = ...`` (non-constant operands)
+``x := ^y``               ``^x = ^y``
+``x ^= y``                ``^x = ^y``
+========================  =======================================
+
+Nested expressions are handled by normalizing the component to core
+(three-address) form first, so each constraint is one operator deep; the
+fresh locals introduced by normalization appear in the constraint set and
+the analysis, which is faithful — they are real signals of the compiled
+component.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ClockError
+from repro.lang.analysis import normalize_component
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.clocks.expr import CEmpty, CSample, CVar, ClockExpr, inter, union
+
+
+class ClockConstraint(NamedTuple):
+    """``left = right`` over clock expressions, with provenance."""
+
+    left: ClockExpr
+    right: ClockExpr
+    origin: str  # human-readable source (equation text-ish)
+
+    def __repr__(self):
+        return "{} = {}   % {}".format(self.left, self.right, self.origin)
+
+
+def _operand_clock(expr: Expr) -> Optional[ClockExpr]:
+    """Clock of a core operand (Var or Const); None for constants
+    (their clock adapts to the context)."""
+    if isinstance(expr, Var):
+        return CVar(expr.name)
+    if isinstance(expr, Const):
+        return None
+    raise ClockError(
+        "component is not in core form (operand {!r}); "
+        "normalize first".format(expr)
+    )
+
+
+def _sample_clock(expr: Expr) -> ClockExpr:
+    """The clock contributed by a ``when`` condition operand."""
+    if isinstance(expr, Var):
+        return CSample(expr.name, True)
+    if isinstance(expr, Const):
+        # `when true` samples nothing away; `when false` kills the clock.
+        return CEmpty if not expr.value else None  # type: ignore[return-value]
+    raise ClockError("when-condition {!r} is not core".format(expr))
+
+
+def extract_constraints(component: Component, normalize: bool = True) -> List[ClockConstraint]:
+    """Clock constraints of ``component``.
+
+    ``normalize`` lowers ``^e`` and flattens nested expressions first
+    (recommended; pass ``False`` only for components already in core form).
+    """
+    comp = (
+        normalize_component(component, lower_clocks=False, to_core=True)
+        if normalize
+        else component
+    )
+    out: List[ClockConstraint] = []
+    for st in comp.statements:
+        if isinstance(st, SyncConstraint):
+            first = CVar(st.names[0])
+            for other in st.names[1:]:
+                out.append(
+                    ClockConstraint(first, CVar(other), "{} ^= {}".format(
+                        st.names[0], other))
+                )
+            continue
+        assert isinstance(st, Equation)
+        x = CVar(st.target)
+        rhs = st.expr
+        origin = "{} := ...".format(st.target)
+        if isinstance(rhs, (Var, Const)):
+            c = _operand_clock(rhs)
+            if c is not None:
+                out.append(ClockConstraint(x, c, origin))
+            continue
+        if isinstance(rhs, Pre):
+            c = _operand_clock(rhs.expr)
+            if c is not None:
+                out.append(ClockConstraint(x, c, origin))
+            continue
+        if isinstance(rhs, ClockOf):
+            c = _operand_clock(rhs.expr)
+            if c is not None:
+                out.append(ClockConstraint(x, c, origin))
+            continue
+        if isinstance(rhs, When):
+            base = _operand_clock(rhs.expr)
+            samp = _sample_clock(rhs.cond)
+            if samp is None:  # `when true`
+                if base is not None:
+                    out.append(ClockConstraint(x, base, origin))
+                continue
+            if base is None:  # constant sampled by z
+                out.append(ClockConstraint(x, samp, origin))
+            else:
+                out.append(ClockConstraint(x, inter(base, samp), origin))
+            continue
+        if isinstance(rhs, Default):
+            left = _operand_clock(rhs.left)
+            right = _operand_clock(rhs.right)
+            if left is None:
+                # constant on the left hides the right entirely; its clock
+                # is free (context-driven), no constraint from the right.
+                continue
+            if right is None:
+                # x = y default CONST: clock free above ^y; record only the
+                # lower bound as a union with an unconstrained remainder —
+                # conservatively skip, matching the simulator's behavior.
+                continue
+            out.append(ClockConstraint(x, union(left, right), origin))
+            continue
+        if isinstance(rhs, App):
+            clocks = [
+                _operand_clock(a)
+                for a in rhs.args
+            ]
+            clocks = [c for c in clocks if c is not None]
+            for c in clocks:
+                out.append(ClockConstraint(x, c, origin))
+            continue
+        raise ClockError("cannot extract clock of {!r}".format(rhs))
+    return out

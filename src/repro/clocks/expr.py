@@ -1,0 +1,185 @@
+"""Clock expressions and their normalization.
+
+A clock denotes a set of instants.  The grammar mirrors Signal's clock
+algebra:
+
+- ``CVar(x)`` — the (unknown) clock of signal ``x``;
+- ``CSample(z, True)`` — the instants where boolean signal ``z`` is
+  present *and true* (written ``[z]``); ``CSample(z, False)`` is ``[not z]``;
+- ``CUnion`` / ``CInter`` — set union / intersection;
+- ``CEmpty`` — the null clock.
+
+Normalization flattens nested unions/intersections, sorts and dedupes
+operands, collapses trivial cases, and applies
+``[z] inter [not z] = empty`` and ``CVar(z) ⊇ [z]`` absorption
+(``CVar(z) inter CSample(z, p) = CSample(z, p)`` and the union dual).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+
+class ClockExpr:
+    """Base class; instances are immutable and totally ordered by key."""
+
+    __slots__ = ()
+
+    def key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return isinstance(other, ClockExpr) and self.key() == other.key()
+
+    def __lt__(self, other: "ClockExpr"):
+        return self.key() < other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def leaves(self) -> FrozenSet["ClockExpr"]:
+        """The CVar/CSample atoms this expression is built from."""
+        return frozenset([self])
+
+
+class CEmptyType(ClockExpr):
+    __slots__ = ()
+
+    def key(self):
+        return ("0",)
+
+    def leaves(self):
+        return frozenset()
+
+    def __repr__(self):
+        return "0"
+
+
+CEmpty = CEmptyType()
+
+
+class CVar(ClockExpr):
+    """The clock of a signal."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def key(self):
+        return ("v", self.name)
+
+    def __repr__(self):
+        return "^{}".format(self.name)
+
+
+class CSample(ClockExpr):
+    """Instants where boolean signal ``name`` is present with the given value."""
+
+    __slots__ = ("name", "polarity")
+
+    def __init__(self, name: str, polarity: bool = True):
+        self.name = name
+        self.polarity = bool(polarity)
+
+    def key(self):
+        return ("s", self.name, self.polarity)
+
+    def __repr__(self):
+        return "[{}{}]".format("" if self.polarity else "not ", self.name)
+
+
+class _NAry(ClockExpr):
+    __slots__ = ("parts",)
+    _tag = "?"
+
+    def __init__(self, parts: Iterable[ClockExpr]):
+        self.parts: Tuple[ClockExpr, ...] = tuple(sorted(set(parts)))
+
+    def key(self):
+        return (self._tag,) + tuple(p.key() for p in self.parts)
+
+    def leaves(self):
+        out = frozenset()
+        for p in self.parts:
+            out |= p.leaves()
+        return out
+
+
+class CUnion(_NAry):
+    __slots__ = ()
+    _tag = "u"
+
+    def __repr__(self):
+        return "(" + " + ".join(repr(p) for p in self.parts) + ")"
+
+
+class CInter(_NAry):
+    __slots__ = ()
+    _tag = "i"
+
+    def __repr__(self):
+        return "(" + " * ".join(repr(p) for p in self.parts) + ")"
+
+
+def _flatten(cls, parts):
+    out = []
+    for p in parts:
+        if isinstance(p, cls):
+            out.extend(p.parts)
+        else:
+            out.append(p)
+    return out
+
+
+def union(*parts: ClockExpr) -> ClockExpr:
+    """Normalized union of clocks."""
+    flat = [p for p in _flatten(CUnion, parts) if p is not CEmpty]
+    flat = sorted(set(flat))
+    # CVar(z) + [z] = CVar(z)
+    names = {p.name for p in flat if isinstance(p, CVar)}
+    flat = [
+        p for p in flat if not (isinstance(p, CSample) and p.name in names)
+    ]
+    # [z] + [not z] = CVar(z)
+    samples = [p for p in flat if isinstance(p, CSample)]
+    by_name = {}
+    for s in samples:
+        by_name.setdefault(s.name, set()).add(s.polarity)
+    promote = {n for n, pols in by_name.items() if pols == {True, False}}
+    if promote:
+        flat = [
+            p for p in flat if not (isinstance(p, CSample) and p.name in promote)
+        ]
+        flat.extend(CVar(n) for n in promote)
+        flat = sorted(set(flat))
+    if not flat:
+        return CEmpty
+    if len(flat) == 1:
+        return flat[0]
+    return CUnion(flat)
+
+
+def inter(*parts: ClockExpr) -> ClockExpr:
+    """Normalized intersection of clocks."""
+    flat = _flatten(CInter, parts)
+    if any(p is CEmpty for p in flat):
+        return CEmpty
+    flat = sorted(set(flat))
+    # [z] * [not z] = 0
+    pols = {}
+    for p in flat:
+        if isinstance(p, CSample):
+            pols.setdefault(p.name, set()).add(p.polarity)
+    if any(v == {True, False} for v in pols.values()):
+        return CEmpty
+    # CVar(z) * [z] = [z]
+    sampled = set(pols)
+    flat = [
+        p for p in flat if not (isinstance(p, CVar) and p.name in sampled)
+    ]
+    if not flat:
+        return CEmpty
+    if len(flat) == 1:
+        return flat[0]
+    return CInter(flat)

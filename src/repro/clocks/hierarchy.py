@@ -1,0 +1,262 @@
+"""Clock hierarchy: synchrony classes, subset relations, determinism.
+
+From the constraint set of :mod:`repro.clocks.calculus` this module builds
+
+- *synchrony classes*: signals provably sharing one clock (union-find over
+  ``^x = ^y`` constraints);
+- *subset edges* between classes, derived from sampling
+  (``^x = ^y * [z]`` gives ``x ⊆ y`` and ``x ⊆ z``) and merging
+  (``^x = ^y + ^z`` gives ``y ⊆ x`` and ``z ⊆ x``);
+- a *determinism report*: starting from the input signals, which clocks
+  are computable from input presence and boolean values alone?  A design
+  whose clocks are all determined runs on :class:`~repro.sim.engine.Reactor`
+  without an oracle; free clocks are listed explicitly.  This is the
+  pragmatic counterpart of Polychrony's endochrony test.
+- *master clock* detection: a class that is a superset of every clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from repro.clocks.calculus import ClockConstraint, extract_constraints
+from repro.clocks.expr import CInter, CSample, CUnion, CVar, ClockExpr
+from repro.lang.ast import Component
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: Dict[str, str] = {}
+
+    def add(self, x: str) -> None:
+        self._parent.setdefault(x, x)
+
+    def find(self, x: str) -> str:
+        self.add(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # deterministic representative: lexicographically smallest
+            lo, hi = sorted((ra, rb))
+            self._parent[hi] = lo
+
+    def classes(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {}
+        for x in self._parent:
+            out.setdefault(self.find(x), set()).add(x)
+        return out
+
+
+class ClockAnalysis(NamedTuple):
+    """Result of :func:`analyze_clocks`."""
+
+    classes: Dict[str, FrozenSet[str]]           # representative -> members
+    rep: Dict[str, str]                          # signal -> representative
+    definitions: Dict[str, Tuple[ClockExpr, ...]]  # rep -> defining exprs
+    subset: Dict[str, FrozenSet[str]]            # rep -> reps it is within
+    determined: FrozenSet[str]                   # reps computable from inputs
+    free: FrozenSet[str]                         # reps needing an oracle
+    master: Optional[str]                        # rep above all clocks, if any
+    dead: FrozenSet[str]                         # reps with a provably empty clock
+
+    def is_input_deterministic(self) -> bool:
+        """True when every clock is determined by input presence/values —
+        the design simulates without an oracle (endochrony proxy)."""
+        return not self.free
+
+    def synchronous(self, a: str, b: str) -> bool:
+        """Are signals ``a`` and ``b`` provably synchronous?"""
+        return self.rep.get(a, a) == self.rep.get(b, b)
+
+    def render(self) -> str:
+        lines = ["clock classes:"]
+        for rep, members in sorted(self.classes.items()):
+            mark = ""
+            if rep in self.dead:
+                mark = "   (never present!)"
+            elif rep == self.master:
+                mark = "   (master)"
+            elif rep in self.free:
+                mark = "   (free)"
+            lines.append("  {{{}}}{}".format(", ".join(sorted(members)), mark))
+        for rep, exprs in sorted(self.definitions.items()):
+            for e in exprs:
+                lines.append("  ^{} = {}".format(rep, e))
+        return "\n".join(lines)
+
+
+def _rewrite(expr: ClockExpr, find) -> ClockExpr:
+    """Replace CVar leaves by their class representative."""
+    if isinstance(expr, CVar):
+        return CVar(find(expr.name))
+    if isinstance(expr, CSample):
+        return expr
+    if isinstance(expr, CUnion):
+        from repro.clocks.expr import union
+
+        return union(*[_rewrite(p, find) for p in expr.parts])
+    if isinstance(expr, CInter):
+        from repro.clocks.expr import inter
+
+        return inter(*[_rewrite(p, find) for p in expr.parts])
+    return expr
+
+
+def analyze_clocks(
+    component: Component, constraints: Optional[List[ClockConstraint]] = None
+) -> ClockAnalysis:
+    """Build the clock hierarchy of ``component``.
+
+    ``constraints`` may be supplied (e.g. from a prior
+    :func:`~repro.clocks.calculus.extract_constraints` call) to skip
+    re-extraction.
+    """
+    if constraints is None:
+        constraints = extract_constraints(component)
+    uf = _UnionFind()
+    for name in component.signals():
+        uf.add(name)
+    # fresh normalization locals appear only in constraints
+    for c in constraints:
+        for leaf in (c.left, c.right):
+            for atom in leaf.leaves():
+                if isinstance(atom, (CVar,)):
+                    uf.add(atom.name)
+                elif isinstance(atom, CSample):
+                    uf.add(atom.name)
+
+    # 1. merge plain synchrony (CVar = CVar)
+    pending: List[ClockConstraint] = []
+    for c in constraints:
+        if isinstance(c.left, CVar) and isinstance(c.right, CVar):
+            uf.union(c.left.name, c.right.name)
+        else:
+            pending.append(c)
+
+    # 2. record definitions per class
+    definitions: Dict[str, List[ClockExpr]] = {}
+    for c in pending:
+        assert isinstance(c.left, CVar)
+        rep = uf.find(c.left.name)
+        definitions.setdefault(rep, []).append(c.right)
+
+    classes = {rep: frozenset(members) for rep, members in uf.classes().items()}
+    rep_of = {name: uf.find(name) for members in classes.values() for name in members}
+
+    def find(name: str) -> str:
+        return rep_of.get(name, name)
+
+    defs_rw: Dict[str, Tuple[ClockExpr, ...]] = {
+        rep: tuple(sorted({_rewrite(e, find) for e in exprs}, key=lambda e: e.key()))
+        for rep, exprs in definitions.items()
+    }
+
+    # 3. subset edges from definitions
+    subset: Dict[str, Set[str]] = {rep: set() for rep in classes}
+    for rep, exprs in defs_rw.items():
+        for e in exprs:
+            if isinstance(e, CInter):
+                for part in e.parts:
+                    for atom in part.leaves():
+                        target = find(
+                            atom.name if isinstance(atom, (CVar, CSample)) else rep
+                        )
+                        subset[rep].add(target)
+            elif isinstance(e, CUnion):
+                for part in e.parts:
+                    for atom in part.leaves():
+                        other = find(
+                            atom.name if isinstance(atom, (CVar, CSample)) else rep
+                        )
+                        subset.setdefault(other, set()).add(rep)
+            elif isinstance(e, CSample):
+                subset[rep].add(find(e.name))
+            elif isinstance(e, CVar):
+                # should have been merged, but keep safe
+                subset[rep].add(find(e.name))
+
+    # 4. determinism: clocks computable from input presence + values
+    input_reps = {find(n) for n in component.inputs}
+    determined: Set[str] = set(input_reps)
+    changed = True
+    while changed:
+        changed = False
+        for rep, exprs in defs_rw.items():
+            if rep in determined:
+                continue
+            for e in exprs:
+                leaves = e.leaves()
+                if not leaves:
+                    continue
+                ok = True
+                for atom in leaves:
+                    if isinstance(atom, CVar):
+                        ok = ok and find(atom.name) in determined
+                    elif isinstance(atom, CSample):
+                        # need both the clock and the value of the sampled
+                        # signal; value availability follows its clock here
+                        ok = ok and find(atom.name) in determined
+                if ok:
+                    determined.add(rep)
+                    changed = True
+                    break
+    free = frozenset(set(classes) - determined)
+
+    # 5. master clock: a class that is a (reflexive-transitive) superset of
+    # every class along subset edges
+    def supersets(rep: str, seen: Set[str]) -> Set[str]:
+        out = {rep}
+        for up in subset.get(rep, ()):  # rep ⊆ up
+            if up not in seen:
+                seen.add(up)
+                out |= supersets(up, seen)
+        return out
+
+    master = None
+    all_sup = {rep: supersets(rep, {rep}) for rep in classes}
+    candidates = set(classes)
+    for rep in classes:
+        candidates &= all_sup[rep]
+    if candidates:
+        master = sorted(candidates)[0]
+
+    # 6. empty clocks: a definition normalizing to 0, or an intersection
+    # with a provably dead class, makes the whole class dead
+    from repro.clocks.expr import CEmpty as _CE
+
+    dead: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rep, exprs in defs_rw.items():
+            if rep in dead:
+                continue
+            for e in exprs:
+                if e is _CE:
+                    dead.add(rep)
+                    changed = True
+                    break
+                if isinstance(e, CInter) and any(
+                    isinstance(p, CVar) and find(p.name) in dead for p in e.parts
+                ):
+                    dead.add(rep)
+                    changed = True
+                    break
+
+    return ClockAnalysis(
+        classes=classes,
+        rep=rep_of,
+        definitions=defs_rw,
+        subset={k: frozenset(v) for k, v in subset.items()},
+        determined=frozenset(determined),
+        free=free,
+        master=master,
+        dead=frozenset(dead),
+    )

@@ -1,0 +1,289 @@
+"""Canonical multi-component designs used by tests, examples and benches.
+
+These are the designs the paper's methodology is exercised on: a producer/
+consumer pair (the minimal ``P ->x Q`` dependency of Theorem 1), a
+processing pipeline (a network of dependencies, Theorem 2) and a
+request/response pair (dependencies in both directions).
+
+Every constructor returns a synchronous multi-component
+:class:`~repro.lang.ast.Program`; activation clocks are event inputs
+(``p_act``, ``q_act``, ...) so the same design runs fully synchronously
+(all activations ticking together) or desynchronized (independent
+activations + FIFO channels).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast import Component, Const, Program, Var, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import BOOL, EVENT, INT
+
+
+def producer(name: str = "P", act: str = "p_act", out: str = "x") -> Component:
+    """Emits 1, 2, 3, ... on ``out`` at each tick of its activation clock."""
+    b = ComponentBuilder(name)
+    act_v = b.input(act, EVENT)
+    out_v = b.output(out, INT)
+    b.define(out_v, pre(0, out_v) + 1)
+    b.sync(out_v, act_v)
+    return b.build()
+
+
+def modular_producer(
+    modulus: int = 4, name: str = "P", act: str = "p_act", out: str = "x"
+) -> Component:
+    """A finite-state producer: emits ``1, 2, ..., 0, 1, ...`` mod ``modulus``.
+
+    Use this (not :func:`producer`) for model checking — the unbounded
+    counter of :func:`producer` has an infinite state space.
+    """
+    b = ComponentBuilder(name)
+    act_v = b.input(act, EVENT)
+    out_v = b.output(out, INT)
+    b.define(out_v, (pre(0, out_v) + 1) % modulus)
+    b.sync(out_v, act_v)
+    return b.build()
+
+
+def modular_producer_consumer(modulus: int = 4, scale: int = 2) -> Program:
+    """Finite-state variant of :func:`producer_consumer` for verification."""
+    return Program(
+        "prodcons_fin", [modular_producer(modulus), consumer(scale=scale)]
+    )
+
+
+def consumer(
+    name: str = "Q", inp: str = "x", out: str = "y", scale: int = 2
+) -> Component:
+    """Maps each arriving ``inp`` to ``scale * inp`` on ``out``.
+
+    Purely data-driven: its clock is the arrival clock of ``inp``, so it
+    consumes at whatever rate the channel delivers.
+    """
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, INT)
+    out_v = b.output(out, INT)
+    b.define(out_v, inp_v * scale)
+    return b.build()
+
+
+def accumulating_consumer(
+    name: str = "Q", inp: str = "x", out: str = "acc"
+) -> Component:
+    """Keeps a running sum of everything it receives."""
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, INT)
+    out_v = b.output(out, INT)
+    b.define(out_v, pre(0, out_v) + inp_v)
+    return b.build()
+
+
+def producer_consumer(scale: int = 2) -> Program:
+    """The minimal oriented dependency ``P ->x Q`` (Figure 3 left)."""
+    return Program("prodcons", [producer(), consumer(scale=scale)])
+
+
+def producer_accumulator() -> Program:
+    """Producer feeding a stateful accumulator."""
+    return Program("prodacc", [producer(), accumulating_consumer()])
+
+
+def transformer(
+    name: str, inp: str, out: str, offset: int = 0, scale: int = 1
+) -> Component:
+    """A pipeline stage computing ``out = scale * inp + offset``."""
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, INT)
+    out_v = b.output(out, INT)
+    expr = inp_v
+    if scale != 1:
+        expr = expr * scale
+    if offset:
+        expr = expr + offset
+    if scale == 1 and not offset:
+        expr = inp_v + 0  # keep a computation so the stage is not a wire
+    b.define(out_v, expr)
+    return b.build()
+
+
+def pipeline(stages: int = 3) -> Program:
+    """``P -> S1 -> S2 -> ... -> Sk``: a chain of data dependencies.
+
+    Stage ``i`` adds ``10**i`` to the value, so each hop is visible in the
+    output flow.
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    comps: List[Component] = [producer(out="x0")]
+    for i in range(1, stages + 1):
+        comps.append(
+            transformer(
+                "S{}".format(i),
+                inp="x{}".format(i - 1),
+                out="x{}".format(i),
+                offset=10 ** i,
+            )
+        )
+    return Program("pipeline", comps)
+
+
+def request_response() -> Program:
+    """Two-way dependency: a client sends requests, a server replies.
+
+    ``C ->req S`` and ``S ->rsp C`` — the ``I`` and ``O`` partitions of
+    Theorem 2.
+    """
+    c = ComponentBuilder("C")
+    act = c.input("c_act", EVENT)
+    rsp = c.input("rsp", INT)
+    req = c.output("req", INT)
+    got = c.output("got", INT)
+    c.define(req, pre(0, req) + 1)
+    c.sync(req, act)
+    c.define(got, rsp)
+    client = c.build()
+
+    s = ComponentBuilder("S")
+    req_v = s.input("req", INT)
+    rsp_v = s.output("rsp", INT)
+    s.define(rsp_v, req_v * 100)
+    server = s.build()
+
+    return Program("reqrsp", [client, server])
+
+
+def fan_out() -> Program:
+    """One producer, two consumers of the same signal (the copy/fork case)."""
+    return Program(
+        "fanout",
+        [
+            producer(),
+            consumer(name="Q1", out="y1", scale=2),
+            consumer(name="Q2", out="y2", scale=3),
+        ],
+    )
+
+
+def ring_station(
+    name: str,
+    tin: str,
+    tout: str,
+    tick: str,
+    modulus: int = 0,
+) -> Component:
+    """One station of a token ring.
+
+    The station stores an arriving token (an integer hop counter), holds
+    it until its next local tick, and then forwards it incremented.  A
+    token arriving on the same instant as a tick is forwarded on the
+    *next* tick (store-and-forward), so the ring has no instantaneous
+    dependency cycle even though the data dependencies form a loop.
+    """
+    b = ComponentBuilder(name)
+    tin_v = b.input(tin, INT)
+    tick_v = b.input(tick, EVENT)
+    tout_v = b.output(tout, INT)
+    base = b.let("base", EVENT, tin_v.clock().default(tick_v))
+    tickb = b.let(
+        "tickb", BOOL, Const(True).when(tick_v).default(Const(False).when(base))
+    )
+    got = b.let(
+        "got", BOOL,
+        Const(True).when(tin_v.clock()).default(Const(False).when(base)),
+    )
+    has = b.local("has", BOOL)
+    hasp = b.let("hasp", BOOL, pre(False, has))
+    send = b.let("send", BOOL, hasp & tickb)
+    b.define(has, got | (hasp & ~send))
+    b.sync(has, base)
+    val = b.local("val", INT)
+    b.define(val, tin_v.default(pre(0, val)))
+    b.sync(val, base)
+    hop = pre(0, val) + 1
+    if modulus:
+        hop = hop % modulus
+    b.define(tout_v, hop.when(send))
+    return b.build()
+
+
+def token_ring(stations: int = 3, modulus: int = 0) -> Program:
+    """A ring of store-and-forward stations plus a token injector.
+
+    The injector seeds the ring with token value 0 on its ``seed`` event
+    and thereafter relays returning tokens (``tok<N> -> tok0``).  Each
+    station ``Si`` consumes ``tok<i-1>`` and produces ``tok<i>``; every
+    hop increments the token, so a full lap adds ``stations + 1``.
+
+    Shared signals form a cycle — the multi-directional network of
+    Theorem 2 — yet there is no instantaneous cycle: every station stores
+    before forwarding.
+
+    ``modulus`` wraps the hop counter (use it for model checking: an
+    unbounded counter has an infinite state space).
+    """
+    if stations < 1:
+        raise ValueError("need at least one station")
+    comps: List[Component] = []
+    # injector: station semantics, but its input is the seed merged with
+    # the ring's return.  Re-seeding while a token circulates would inject
+    # a second token (the model checker finds that in seconds), so the
+    # injector latches `seeded` and accepts the seed only once.
+    inj = ComponentBuilder("Inject")
+    seed = inj.input("seed", EVENT)
+    ret = inj.input("tok{}".format(stations), INT)
+    tick = inj.input("inj_tick", EVENT)
+    out = inj.output("tok0", INT)
+    base = inj.let("base", EVENT, seed.default(ret.clock()).default(tick))
+    seedb = inj.let(
+        "seedb", BOOL, Const(True).when(seed).default(Const(False).when(base))
+    )
+    seeded = inj.local("seeded", BOOL)
+    seededp = inj.let("seededp", BOOL, pre(False, seeded))
+    accept = inj.let("accept", BOOL, seedb & ~seededp)
+    inj.define(seeded, seededp | accept)
+    inj.sync(seeded, base)
+    merged = inj.let("arriving", INT, Const(0).when(accept).default(ret))
+    tickb = inj.let(
+        "tickb", BOOL, Const(True).when(tick).default(Const(False).when(base))
+    )
+    got = inj.let(
+        "got", BOOL,
+        Const(True).when(merged.clock()).default(Const(False).when(base)),
+    )
+    has = inj.local("has", BOOL)
+    hasp = inj.let("hasp", BOOL, pre(False, has))
+    send = inj.let("send", BOOL, hasp & tickb)
+    inj.define(has, got | (hasp & ~send))
+    inj.sync(has, base)
+    val = inj.local("val", INT)
+    inj.define(val, merged.default(pre(0, val)))
+    inj.sync(val, base)
+    hop = pre(0, val) + 1
+    if modulus:
+        hop = hop % modulus
+    inj.define(out, hop.when(send))
+    comps.append(inj.build())
+
+    for i in range(1, stations + 1):
+        comps.append(
+            ring_station(
+                "S{}".format(i),
+                tin="tok{}".format(i - 1),
+                tout="tok{}".format(i),
+                tick="s{}_tick".format(i),
+                modulus=modulus,
+            )
+        )
+    return Program("ring", comps)
+
+
+def watchdog_counter(name: str = "W", inp: str = "x") -> Component:
+    """Counts arrivals of ``inp`` (used in examples to observe channels)."""
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, INT)
+    n = b.output("seen", INT)
+    b.define(n, pre(0, n) + 1)
+    b.sync(n, inp_v)
+    return b.build()

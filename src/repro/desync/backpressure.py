@@ -1,0 +1,68 @@
+"""Producer clock masking (Section 5.2).
+
+    "We can use the conjunction of all full_i signals to mask the clock of
+     the producer."
+
+:func:`clock_gate` builds a Signal component that filters a producer's
+activation event: the activation passes through only when every watched
+channel was not full *as of its last access*.  The one-access staleness is
+what breaks the instantaneous cycle (the gating decision must precede the
+write it gates) — the Signal analogue of the synchronizer stage a hardware
+clock gate needs.
+
+With the gate in place a write is attempted only when the FIFO has room,
+so the channel alarm becomes unreachable in *any* environment — which the
+model checker can then prove (see ``bench_a4_backpressure.py``).  The
+price is that the producer's local clock is no longer free-running: its
+missed activations are exactly the paper's "masking", traded against the
+data losses of the lossy design.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence, Tuple
+
+from repro.lang.ast import Component, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import BOOL, EVENT
+
+
+class GatePorts(NamedTuple):
+    act: str        # raw activation input (environment-driven)
+    gated: str      # filtered activation (producer-facing)
+    fulls: Tuple[str, ...]  # the channel `full` signals being watched
+
+
+def clock_gate(
+    act: str,
+    fulls: Sequence[str],
+    gated: str = "",
+    name: str = "ClockGate",
+) -> Tuple[Component, GatePorts]:
+    """Gate activation ``act`` by the channels' ``full`` status signals.
+
+    For each watched ``full`` signal a hold register samples it at every
+    occurrence (the channel's accesses); the activation is passed through
+    when no hold register shows a full channel.  The registers are read
+    through ``pre``, so the gate's decision depends only on state — no
+    instantaneous cycle through the write it enables.
+    """
+    if not fulls:
+        raise ValueError("clock_gate needs at least one full signal")
+    gated = gated or act + "__gated"
+    b = ComponentBuilder(name)
+    act_v = b.input(act, EVENT)
+    full_vs = [b.input(f, BOOL) for f in fulls]
+    gated_v = b.output(gated, EVENT)
+
+    blocked = None
+    for i, f_v in enumerate(full_vs):
+        base = b.let("base{}".format(i), EVENT, f_v.clock().default(act_v))
+        hold = b.local("hold{}".format(i), BOOL)
+        b.define(hold, f_v.default(pre(False, hold)))
+        b.sync(hold, base)
+        at_act = b.let("blk{}".format(i), BOOL, pre(False, hold).when(act_v))
+        blocked = at_act if blocked is None else (blocked | at_act)
+    b.define(gated_v, act_v.when(~blocked))
+    ports = GatePorts(act=act, gated=gated, fulls=tuple(fulls))
+    return b.build(), ports

@@ -1,0 +1,83 @@
+"""Trace-level checkers for the bounded-FIFO conditions (Lemma 2, Theorem 2).
+
+Lemma 2 characterizes when a data dependency can live behind an ``n``-FIFO:
+every read of rank ``i`` must happen no later than the write of rank
+``i + n``.  These helpers evaluate that condition (and the minimal ``n``)
+on observed behaviors — simulation traces or tagged behaviors — which is
+how the A2 benchmark cross-validates the semantic characterization against
+the operational FIFOs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Tuple, Union
+
+from repro.tags.behavior import Behavior
+from repro.tags.channels import (
+    in_afifo,
+    in_bounded_fifo,
+    lemma2_condition,
+    minimal_fifo_bound,
+)
+from repro.tags.trace import SignalTrace
+from repro.sim.trace import SimTrace
+
+TraceLike = Union[SimTrace, Behavior]
+
+
+def _trace_of(source: TraceLike, name: str) -> SignalTrace:
+    if isinstance(source, SimTrace):
+        return source.trace_of(name)
+    return source[name]
+
+
+def channel_behavior(source: TraceLike, write: str, read: str) -> Behavior:
+    """Project a run onto one channel, normalized to ``{x, y}`` names."""
+    return Behavior({"x": _trace_of(source, write), "y": _trace_of(source, read)})
+
+
+def check_lemma2(source: TraceLike, write: str, read: str, n: int) -> bool:
+    """Does the observed behavior satisfy the Lemma 2 condition for ``n``?"""
+    return lemma2_condition(_trace_of(source, write), _trace_of(source, read), n)
+
+
+def minimal_bound(source: TraceLike, write: str, read: str) -> int:
+    """Peak channel occupancy: the least FIFO depth for this behavior.
+
+    The channel projection must be an ``AFifo`` behavior (no losses, no
+    reordering) — use it on alarm-free runs.
+    """
+    return minimal_fifo_bound(channel_behavior(source, write, read))
+
+
+class ChannelVerdict(NamedTuple):
+    write: str
+    read: str
+    capacity: int
+    is_fifo: bool          # flow preserved, reads after writes (Def. 8 prefix)
+    within_bound: bool     # Definition 9 occupancy bound holds
+    lemma2: bool           # the Lemma 2 timing condition holds
+    minimal: int           # least sufficient depth (-1 when not a FIFO)
+
+
+def check_theorem2(
+    source: TraceLike,
+    channels: Iterable[Tuple[str, str, int]],
+) -> Tuple[bool, List[ChannelVerdict]]:
+    """Theorem 2 on an observed run: every channel of the network must be a
+    faithful bounded FIFO of its declared capacity.
+
+    ``channels`` is an iterable of ``(write_port, read_port, capacity)``.
+    Returns ``(all_ok, per-channel verdicts)``.
+    """
+    verdicts: List[ChannelVerdict] = []
+    for write, read, capacity in channels:
+        b = channel_behavior(source, write, read)
+        is_fifo = in_afifo(b)
+        within = in_bounded_fifo(b, capacity) if is_fifo else False
+        lem = lemma2_condition(b["x"], b["y"], capacity)
+        minimal = minimal_fifo_bound(b) if is_fifo else -1
+        verdicts.append(
+            ChannelVerdict(write, read, capacity, is_fifo, within, lem, minimal)
+        )
+    return all(v.is_fifo and v.within_bound for v in verdicts), verdicts

@@ -1,0 +1,120 @@
+"""Iterative buffer-size estimation (Section 5.2 of the paper).
+
+    "Designers can start with a set of behaviors and a rough guess of the
+     needed buffer size and use the instrumented FIFO network to find the
+     right estimation: simulate, observe the counters, increment the
+     buffer size by these values, and iterate till no alarm is raised."
+
+:func:`estimate_buffer_sizes` is exactly that loop.  It returns an
+:class:`EstimationReport` carrying the full trajectory so the benches can
+print the convergence series of experiment F4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Union
+
+from repro.lang.ast import Program
+from repro.sim.runner import simulate
+from repro.desync.transform import DesyncResult, desynchronize
+
+
+class EstimationStep(NamedTuple):
+    iteration: int
+    sizes: Dict[str, int]       # capacities tried this round
+    misses: Dict[str, int]      # max consecutive missed writes observed
+    alarms: Dict[str, int]      # total alarm count per channel
+
+
+class EstimationReport(NamedTuple):
+    converged: bool
+    iterations: int
+    sizes: Dict[str, int]       # final (quiescent) capacities
+    history: List[EstimationStep]
+
+    def render(self) -> str:
+        lines = ["buffer-size estimation ({})".format(
+            "converged" if self.converged else "NOT converged")]
+        for step in self.history:
+            lines.append(
+                "  iter {}: sizes={} misses={} alarms={}".format(
+                    step.iteration,
+                    _fmt(step.sizes),
+                    _fmt(step.misses),
+                    _fmt(step.alarms),
+                )
+            )
+        lines.append("  final sizes: {}".format(_fmt(self.sizes)))
+        return "\n".join(lines)
+
+
+def _fmt(d: Dict[str, int]) -> str:
+    return "{" + ", ".join("{}={}".format(k, v) for k, v in sorted(d.items())) + "}"
+
+
+StimulusFactory = Callable[[], Iterable[Dict[str, object]]]
+
+
+def estimate_buffer_sizes(
+    program: Program,
+    stimulus_factory: StimulusFactory,
+    horizon: int,
+    initial: Union[int, Dict[str, int]] = 1,
+    max_iterations: int = 16,
+    kind: str = "direct",
+    read_requests: Optional[Dict[str, str]] = None,
+    signals: Optional[List[str]] = None,
+    oracle=None,
+) -> EstimationReport:
+    """Run the Section 5.2 estimation loop.
+
+    ``stimulus_factory`` must return a *fresh* stimulus each call (the
+    "given environment"): it has to drive the program's inputs plus each
+    channel's read request (``<x>_rreq`` unless remapped via
+    ``read_requests``).  ``horizon`` is the simulated length per iteration.
+
+    Convergence means the last simulation raised no alarm; the final
+    ``sizes`` then satisfy the Lemma 2 condition *for the simulated
+    behaviors* — the verification phase (model checking, experiment V1)
+    extends the claim to all behaviors.
+    """
+    # initial sizes need the channel list; build once to discover channels
+    probe: DesyncResult = desynchronize(
+        program, capacities=1 if isinstance(initial, dict) else initial,
+        kind=kind, instrument=True, read_requests=read_requests, signals=signals,
+    )
+    if isinstance(initial, dict):
+        sizes = {ch.signal: int(initial.get(ch.signal, 1)) for ch in probe.channels}
+    else:
+        sizes = {ch.signal: int(initial) for ch in probe.channels}
+
+    history: List[EstimationStep] = []
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        result = desynchronize(
+            program,
+            capacities=sizes,
+            kind=kind,
+            instrument=True,
+            read_requests=read_requests,
+            signals=signals,
+        )
+        trace = simulate(result.program, stimulus_factory(), n=horizon, oracle=oracle)
+        misses: Dict[str, int] = {}
+        alarms: Dict[str, int] = {}
+        for ch in result.channels:
+            regs = trace.values(ch.reg)
+            worst = max(regs) if regs else 0
+            misses[ch.signal] = max(misses.get(ch.signal, 0), worst)
+            alarms[ch.signal] = alarms.get(ch.signal, 0) + trace.presence_count(
+                ch.alarm
+            )
+        history.append(EstimationStep(iteration, dict(sizes), misses, alarms))
+        if all(v == 0 for v in misses.values()):
+            converged = True
+            break
+        for signal, miss in misses.items():
+            if miss > 0:
+                sizes[signal] += miss
+    return EstimationReport(converged, iteration, dict(sizes), history)

@@ -1,0 +1,303 @@
+"""FIFO channels as Signal components.
+
+Three constructions:
+
+- :func:`one_place_fifo` — the 1-place buffer of Example 1: write accepted
+  only when empty (a rejected write raises ``alarm``), read offered only
+  when non-empty.  The paper's equations are kept, with the clock of the
+  state anchored by an explicit constraint (``data ^= tick``) which the
+  paper leaves implicit.
+- :func:`n_fifo_chain` — Section 5.1: ``nFifo = 1Fifo o ... o 1Fifo`` with
+  shift plumbing between stages.  Items *ripple* one stage per tick, so
+  this implementation needs a channel clock (``tick`` input) and may raise
+  the alarm when the head stage is still full even though bubbles exist
+  downstream — a conservatism of the chained construction that the
+  benchmarks quantify against the direct form.
+- :func:`n_fifo_direct` — a circular-buffer register file with head/tail
+  pointers and an occupancy counter; it realizes the bounded-FIFO
+  denotation (Definition 9) exactly: write accepted iff ``count < n``,
+  read offered iff ``count > 0``, same-instant read+write allowed.
+
+All constructors return a :class:`~repro.lang.ast.Component` plus a
+:class:`FifoPorts` record naming the interface signals.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.lang.ast import Component, Const, Var, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import BOOL, EVENT, INT, Type
+
+
+class FifoPorts(NamedTuple):
+    """Interface signal names of a generated FIFO component."""
+
+    msgin: str
+    msgout: str
+    rreq: str
+    full: str
+    alarm: str
+    ok: str
+    tick: str  # "" when the FIFO derives its clock internally
+    capacity: int
+
+
+def _init_for(dtype: Type):
+    return False if dtype is BOOL else 0
+
+
+def one_place_fifo(
+    name: str = "Fifo1",
+    dtype: Type = INT,
+    prefix: str = "",
+    external_tick: bool = False,
+) -> Tuple[Component, FifoPorts]:
+    """The 1-place buffer of Example 1.
+
+    Interface (all names ``prefix``-ed):
+
+    - ``msgin`` (in, *dtype*): write port — presence is a write attempt;
+    - ``rreq`` (in, event): read request;
+    - ``msgout`` (out, *dtype*): read port — present on successful reads;
+    - ``full`` (out, boolean): occupancy after this instant, at the FIFO
+      clock;
+    - ``alarm`` / ``ok`` (out, event): rejected / accepted write
+      (the protocol of Section 5.1);
+    - ``tick`` (in, event, only with ``external_tick``): the channel clock;
+      otherwise the FIFO ticks exactly when accessed
+      (``tick := ^msgin default rreq``).
+
+    Semantics per instant (state ``fullp`` = occupancy at instant start):
+    a read succeeds iff ``fullp``; a write is accepted iff ``not fullp``
+    (the paper's rule — a same-instant read does not free the slot for the
+    write, which is what keeps the composition of Section 5.1 simple).
+    """
+    p = prefix
+    b = ComponentBuilder(name)
+    msgin = b.input(p + "msgin", dtype)
+    rreq = b.input(p + "rreq", EVENT)
+    if external_tick:
+        tick = b.input(p + "tick", EVENT)
+    msgout = b.output(p + "msgout", dtype)
+    full = b.output(p + "full", BOOL)
+    alarm = b.output(p + "alarm", EVENT)
+    ok = b.output(p + "ok", EVENT)
+    if not external_tick:
+        tick = b.let(p + "tick", EVENT, msgin.clock().default(rreq))
+
+    wpres = b.let(
+        p + "wpres",
+        BOOL,
+        Const(True).when(msgin.clock()).default(Const(False).when(tick)),
+    )
+    rpres = b.let(
+        p + "rpres",
+        BOOL,
+        Const(True).when(rreq).default(Const(False).when(tick)),
+    )
+    fullp = b.let(p + "fullp", BOOL, pre(False, full))
+    rd = b.let(p + "rd", BOOL, rpres & fullp)
+    wr = b.let(p + "wr", BOOL, wpres & ~fullp)
+    b.define(full, wr | (fullp & ~rd))
+
+    data = b.local(p + "data", dtype)
+    b.define(
+        data,
+        msgin.when(wr).default(pre(_init_for(dtype), data).when(tick)),
+    )
+    b.sync(data, tick)
+    b.define(msgout, pre(_init_for(dtype), data).when(rd))
+    b.define(alarm, Const(True).when(wpres & fullp))
+    b.define(ok, Const(True).when(wpres & ~fullp))
+
+    ports = FifoPorts(
+        msgin=p + "msgin",
+        msgout=p + "msgout",
+        rreq=p + "rreq",
+        full=p + "full",
+        alarm=p + "alarm",
+        ok=p + "ok",
+        tick=p + "tick" if external_tick else "",
+        capacity=1,
+    )
+    return b.build(), ports
+
+
+def n_fifo_chain(
+    n: int,
+    name: str = "FifoChain",
+    dtype: Type = INT,
+    prefix: str = "",
+) -> Tuple[Component, FifoPorts]:
+    """Section 5.1: an ``nFifo`` as the composition of ``n`` 1-place cells.
+
+    ``nFifo x0 -> xn = 1Fifo x0 x1 [...] |s| ... |s| 1Fifo xn-1 xn [...]``
+    with shift requests between stages: stage ``i`` hands its item to
+    stage ``i+1`` at a tick where ``i`` was full and ``i+1`` empty.
+
+    The chain requires an explicit channel clock ``tick`` (an event input
+    that must contain every write and read instant) because items keep
+    rippling after the ports go quiet.
+    """
+    if n < 1:
+        raise ValueError("capacity must be >= 1")
+    p = prefix
+
+    b = ComponentBuilder(name)
+    b.input(p + "msgin", dtype)
+    rreq = b.input(p + "rreq", EVENT)
+    tick = b.input(p + "tick", EVENT)
+    b.output(p + "msgout", dtype)
+    full = b.output(p + "full", BOOL)
+    alarm = b.output(p + "alarm", EVENT)
+    ok = b.output(p + "ok", EVENT)
+
+    for i in range(1, n + 1):
+        cell, _ = one_place_fifo(
+            name="{}_cell{}".format(name, i),
+            dtype=dtype,
+            prefix="{}s{}_".format(p, i),
+            external_tick=True,
+        )
+        wiring = {
+            "{}s{}_tick".format(p, i): p + "tick",
+            "{}s{}_msgin".format(p, i): p + "msgin"
+            if i == 1
+            else "{}s{}_msgout".format(p, i - 1),
+        }
+        if i == n:
+            wiring["{}s{}_rreq".format(p, i)] = p + "rreq"
+            wiring["{}s{}_msgout".format(p, i)] = p + "msgout"
+        b.absorb(cell, rename=wiring)
+
+    # Occupancy shadows at the chain clock (each stage's `full` is present
+    # at every tick, so the shadow is well-clocked).
+    fprev: List[Var] = []
+    for i in range(1, n + 1):
+        v = b.let(
+            "{}occ{}".format(p, i),
+            BOOL,
+            pre(False, Var("{}s{}_full".format(p, i))),
+        )
+        b.sync(v, tick)
+        fprev.append(v)
+
+    # Transfer requests: stage i hands over when full and i+1 empty.
+    for i in range(1, n):
+        b.define(
+            "{}s{}_rreq".format(p, i),
+            Const(True).when(fprev[i - 1] & ~fprev[i]),
+        )
+
+    # Chain-level status: writes enter at stage 1.
+    b.define(full, Var("{}s1_fullp".format(p)))
+    b.define(alarm, Var("{}s1_alarm".format(p)))
+    b.define(ok, Var("{}s1_ok".format(p)))
+
+    ports = FifoPorts(
+        msgin=p + "msgin",
+        msgout=p + "msgout",
+        rreq=p + "rreq",
+        full=p + "full",
+        alarm=p + "alarm",
+        ok=p + "ok",
+        tick=p + "tick",
+        capacity=n,
+    )
+    return b.build(), ports
+
+
+def n_fifo_direct(
+    n: int,
+    name: str = "FifoN",
+    dtype: Type = INT,
+    prefix: str = "",
+) -> Tuple[Component, FifoPorts]:
+    """A direct bounded FIFO: circular buffer + occupancy counter.
+
+    Realizes Definition 9 exactly: at every instant the number of accepted
+    writes exceeds reads by at most ``n``; same-instant read+write is
+    allowed when the FIFO is neither empty nor full.  Rejected writes
+    (``count == n`` at the instant start) raise ``alarm`` and lose the
+    item — the situation the estimation methodology of Section 5.2 is
+    designed to engineer away.
+    """
+    if n < 1:
+        raise ValueError("capacity must be >= 1")
+    p = prefix
+    init = _init_for(dtype)
+
+    b = ComponentBuilder(name)
+    msgin = b.input(p + "msgin", dtype)
+    rreq = b.input(p + "rreq", EVENT)
+    msgout = b.output(p + "msgout", dtype)
+    full = b.output(p + "full", BOOL)
+    alarm = b.output(p + "alarm", EVENT)
+    ok = b.output(p + "ok", EVENT)
+
+    tick = b.let(p + "tick", EVENT, msgin.clock().default(rreq))
+    wpres = b.let(
+        p + "wpres",
+        BOOL,
+        Const(True).when(msgin.clock()).default(Const(False).when(tick)),
+    )
+    rpres = b.let(
+        p + "rpres",
+        BOOL,
+        Const(True).when(rreq).default(Const(False).when(tick)),
+    )
+    count = b.local(p + "count", INT)
+    head = b.local(p + "head", INT)
+    tail = b.local(p + "tail", INT)
+    countp = b.let(p + "countp", INT, pre(0, count))
+    headp = b.let(p + "headp", INT, pre(0, head))
+    tailp = b.let(p + "tailp", INT, pre(0, tail))
+    rd = b.let(p + "rd", BOOL, rpres & (countp > 0))
+    # Definition 9 counts writes and reads at the same tag together, so a
+    # write into a full FIFO is fine when a read frees the slot this very
+    # instant (the read returns the old head value; the write lands in the
+    # freed slot).
+    wr = b.let(p + "wr", BOOL, wpres & ((countp < n) | rd))
+
+    b.define(
+        count,
+        (countp + 1)
+        .when(wr & ~rd)
+        .default((countp - 1).when(rd & ~wr))
+        .default(countp),
+    )
+    b.sync(count, tick)
+    b.define(head, ((headp + 1) % n).when(rd).default(headp))
+    b.sync(head, tick)
+    b.define(tail, ((tailp + 1) % n).when(wr).default(tailp))
+    b.sync(tail, tick)
+
+    # storage slots with write-enable demux and read mux
+    read_expr = None
+    for i in range(n):
+        slot = b.local("{}d{}".format(p, i), dtype)
+        wr_i = b.let("{}wr{}".format(p, i), BOOL, wr & tailp.eq(i))
+        b.define(slot, msgin.when(wr_i).default(pre(init, slot).when(tick)))
+        b.sync(slot, tick)
+        piece = pre(init, slot).when(rd & headp.eq(i))
+        read_expr = piece if read_expr is None else read_expr.default(piece)
+    b.define(msgout, read_expr)
+
+    b.define(full, count >= n)
+    b.sync(full, tick)
+    b.define(alarm, Const(True).when(wpres & ~((countp < n) | rd)))
+    b.define(ok, Const(True).when(wpres & ((countp < n) | rd)))
+
+    ports = FifoPorts(
+        msgin=p + "msgin",
+        msgout=p + "msgout",
+        rreq=p + "rreq",
+        full=p + "full",
+        alarm=p + "alarm",
+        ok=p + "ok",
+        tick="",
+        capacity=n,
+    )
+    return b.build(), ports

@@ -1,0 +1,95 @@
+"""Instrumented FIFO circuitry (Figure 4 of the paper).
+
+Every rejected write (``alarm``) increments a counter; an accepted write
+(``ok``) resets it; a register keeps the running maximum.  The register
+therefore shows the largest number of *consecutive* missed writes — the
+amount by which the designer should grow the buffer (Section 5.2).
+
+Both the counter and the register are genuine Signal processes (the paper
+notes it omits them "for sake of brevity"; they are spelled out here), so
+the instrumented design stays a single synchronous program that the same
+simulator and model checker handle.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.lang.ast import App, Component, Const, Var, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import EVENT, INT, Type
+from repro.desync.fifo import FifoPorts, n_fifo_chain, n_fifo_direct, one_place_fifo
+
+
+class InstrumentPorts(NamedTuple):
+    alarm: str
+    ok: str
+    cnt: str
+    reg: str
+
+
+def instrument_channel(
+    alarm: str, ok: str, prefix: str = "", name: str = "Watch"
+) -> Tuple[Component, InstrumentPorts]:
+    """The counter/register watchdog of Figure 4.
+
+    Inputs are the channel's ``alarm`` and ``ok`` events; outputs are the
+    consecutive-miss counter ``cnt`` and its running maximum ``reg``, both
+    present at every write attempt.
+    """
+    p = prefix
+    b = ComponentBuilder(name)
+    alarm_v = b.input(alarm, EVENT)
+    ok_v = b.input(ok, EVENT)
+    cnt = b.output(p + "cnt", INT)
+    reg = b.output(p + "reg", INT)
+    itick = b.let(p + "itick", EVENT, alarm_v.clock().default(ok_v))
+    b.define(
+        cnt,
+        (pre(0, cnt) + 1).when(alarm_v).default(Const(0).when(ok_v)),
+    )
+    b.sync(cnt, itick)
+    b.define(reg, App("max", (pre(0, reg), cnt)))
+    ports = InstrumentPorts(alarm=alarm, ok=ok, cnt=p + "cnt", reg=p + "reg")
+    return b.build(), ports
+
+
+def instrumented_fifo(
+    n: int,
+    kind: str = "direct",
+    name: str = "WatchedFifo",
+    dtype: Type = INT,
+    prefix: str = "",
+) -> Tuple[Component, FifoPorts, InstrumentPorts]:
+    """A bounded FIFO with the Figure 4 watchdog fused in.
+
+    ``kind`` selects the implementation: ``"direct"`` (circular buffer),
+    ``"chain"`` (composition of 1-place cells, needs a ``tick`` input) or
+    ``"one"`` (single cell; ``n`` must be 1).
+    """
+    if kind == "direct":
+        fifo, ports = n_fifo_direct(n, name=name + "_fifo", dtype=dtype, prefix=prefix)
+    elif kind == "chain":
+        fifo, ports = n_fifo_chain(n, name=name + "_fifo", dtype=dtype, prefix=prefix)
+    elif kind == "one":
+        if n != 1:
+            raise ValueError("kind='one' implies capacity 1")
+        fifo, ports = one_place_fifo(name=name + "_fifo", dtype=dtype, prefix=prefix)
+    else:
+        raise ValueError("unknown fifo kind {!r}".format(kind))
+
+    watch, wports = instrument_channel(
+        ports.alarm, ports.ok, prefix=prefix, name=name + "_watch"
+    )
+
+    b = ComponentBuilder(name)
+    # re-export the fifo interface
+    for sig, ty in fifo.inputs.items():
+        b.input(sig, ty)
+    for sig, ty in fifo.outputs.items():
+        b.output(sig, ty)
+    b.output(wports.cnt, INT)
+    b.output(wports.reg, INT)
+    b.absorb(fifo)
+    b.absorb(watch)
+    return b.build(), ports, wports

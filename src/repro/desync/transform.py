@@ -1,0 +1,239 @@
+"""The desynchronizing transformation (Figure 3, Theorems 1 and 2).
+
+Given a program whose components communicate through shared signals, every
+oriented data dependency ``P ->x Q`` is replaced by a FIFO channel:
+
+1. the producer's occurrences of ``x`` are renamed to the write port
+   ``x__w`` (the ``x_P`` of Theorem 1);
+2. each consumer's occurrences are renamed to a read port ``x__r``
+   (``x_Q``) — with several consumers, one channel per consumer is laid
+   down, which is the copy/fork construction the paper sketches at the end
+   of Section 4.2;
+3. a bounded FIFO component is inserted between the ports.  Reads are
+   driven by a read-request event (fresh program input by default, or an
+   existing signal via ``read_requests``) so the consumer's activation
+   clock stays independent of the producer's — the desynchronized program
+   is a *multi-clock* synchronous program, exactly the paper's point.
+
+With ``instrument=True`` each channel also carries the Figure 4 watchdog
+(consecutive-miss counter + max register) used by the estimation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
+
+from repro.errors import TransformError
+from repro.lang.analysis import shared_signals
+from repro.lang.ast import Component, Program
+from repro.lang.types import Type
+from repro.desync.fifo import n_fifo_chain, n_fifo_direct
+from repro.desync.instrument import instrument_channel
+
+
+class Channel(NamedTuple):
+    """One inserted FIFO channel and the names of its observable signals."""
+
+    signal: str       # the original shared signal
+    producer: str     # producing component
+    consumer: str     # consuming component
+    write_port: str   # x__w : producer's output
+    read_port: str    # x__r : consumer's input
+    rreq: str         # read-request event driving the consumer side
+    full: str
+    alarm: str
+    ok: str
+    capacity: int
+    tick: str = ""    # chain FIFOs only
+    cnt: str = ""     # instrumentation outputs, when enabled
+    reg: str = ""
+
+
+class DesyncResult(NamedTuple):
+    program: Program
+    channels: Tuple[Channel, ...]
+
+    def channel_for(self, signal: str, consumer: Optional[str] = None) -> Channel:
+        for ch in self.channels:
+            if ch.signal == signal and (consumer is None or ch.consumer == consumer):
+                return ch
+        raise KeyError((signal, consumer))
+
+
+def _capacity_of(capacities, signal: str) -> int:
+    if isinstance(capacities, int):
+        return capacities
+    try:
+        return int(capacities[signal])
+    except KeyError:
+        raise TransformError(
+            "no capacity given for channel {!r}".format(signal)
+        )
+
+
+def desynchronize(
+    program: Program,
+    capacities: Union[int, Dict[str, int]] = 1,
+    kind: str = "direct",
+    instrument: bool = False,
+    read_requests: Optional[Dict[str, str]] = None,
+    signals: Optional[List[str]] = None,
+    backpressure: Optional[Dict[str, str]] = None,
+) -> DesyncResult:
+    """Replace inter-component data dependencies by bounded FIFO channels.
+
+    Parameters
+    ----------
+    capacities:
+        FIFO depth per shared signal (one int for all, or a per-signal map).
+    kind:
+        ``"direct"`` or ``"chain"`` (Section 5.1 composition; adds a
+        ``<x>_tick`` event input per channel that must tick at least at
+        every access).
+    instrument:
+        Fuse the Figure 4 watchdog onto every channel.
+    read_requests:
+        ``{signal: event_signal_name}`` — drive the channel's reads from an
+        existing signal (e.g. the consumer's activation clock).  Fresh
+        ``<x>_rreq`` inputs are created otherwise.
+    signals:
+        Restrict the transformation to these shared signals (default: all
+        component-produced shared signals).
+    backpressure:
+        ``{producer_component: activation_input}`` — mask that producer's
+        activation with the ``full`` status of every channel it feeds
+        (Section 5.2's producer clock masking): the activation input stays
+        environment-driven, but the component now fires on the gated
+        version, so its writes can never overflow the channels.  Lossless
+        by construction; the alarm becomes unreachable in any environment.
+
+    Environment-produced shared inputs (no producing component) are left
+    untouched: they are already asynchronous inputs of the program.
+    """
+    read_requests = dict(read_requests or {})
+    shared = [s for s in shared_signals(program) if s.producer]
+    if signals is not None:
+        wanted = set(signals)
+        unknown = wanted - {s.name for s in shared}
+        if unknown:
+            raise TransformError(
+                "not component-produced shared signals: {}".format(sorted(unknown))
+            )
+        shared = [s for s in shared if s.name in wanted]
+
+    # per-component rename maps
+    renames: Dict[str, Dict[str, str]] = {c.name: {} for c in program.components}
+    channels: List[Channel] = []
+    fifo_components: List[Component] = []
+
+    for s in shared:
+        if not s.consumers:
+            continue  # produced but never consumed elsewhere
+        write_port = s.name + "__w"
+        renames[s.producer][s.name] = write_port
+        multi = len(s.consumers) > 1
+        for consumer in s.consumers:
+            suffix = "_" + consumer if multi else ""
+            read_port = s.name + "__r" + suffix
+            renames[consumer][s.name] = read_port
+            chan_prefix = "{}_ch{}_".format(s.name, suffix)
+            capacity = _capacity_of(capacities, s.name)
+            if kind == "direct":
+                fifo, ports = n_fifo_direct(
+                    capacity,
+                    name="Fifo_{}{}".format(s.name, suffix),
+                    dtype=_signal_type(program, s.name),
+                    prefix=chan_prefix,
+                )
+            elif kind == "chain":
+                fifo, ports = n_fifo_chain(
+                    capacity,
+                    name="Fifo_{}{}".format(s.name, suffix),
+                    dtype=_signal_type(program, s.name),
+                    prefix=chan_prefix,
+                )
+            else:
+                raise TransformError("unknown fifo kind {!r}".format(kind))
+
+            rreq = read_requests.get(s.name, s.name + suffix + "_rreq")
+            wiring = {
+                ports.msgin: write_port,
+                ports.msgout: read_port,
+                ports.rreq: rreq,
+                ports.full: s.name + suffix + "_full",
+                ports.alarm: s.name + suffix + "_alarm",
+                ports.ok: s.name + suffix + "_ok",
+            }
+            if ports.tick:
+                wiring[ports.tick] = s.name + suffix + "_tick"
+            fifo = fifo.rename(wiring)
+            cnt = reg = ""
+            if instrument:
+                watch, wports = instrument_channel(
+                    wiring[ports.alarm],
+                    wiring[ports.ok],
+                    prefix=s.name + suffix + "_",
+                    name="Watch_{}{}".format(s.name, suffix),
+                )
+                fifo_components.append(watch)
+                cnt, reg = wports.cnt, wports.reg
+            fifo_components.append(fifo)
+            channels.append(
+                Channel(
+                    signal=s.name,
+                    producer=s.producer,
+                    consumer=consumer,
+                    write_port=write_port,
+                    read_port=read_port,
+                    rreq=rreq,
+                    full=wiring[ports.full],
+                    alarm=wiring[ports.alarm],
+                    ok=wiring[ports.ok],
+                    capacity=capacity,
+                    tick=wiring.get(ports.tick, ""),
+                    cnt=cnt,
+                    reg=reg,
+                )
+            )
+
+    backpressure = dict(backpressure or {})
+    known = {c.name for c in program.components}
+    unknown = set(backpressure) - known
+    if unknown:
+        raise TransformError(
+            "backpressure names unknown components: {}".format(sorted(unknown))
+        )
+    from repro.desync.backpressure import clock_gate
+
+    for producer, act in backpressure.items():
+        fulls = [ch.full for ch in channels if ch.producer == producer]
+        if not fulls:
+            raise TransformError(
+                "component {!r} produces no desynchronized channel; "
+                "nothing to mask".format(producer)
+            )
+        comp = program.component(producer)
+        if act not in comp.inputs:
+            raise TransformError(
+                "{!r} is not an input of {!r}".format(act, producer)
+            )
+        renames[producer][act] = act + "__gated"
+        gate, _ = clock_gate(act, fulls, name="Gate_{}".format(producer))
+        fifo_components.append(gate)
+
+    new_components = [
+        comp.rename(renames[comp.name]) if renames[comp.name] else comp
+        for comp in program.components
+    ]
+    new_components.extend(fifo_components)
+    return DesyncResult(
+        Program(program.name + "_desync", new_components), tuple(channels)
+    )
+
+
+def _signal_type(program: Program, name: str) -> Type:
+    for comp in program.components:
+        sigs = comp.signals()
+        if name in sigs:
+            return sigs[name]
+    raise TransformError("signal {!r} not found".format(name))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro toolkit.
+
+Every error raised by the library derives from :class:`ReproError`, so
+client code can catch toolkit failures with a single ``except`` clause
+while still being able to discriminate the phase that failed (parsing,
+typing, clock analysis, simulation, transformation, verification).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro toolkit."""
+
+
+class SignalSyntaxError(ReproError):
+    """A textual Signal program could not be lexed or parsed.
+
+    Carries the source position when available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = "{}:{}: {}".format(line, column, message)
+        super().__init__(message)
+
+
+class SignalTypeError(ReproError):
+    """A Signal program is ill-typed (value types, arities, redefinitions)."""
+
+
+class ClockError(ReproError):
+    """Clock calculus failure: contradictory or undecidable clock constraints."""
+
+
+class CausalityError(ReproError):
+    """Instantaneous dependency cycle that no schedule can order."""
+
+
+class SimulationError(ReproError):
+    """The operational simulator hit an inconsistent reaction."""
+
+
+class NonDeterministicClockError(SimulationError):
+    """A reaction left the presence of some signal undetermined.
+
+    This is the operational symptom of a non-endochronous program being run
+    without an oracle for its free clocks.
+    """
+
+    def __init__(self, message: str, undetermined=()):
+        self.undetermined = tuple(undetermined)
+        super().__init__(message)
+
+
+class TransformError(ReproError):
+    """Desynchronization transformation could not be applied."""
+
+
+class VerificationError(ReproError):
+    """Model-checking backend failure (not a property violation)."""
+
+
+class EquivalenceError(ReproError):
+    """Behavior/process equivalence checking was given incomparable operands."""

@@ -1,0 +1,44 @@
+"""GALS deployment: asynchronous execution of synchronous components.
+
+The end goal of the paper is to "deploy [the design] on an asynchronous
+network preserving all properties of the system proven in the synchronous
+framework".  This package is that asynchronous network:
+
+- :mod:`repro.gals.network` — an event-driven simulator where each
+  component runs its own reactor on a private activation schedule and
+  communicates through FIFO channels (unbounded, lossy-bounded, or
+  blocking-bounded — the paper's clock-masking backpressure);
+- :mod:`repro.gals.schedules` — activation schedules (periodic with
+  jitter, Poisson-like, bursty);
+- :mod:`repro.gals.adapters` — copy/fork and merge/join Signal components
+  for multi-producer/multi-consumer channels (Section 4.2's closing
+  remark);
+- :mod:`repro.gals.service` — occupancy-driven service-level switching
+  (Section 5.2's "different service levels ... tuned" remark).
+
+Network traces carry real-valued tags, so the flow-equivalence machinery
+of :mod:`repro.tags` compares a GALS run directly against the synchronous
+reference — that comparison is experiment F3.
+"""
+
+from repro.gals.network import (
+    AsyncChannel,
+    AsyncNetwork,
+    NetworkTrace,
+    Node,
+)
+from repro.gals import schedules
+from repro.gals.adapters import fork_component, merge_component
+from repro.gals.service import RateController, ServiceLevel
+
+__all__ = [
+    "AsyncChannel",
+    "AsyncNetwork",
+    "NetworkTrace",
+    "Node",
+    "schedules",
+    "fork_component",
+    "merge_component",
+    "RateController",
+    "ServiceLevel",
+]

@@ -1,0 +1,61 @@
+"""Copy/fork and merge/join adapters (Section 4.2, closing remark).
+
+    "For multiple-producer, multiple-consumer shared variables, one can
+     make use of standard copy (fork) and merge (join) components to copy
+     the shared channel for several components and join several write
+     attempts of different components into one channel."
+
+Both adapters are ordinary Signal components, so they desynchronize like
+any other component — a forked channel becomes several FIFO channels, a
+merged one serializes its producers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.lang.ast import Component
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import INT, Type
+
+
+def fork_component(
+    inp: str,
+    outs: Sequence[str],
+    name: str = "Fork",
+    dtype: Type = INT,
+) -> Component:
+    """Copy every arrival of ``inp`` onto each signal of ``outs``."""
+    if not outs:
+        raise ValueError("fork needs at least one output")
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, dtype)
+    for out in outs:
+        out_v = b.output(out, dtype)
+        b.define(out_v, inp_v)
+    return b.build()
+
+
+def merge_component(
+    inps: Sequence[str],
+    out: str,
+    name: str = "Merge",
+    dtype: Type = INT,
+) -> Component:
+    """Join several producers onto one signal, earlier inputs first.
+
+    The merge is the priority ``default``: when two producers write at the
+    same instant, the one listed first wins the slot (the other's value is
+    superseded that instant — serialize producers upstream when that
+    matters).
+    """
+    if len(inps) < 2:
+        raise ValueError("merge needs at least two inputs")
+    b = ComponentBuilder(name)
+    vars_ = [b.input(i, dtype) for i in inps]
+    out_v = b.output(out, dtype)
+    expr = vars_[0]
+    for v in vars_[1:]:
+        expr = expr.default(v)
+    b.define(out_v, expr)
+    return b.build()

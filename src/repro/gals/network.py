@@ -1,0 +1,359 @@
+"""Event-driven GALS network simulation.
+
+Each node wraps one synchronous component in its own
+:class:`~repro.sim.engine.Reactor` and fires on a private activation
+schedule.  Shared signals of the source program become asynchronous FIFO
+channels; at each firing a node pops at most one pending item per input
+channel (those inputs are *present* for that reaction) and pushes every
+produced output.
+
+Channel policies:
+
+- ``"unbounded"`` — the ideal ``AFifo`` of Definition 8 (reference model);
+- ``"lossy"`` — bounded; a push onto a full channel is dropped and counted
+  (the ``alarm`` of Section 5.1);
+- ``"block"`` — bounded; a node does not fire while any of its outgoing
+  channels is full (the paper's "masking the clock of the producer").
+
+The recorded :class:`NetworkTrace` tags every event with the real
+activation time, so write events of ``x`` appear as ``x__w`` and read
+events as ``x__r`` — directly comparable (via
+:mod:`repro.tags.equivalence`) with the synchronous reference and with the
+desynchronized multi-clock program.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, NamedTuple, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.lang.analysis import shared_signals
+from repro.lang.ast import Component, Program
+from repro.sim.engine import Reactor
+from repro.tags.behavior import Behavior
+from repro.tags.trace import SignalTrace
+
+
+class AsyncChannel:
+    """A FIFO link between two nodes.
+
+    ``latency`` models transport delay: an item pushed at time ``t``
+    becomes visible to the consumer at ``t + latency`` (it counts against
+    the capacity while in flight).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: Optional[int] = None,
+        policy: str = "unbounded",
+        latency: float = 0.0,
+    ):
+        if policy not in ("unbounded", "lossy", "block"):
+            raise ValueError("unknown channel policy {!r}".format(policy))
+        if policy != "unbounded" and (capacity is None or capacity < 1):
+            raise ValueError("bounded channel needs capacity >= 1")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.name = name
+        self.capacity = capacity if policy != "unbounded" else None
+        self.policy = policy
+        self.latency = latency
+        self.items: deque = deque()  # (visible_at, value)
+        self.losses = 0
+        self.loss_times: List[float] = []
+        self.peak = 0
+        self.total_wait = 0.0
+        self.delivered = 0
+
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def push(self, value, time: float) -> bool:
+        """Returns False when the item was dropped (lossy overflow)."""
+        if self.full():
+            if self.policy == "lossy":
+                self.losses += 1
+                self.loss_times.append(time)
+                return False
+            raise SimulationError(
+                "push on full blocking channel {!r} (the scheduler must "
+                "mask the producer)".format(self.name)
+            )
+        self.items.append((time + self.latency, value))
+        self.peak = max(self.peak, len(self.items))
+        return True
+
+    def available(self, time: float) -> bool:
+        """Does the head item exist and has it arrived by ``time``?"""
+        return bool(self.items) and self.items[0][0] <= time
+
+    def pop(self, time: Optional[float] = None):
+        visible_at, value = self.items.popleft()
+        if time is not None:
+            self.total_wait += max(0.0, time - (visible_at - self.latency))
+            self.delivered += 1
+        return value
+
+    def mean_latency(self) -> float:
+        """Average push-to-pop delay of delivered items."""
+        return self.total_wait / self.delivered if self.delivered else 0.0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Node(NamedTuple):
+    """One locally synchronous island."""
+
+    name: str
+    component: Component
+    schedule: Iterator[float]
+    activation: str = ""  # event input ticked at every firing, if any
+
+
+class _Recorder:
+    def __init__(self):
+        self.events: Dict[str, List[Tuple[float, object]]] = {}
+
+    def record(self, signal: str, time: float, value) -> None:
+        self.events.setdefault(signal, []).append((time, value))
+
+    def behavior(self, names: Optional[Iterable[str]] = None) -> Behavior:
+        names = list(names) if names is not None else sorted(self.events)
+        out = {}
+        for name in names:
+            evs = self.events.get(name, [])
+            fixed = []
+            last = None
+            for t, v in evs:
+                if last is not None and t <= last:
+                    t = last + 1e-9  # keep chains strictly increasing
+                fixed.append((t, v))
+                last = t
+            out[name] = SignalTrace(fixed)
+        return Behavior(out)
+
+
+class NetworkTrace(NamedTuple):
+    """Result of an asynchronous run."""
+
+    behavior: Behavior                    # all recorded signals, real tags
+    firings: Dict[str, int]               # reactions per node
+    skipped: Dict[str, int]               # firings masked by backpressure
+    channels: Dict[str, Dict[str, object]]  # per-channel stats
+
+    def values(self, signal: str) -> Tuple:
+        return self.behavior[signal].values() if signal in self.behavior else ()
+
+
+class AsyncNetwork:
+    """A set of nodes plus channels derived from their shared signals."""
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        capacities: Optional[Mapping[str, int]] = None,
+        policy: str = "unbounded",
+        default_capacity: int = 1,
+        latencies: Optional[Mapping[str, float]] = None,
+    ):
+        self.nodes = list(nodes)
+        self._reactors: Dict[str, Reactor] = {}
+        self._schedules: Dict[str, Iterator[float]] = {}
+        producers: Dict[str, str] = {}
+        consumers: Dict[str, List[str]] = {}
+        for node in self.nodes:
+            self._reactors[node.name] = Reactor(node.component)
+            self._schedules[node.name] = node.schedule
+            iface = set(node.component.inputs) | set(node.component.outputs)
+            defined = node.component.defined_names()
+            for sig in iface:
+                if sig in defined:
+                    producers[sig] = node.name
+                elif sig in node.component.inputs and sig != node.activation:
+                    consumers.setdefault(sig, []).append(node.name)
+        # channels: producer -> each consumer
+        self.channels: Dict[Tuple[str, str], AsyncChannel] = {}
+        self._out_links: Dict[str, List[Tuple[str, AsyncChannel]]] = {
+            n.name: [] for n in self.nodes
+        }
+        self._in_links: Dict[str, List[Tuple[str, AsyncChannel]]] = {
+            n.name: [] for n in self.nodes
+        }
+        capacities = dict(capacities or {})
+        latencies = dict(latencies or {})
+        for sig, cons in sorted(consumers.items()):
+            prod = producers.get(sig)
+            if prod is None:
+                continue  # environment-driven input: not supported yet
+            for consumer in cons:
+                cap = capacities.get(sig, default_capacity)
+                ch = AsyncChannel(
+                    "{}->{}:{}".format(prod, consumer, sig),
+                    capacity=cap,
+                    policy=policy,
+                    latency=latencies.get(sig, 0.0),
+                )
+                self.channels[(sig, consumer)] = ch
+                self._out_links[prod].append((sig, ch))
+                self._in_links[consumer].append((sig, ch))
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        schedules: Mapping[str, Iterator[float]],
+        activations: Optional[Mapping[str, str]] = None,
+        **kwargs,
+    ) -> "AsyncNetwork":
+        """Deploy each component of ``program`` as one node.
+
+        ``schedules`` maps component names to activation schedules;
+        components without a schedule are *data-driven*: they fire whenever
+        any of their input channels holds data (polled at every event
+        time).  ``activations`` names each node's activation event input
+        (defaults: an input named like the schedule's conventional
+        ``<name>_act``, or the unique event input if there is exactly one).
+        """
+        activations = dict(activations or {})
+        nodes = []
+        for comp in program.components:
+            act = activations.get(comp.name, "")
+            if not act:
+                from repro.lang.types import EVENT
+
+                events = [n for n, ty in comp.inputs.items() if ty is EVENT]
+                if len(events) == 1:
+                    act = events[0]
+            sched = schedules.get(comp.name)
+            nodes.append(
+                Node(
+                    comp.name,
+                    comp,
+                    iter(sched) if sched is not None else iter(()),
+                    activation=act,
+                )
+            )
+        net = cls(nodes, **kwargs)
+        net._data_driven = {
+            comp.name for comp in program.components if comp.name not in schedules
+        }
+        return net
+
+    _data_driven: frozenset = frozenset()
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, horizon: float, max_events: int = 100000) -> NetworkTrace:
+        """Simulate until ``horizon`` (exclusive)."""
+        recorder = _Recorder()
+        firings = {n.name: 0 for n in self.nodes}
+        skipped = {n.name: 0 for n in self.nodes}
+        counter = itertools.count()
+        heap: List[Tuple[float, int, str]] = []
+
+        def push_next(name: str) -> None:
+            try:
+                t = next(self._schedules[name])
+            except StopIteration:
+                return
+            if t < horizon:
+                heapq.heappush(heap, (t, next(counter), name))
+
+        for node in self.nodes:
+            push_next(node.name)
+
+        data_driven = getattr(self, "_data_driven", frozenset())
+        events = 0
+        while heap:
+            events += 1
+            if events > max_events:
+                raise SimulationError("async run exceeded max_events")
+            time, _, name = heapq.heappop(heap)
+            push_next(name)
+            node = next(n for n in self.nodes if n.name == name)
+            # backpressure: masked while an outgoing channel is full
+            if any(ch.full() and ch.policy == "block" for _, ch in self._out_links[name]):
+                skipped[name] += 1
+                self._fire_data_driven(data_driven, time, recorder, firings)
+                continue
+            inputs: Dict[str, object] = {}
+            if node.activation:
+                inputs[node.activation] = True
+            for sig, ch in self._in_links[name]:
+                if ch.available(time):
+                    value = ch.pop(time)
+                    inputs[sig] = value
+                    recorder.record(sig + "__r", time, value)
+            outputs = self._reactors[name].react(inputs)
+            firings[name] += 1
+            self._dispatch(name, outputs, time, recorder)
+            # data-driven nodes drain channels right after each event
+            self._fire_data_driven(data_driven, time, recorder, firings)
+
+        stats = {
+            ch.name: {
+                "capacity": ch.capacity,
+                "peak": ch.peak,
+                "losses": ch.losses,
+                "pending": len(ch),
+                "loss_times": tuple(ch.loss_times),
+                "latency": ch.latency,
+                "mean_wait": ch.mean_latency(),
+            }
+            for ch in self.channels.values()
+        }
+        return NetworkTrace(recorder.behavior(), firings, skipped, stats)
+
+    def _dispatch(self, name: str, outputs: Dict[str, object], time: float,
+                  recorder: _Recorder) -> None:
+        links = dict_groupby(self._out_links[name])
+        for sig, value in outputs.items():
+            if sig in links:
+                recorder.record(sig + "__w", time, value)
+                for ch in links[sig]:
+                    ch.push(value, time)
+            else:
+                recorder.record(sig, time, value)
+
+    def _fire_data_driven(self, data_driven, time, recorder, firings) -> None:
+        """Fire data-driven nodes (no schedule) while they have input."""
+        progress = True
+        guard = 0
+        while progress:
+            progress = False
+            guard += 1
+            if guard > 10000:
+                raise SimulationError("data-driven firing did not quiesce")
+            for node in self.nodes:
+                if node.name not in data_driven:
+                    continue
+                pending = [
+                    (sig, ch)
+                    for sig, ch in self._in_links[node.name]
+                    if ch.available(time)
+                ]
+                if not pending:
+                    continue
+                inputs: Dict[str, object] = {}
+                if node.activation:
+                    inputs[node.activation] = True
+                for sig, ch in pending:
+                    value = ch.pop(time)
+                    inputs[sig] = value
+                    recorder.record(sig + "__r", time, value)
+                outputs = self._reactors[node.name].react(inputs)
+                firings[node.name] += 1
+                self._dispatch(node.name, outputs, time, recorder)
+                progress = True
+
+
+def dict_groupby(pairs: Iterable[Tuple[str, AsyncChannel]]) -> Dict[str, List[AsyncChannel]]:
+    out: Dict[str, List[AsyncChannel]] = {}
+    for sig, ch in pairs:
+        out.setdefault(sig, []).append(ch)
+    return out

@@ -1,0 +1,70 @@
+"""Activation schedules for GALS nodes.
+
+A schedule is an infinite iterator of strictly increasing activation
+times (floats).  Each GALS node runs one reaction per activation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional, Sequence
+
+
+def periodic(period: float, phase: float = 0.0, jitter: float = 0.0,
+             seed: Optional[int] = None) -> Iterator[float]:
+    """Activations every ``period`` time units, optionally jittered.
+
+    ``jitter`` is the half-width of a uniform perturbation, clamped so the
+    sequence stays strictly increasing (``jitter < period / 2`` advised).
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    rng = random.Random(seed)
+    last = float("-inf")
+    for k in itertools.count():
+        t = phase + k * period
+        if jitter:
+            t += rng.uniform(-jitter, jitter)
+        if t <= last:
+            t = last + 1e-9
+        last = t
+        yield t
+
+
+def poisson(rate: float, seed: Optional[int] = None, start: float = 0.0) -> Iterator[float]:
+    """Memoryless activations with the given average ``rate``."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        yield t
+
+
+def bursty(
+    burst: int,
+    intra: float,
+    gap: float,
+    phase: float = 0.0,
+) -> Iterator[float]:
+    """``burst`` activations ``intra`` apart, then a pause of ``gap``."""
+    if burst < 1 or intra <= 0 or gap < 0:
+        raise ValueError("need burst >= 1, intra > 0, gap >= 0")
+    t = phase
+    while True:
+        for _ in range(burst):
+            yield t
+            t += intra
+        t += gap
+
+
+def explicit(times: Sequence[float]) -> Iterator[float]:
+    """A finite schedule given literally."""
+    last = float("-inf")
+    for t in times:
+        if t <= last:
+            raise ValueError("activation times must increase")
+        last = t
+        yield t

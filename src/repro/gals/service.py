@@ -1,0 +1,90 @@
+"""Service-level adaptation (Section 5.2).
+
+    "Masking the clock of the producer may be too naive for some critical
+     designs.  In such cases, different service levels should be
+     implemented in which the rate of production and consumption of data
+     items can be tuned.  The necessity to change the service level can
+     then be indicated by observing the status of communication between
+     components using the FIFO buffers between them."
+
+:class:`RateController` is that observer: it watches a channel's occupancy
+and switches between configured :class:`ServiceLevel`\\ s (each a
+production period).  :meth:`RateController.schedule` turns the controller
+into a GALS activation schedule whose period adapts while the run
+progresses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence
+
+
+class ServiceLevel(NamedTuple):
+    """One operating point of the producer."""
+
+    name: str
+    period: float              # activation period at this level
+    enter_above: Optional[int]  # switch here when occupancy >= this
+    exit_below: Optional[int]   # leave toward a faster level when < this
+
+
+class RateController:
+    """Occupancy-driven switching between service levels.
+
+    ``levels`` must be ordered fastest (smallest period) first.  The
+    controller degrades one level whenever the observed occupancy reaches
+    that level's ``enter_above`` bound and recovers one level when the
+    occupancy falls under the current level's ``exit_below``.
+    """
+
+    def __init__(self, levels: Sequence[ServiceLevel]):
+        if not levels:
+            raise ValueError("need at least one service level")
+        periods = [l.period for l in levels]
+        if periods != sorted(periods):
+            raise ValueError("levels must be ordered fastest first")
+        self.levels: List[ServiceLevel] = list(levels)
+        self.index = 0
+        self.switches: List[tuple] = []  # (time, from, to)
+
+    @property
+    def current(self) -> ServiceLevel:
+        return self.levels[self.index]
+
+    def observe(self, occupancy: int, time: float = 0.0) -> ServiceLevel:
+        """Update the level from a channel occupancy sample."""
+        before = self.index
+        nxt = self.index + 1
+        if (
+            nxt < len(self.levels)
+            and self.levels[nxt].enter_above is not None
+            and occupancy >= self.levels[nxt].enter_above
+        ):
+            self.index = nxt
+        elif (
+            self.index > 0
+            and self.current.exit_below is not None
+            and occupancy < self.current.exit_below
+        ):
+            self.index -= 1
+        if self.index != before:
+            self.switches.append(
+                (time, self.levels[before].name, self.current.name)
+            )
+        return self.current
+
+    def schedule(
+        self,
+        occupancy_of: Callable[[], int],
+        phase: float = 0.0,
+    ) -> Iterator[float]:
+        """An adaptive activation schedule.
+
+        ``occupancy_of`` is sampled before each activation (e.g. a closure
+        over an :class:`~repro.gals.network.AsyncChannel`).
+        """
+        t = phase
+        while True:
+            self.observe(occupancy_of(), t)
+            yield t
+            t += self.current.period

@@ -1,0 +1,104 @@
+"""The Signal language frontend.
+
+Implements the abstract syntax of core Signal (Figure 1 of the paper) with
+the usual derived operators, plus:
+
+- :mod:`repro.lang.ast` — expression and statement nodes, components and
+  programs, with operator-overloading so ASTs read like Signal equations;
+- :mod:`repro.lang.types` — the small value-type system (event, boolean,
+  integer) and the builtin function table;
+- :mod:`repro.lang.builder` — a fluent builder for components;
+- :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` — a concrete textual
+  syntax close to Signal's;
+- :mod:`repro.lang.printer` — pretty printer (round-trips with the parser);
+- :mod:`repro.lang.typecheck` — static checks;
+- :mod:`repro.lang.analysis` — signal classification, dependency graphs,
+  program flattening, core-form normalization.
+"""
+
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    Program,
+    SyncConstraint,
+    Var,
+    When,
+    const,
+    pre,
+    var,
+)
+from repro.lang.types import BOOL, EVENT, INT, Type, BUILTIN_FUNCTIONS
+from repro.lang.builder import ComponentBuilder
+from repro.lang.parser import parse_program, parse_component, parse_expression
+from repro.lang.printer import (
+    format_component,
+    format_expression,
+    format_program,
+)
+from repro.lang.typecheck import check_component, check_program
+from repro.lang.optimize import (
+    eliminate_dead_code,
+    fold_component,
+    fold_constants,
+    inline_aliases,
+    optimize_component,
+)
+from repro.lang.analysis import (
+    classify_signals,
+    dependency_graph,
+    flatten_program,
+    free_vars,
+    instantaneous_cycles,
+    normalize_component,
+    shared_signals,
+)
+
+__all__ = [
+    "App",
+    "ClockOf",
+    "Component",
+    "Const",
+    "Default",
+    "Equation",
+    "Expr",
+    "Pre",
+    "Program",
+    "SyncConstraint",
+    "Var",
+    "When",
+    "const",
+    "pre",
+    "var",
+    "BOOL",
+    "EVENT",
+    "INT",
+    "Type",
+    "BUILTIN_FUNCTIONS",
+    "ComponentBuilder",
+    "parse_program",
+    "parse_component",
+    "parse_expression",
+    "format_component",
+    "format_expression",
+    "format_program",
+    "check_component",
+    "check_program",
+    "eliminate_dead_code",
+    "fold_component",
+    "fold_constants",
+    "inline_aliases",
+    "optimize_component",
+    "classify_signals",
+    "dependency_graph",
+    "flatten_program",
+    "free_vars",
+    "instantaneous_cycles",
+    "normalize_component",
+    "shared_signals",
+]

@@ -1,0 +1,311 @@
+"""Static analyses over Signal components and programs.
+
+- signal classification and definition accounting;
+- instantaneous-dependency graphs and causality-cycle detection;
+- inter-component data-dependency extraction (who produces what — the
+  ``P ->x Q`` orientation of Definition 7);
+- program flattening (synchronous composition by name fusion);
+- normalization to core form (Figure 1): lowering ``^e`` and splitting
+  nested expressions into three-address equations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, NamedTuple, Sequence, Set, Tuple
+
+from repro.errors import CausalityError, SignalTypeError
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    Program,
+    Statement,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.lang.types import BOOL, EVENT, Type
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """The signals read by ``expr`` (including under ``pre``)."""
+    return expr.free_vars()
+
+
+class SignalClasses(NamedTuple):
+    inputs: FrozenSet[str]
+    outputs: FrozenSet[str]
+    locals: FrozenSet[str]
+    defined: FrozenSet[str]
+    undefined: FrozenSet[str]  # non-inputs lacking a defining equation
+
+
+def classify_signals(comp: Component) -> SignalClasses:
+    defined = comp.defined_names()
+    non_inputs = frozenset(comp.outputs) | frozenset(comp.locals)
+    return SignalClasses(
+        inputs=frozenset(comp.inputs),
+        outputs=frozenset(comp.outputs),
+        locals=frozenset(comp.locals),
+        defined=defined,
+        undefined=non_inputs - defined,
+    )
+
+
+def _instantaneous_deps(expr: Expr) -> FrozenSet[str]:
+    """Signals whose *current value* feeds ``expr``.
+
+    Two operators are cut:
+
+    - ``pre``: its value is delayed (the rule that makes ``x := x + 1``
+      cyclic but ``x := pre 0 x + 1`` well-founded);
+    - ``^e``: its value is the constant ``true``; only the *presence* of
+      ``e`` flows through, and presence resolution is a monotone fixpoint
+      that cannot produce a value-computation cycle (rings of components
+      legitimately close presence loops through their channel clocks).
+    """
+    if isinstance(expr, (Pre, ClockOf)):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset([expr.name])
+    out: Set[str] = set()
+    for child in expr.children():
+        out |= _instantaneous_deps(child)
+    return frozenset(out)
+
+
+def dependency_graph(comp: Component, instantaneous: bool = True) -> Dict[str, FrozenSet[str]]:
+    """``target -> signals it depends on``, per equation.
+
+    With ``instantaneous=False``, delayed (``pre``) dependencies are
+    included as well — the full data-flow graph.
+    """
+    graph: Dict[str, FrozenSet[str]] = {}
+    for eq in comp.equations():
+        if instantaneous:
+            deps = _instantaneous_deps(eq.expr)
+        else:
+            deps = eq.expr.free_vars()
+        graph[eq.target] = graph.get(eq.target, frozenset()) | deps
+    return graph
+
+
+def instantaneous_cycles(comp: Component) -> List[List[str]]:
+    """Cycles of instantaneous dependencies (Tarjan SCCs of size > 1, plus
+    self-loops).  A nonempty result means no reaction order exists."""
+    graph = dependency_graph(comp, instantaneous=True)
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in graph:
+                continue  # inputs terminate the search
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            scc = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                scc.append(w)
+                if w == v:
+                    break
+            if len(scc) > 1 or v in graph.get(v, ()):
+                cycles.append(sorted(scc))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return cycles
+
+
+def check_causality(comp: Component) -> None:
+    """Raise :class:`CausalityError` when instantaneous cycles exist."""
+    cycles = instantaneous_cycles(comp)
+    if cycles:
+        raise CausalityError(
+            "{}: instantaneous dependency cycles: {}".format(comp.name, cycles)
+        )
+
+
+class SharedSignal(NamedTuple):
+    name: str
+    producer: str  # component name, or "" when produced by the environment
+    consumers: Tuple[str, ...]
+
+
+def shared_signals(program: Program) -> List[SharedSignal]:
+    """Signals visible to more than one component, with the ``P ->x Q``
+    orientation of Definition 7 (producer vs consumers)."""
+    producers: Dict[str, str] = {}
+    users: Dict[str, List[str]] = {}
+    for comp in program.components:
+        visible = set(comp.inputs) | set(comp.outputs)
+        for eq in comp.equations():
+            if eq.target in visible:
+                producers[eq.target] = comp.name
+        for name in visible:
+            users.setdefault(name, []).append(comp.name)
+    out = []
+    for name, comps in sorted(users.items()):
+        if len(comps) < 2:
+            continue
+        producer = producers.get(name, "")
+        consumers = tuple(c for c in comps if c != producer)
+        out.append(SharedSignal(name, producer, consumers))
+    return out
+
+
+def flatten_program(program: Program, namespace_locals: bool = True) -> Component:
+    """Fuse all components into one (synchronous composition by names).
+
+    Locals are prefixed ``<component>__`` when ``namespace_locals`` so
+    same-named private state in different components cannot collide.  The
+    flat component's inputs are the signals nobody defines; its outputs are
+    every defined interface signal (so traces of the composition remain
+    observable); locals of members stay local.
+    """
+    inputs: Dict[str, Type] = {}
+    outputs: Dict[str, Type] = {}
+    locals_: Dict[str, Type] = {}
+    statements: List[Statement] = []
+    defined: Set[str] = set()
+    iface_types: Dict[str, Type] = {}
+
+    renamed: List[Component] = []
+    for comp in program.components:
+        if namespace_locals:
+            mapping = {n: "{}__{}".format(comp.name, n) for n in comp.locals}
+            comp = comp.rename(mapping)
+        renamed.append(comp)
+
+    for comp in renamed:
+        for name, ty in comp.locals.items():
+            if name in locals_:
+                raise SignalTypeError(
+                    "local {!r} defined in two components; "
+                    "use namespace_locals=True".format(name)
+                )
+            locals_[name] = ty
+        for name, ty in list(comp.inputs.items()) + list(comp.outputs.items()):
+            if name in iface_types and iface_types[name] is not ty:
+                raise SignalTypeError(
+                    "shared signal {!r} declared with two types".format(name)
+                )
+            iface_types[name] = ty
+        defined |= comp.defined_names()
+        statements.extend(comp.statements)
+
+    for name, ty in iface_types.items():
+        if name in defined:
+            outputs[name] = ty
+        else:
+            inputs[name] = ty
+    # locals defined nowhere would be free: surface them as inputs
+    for name in list(locals_):
+        if name not in defined:
+            inputs[name] = locals_.pop(name)
+
+    return Component(program.name, inputs, outputs, locals_, statements)
+
+
+# -- normalization to core form ------------------------------------------------
+
+
+class _FreshNames:
+    def __init__(self, taken):
+        self._taken = set(taken)
+        self._counter = 0
+
+    def fresh(self, hint: str = "t") -> str:
+        while True:
+            name = "_{}{}".format(hint, self._counter)
+            self._counter += 1
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+
+def _lower_clockof(expr: Expr) -> Expr:
+    """``^e`` -> ``true when (e == e)`` (the paper's shorthand, Section 3)."""
+    if isinstance(expr, ClockOf):
+        inner = _lower_clockof(expr.expr)
+        return When(Const(True), App("==", (inner, inner)))
+    return expr.map_children(_lower_clockof)
+
+
+def _is_core_operand(expr: Expr) -> bool:
+    return isinstance(expr, (Var, Const))
+
+
+def normalize_component(
+    comp: Component, lower_clocks: bool = True, to_core: bool = False
+) -> Component:
+    """Rewrite a component toward the core syntax of Figure 1.
+
+    ``lower_clocks`` replaces ``^e`` by ``true when (e == e)``.
+    ``to_core`` additionally introduces fresh locals so every equation has
+    exactly one operator over variables/constants (three-address form).
+    Fresh locals are typed ``boolean`` when the sub-expression is a
+    condition position, else they inherit no declaration-level type and are
+    given ``boolean``/``integer`` by a tiny local inference; to keep this
+    pass independent of full typing, fresh locals are declared with the
+    type inferred by :func:`repro.lang.typecheck.infer_type`.
+    """
+    statements: List[Statement] = list(comp.statements)
+    if lower_clocks:
+        statements = [
+            Equation(st.target, _lower_clockof(st.expr))
+            if isinstance(st, Equation)
+            else st
+            for st in statements
+        ]
+    if not to_core:
+        return comp.with_statements(statements)
+
+    from repro.lang.typecheck import infer_type  # local import to avoid a cycle
+
+    env = dict(comp.signals())
+    fresh = _FreshNames(env)
+    new_locals: Dict[str, Type] = {}
+    out_statements: List[Statement] = []
+
+    def hoist(expr: Expr) -> Expr:
+        """Return a Var/Const for ``expr``, emitting defining equations."""
+        if _is_core_operand(expr):
+            return expr
+        flat = expr.map_children(hoist)
+        name = fresh.fresh()
+        ty = infer_type(flat, env)
+        env[name] = ty
+        new_locals[name] = ty
+        out_statements.append(Equation(name, flat))
+        return Var(name)
+
+    for st in statements:
+        if isinstance(st, SyncConstraint):
+            out_statements.append(st)
+            continue
+        flat = st.expr.map_children(hoist)
+        out_statements.append(Equation(st.target, flat))
+
+    locals_ = dict(comp.locals)
+    locals_.update(new_locals)
+    return Component(comp.name, comp.inputs, comp.outputs, locals_, out_statements)

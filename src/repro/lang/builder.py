@@ -1,0 +1,101 @@
+"""Fluent construction of Signal components.
+
+Example — the memory cell of Example 1 of the paper::
+
+    b = ComponentBuilder("Cell")
+    msgin = b.input("msgin", INT)
+    rq = b.input("rq", EVENT)
+    msgout = b.output("msgout", INT)
+    data = b.local("data", INT)
+    b.define(data, msgin.default(pre(0, data)))
+    b.define(msgout, data.when(rq))
+    cell = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.lang.ast import (
+    Component,
+    Equation,
+    Expr,
+    Statement,
+    SyncConstraint,
+    Var,
+    as_expr,
+)
+from repro.lang.types import Type
+
+
+class ComponentBuilder:
+    """Accumulates declarations and statements, then builds a Component."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: Dict[str, Type] = {}
+        self._outputs: Dict[str, Type] = {}
+        self._locals: Dict[str, Type] = {}
+        self._statements: List[Statement] = []
+
+    # -- declarations -----------------------------------------------------
+
+    def _declare(self, table: Dict[str, Type], name: str, ty: Type) -> Var:
+        if name in self._inputs or name in self._outputs or name in self._locals:
+            raise ValueError("signal {!r} declared twice".format(name))
+        table[name] = ty
+        return Var(name)
+
+    def input(self, name: str, ty: Type) -> Var:
+        return self._declare(self._inputs, name, ty)
+
+    def output(self, name: str, ty: Type) -> Var:
+        return self._declare(self._outputs, name, ty)
+
+    def local(self, name: str, ty: Type) -> Var:
+        return self._declare(self._locals, name, ty)
+
+    # -- statements ------------------------------------------------------
+
+    def define(self, target: Union[str, Var], expr: Expr) -> "ComponentBuilder":
+        name = target.name if isinstance(target, Var) else target
+        self._statements.append(Equation(name, as_expr(expr)))
+        return self
+
+    def let(self, name: str, ty: Type, expr: Expr) -> Var:
+        """Declare a local and define it in one step; returns its Var."""
+        v = self.local(name, ty)
+        self.define(v, expr)
+        return v
+
+    def sync(self, *signals: Union[str, Var]) -> "ComponentBuilder":
+        names = [s.name if isinstance(s, Var) else s for s in signals]
+        self._statements.append(SyncConstraint(names))
+        return self
+
+    # -- composition --------------------------------------------------------
+
+    def absorb(self, component: Component, rename=None) -> "ComponentBuilder":
+        """Inline another component's equations into this builder.
+
+        ``rename`` (``{old: new}``) wires the sub-component's ports to this
+        builder's signals.  Every signal of the sub-component that is not
+        already declared here becomes a local; statements are appended
+        verbatim.  This is synchronous composition by name fusion, the
+        composition used throughout Section 5.1 of the paper.
+        """
+        comp = component.rename(rename) if rename else component
+        declared = set(self._inputs) | set(self._outputs) | set(self._locals)
+        for sig, ty in comp.signals().items():
+            if sig not in declared:
+                self._locals[sig] = ty
+                declared.add(sig)
+        self._statements.extend(comp.statements)
+        return self
+
+    # -- finalization -----------------------------------------------------
+
+    def build(self) -> Component:
+        return Component(
+            self.name, self._inputs, self._outputs, self._locals, self._statements
+        )

@@ -1,0 +1,115 @@
+"""Graph exports (Graphviz DOT) for designs and analyses.
+
+Three views, each returned as a DOT document string:
+
+- :func:`signal_graph_dot` — the (instantaneous or full) signal
+  dependency graph of a component; delayed edges (through ``pre``) are
+  dashed, inputs are boxes, outputs are double circles;
+- :func:`program_graph_dot` — the component topology of a program: one
+  node per component, one edge per shared signal, oriented
+  producer → consumer (Definition 7's ``P ->x Q``), which is the picture
+  of Figure 3;
+- :func:`clock_graph_dot` — the clock hierarchy: one node per synchrony
+  class, subset edges child → parent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.hierarchy import ClockAnalysis, analyze_clocks
+from repro.lang.analysis import dependency_graph, shared_signals
+from repro.lang.ast import Component, Program
+
+
+def _quote(name: str) -> str:
+    return '"{}"'.format(name.replace('"', '\\"'))
+
+
+def signal_graph_dot(comp: Component, instantaneous_only: bool = False) -> str:
+    """The signal dependency graph of a component.
+
+    Solid edges are instantaneous dependencies, dashed edges go through a
+    delay (``pre``); set ``instantaneous_only`` to drop the dashed ones.
+    """
+    inst = dependency_graph(comp, instantaneous=True)
+    full = dependency_graph(comp, instantaneous=False)
+    lines = ["digraph {} {{".format(_quote(comp.name)), "  rankdir=LR;"]
+    for name in comp.inputs:
+        lines.append("  {} [shape=box];".format(_quote(name)))
+    for name in comp.outputs:
+        lines.append("  {} [shape=doublecircle];".format(_quote(name)))
+    for name in comp.locals:
+        lines.append("  {} [shape=ellipse];".format(_quote(name)))
+    for target in sorted(full):
+        instant = inst.get(target, frozenset())
+        for dep in sorted(full[target]):
+            if dep in instant:
+                lines.append("  {} -> {};".format(_quote(dep), _quote(target)))
+            elif not instantaneous_only:
+                lines.append(
+                    "  {} -> {} [style=dashed, label=pre];".format(
+                        _quote(dep), _quote(target)
+                    )
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_graph_dot(program: Program) -> str:
+    """Component topology: producer -> consumer per shared signal."""
+    lines = ["digraph {} {{".format(_quote(program.name)), "  rankdir=LR;"]
+    for comp in program.components:
+        lines.append("  {} [shape=component];".format(_quote(comp.name)))
+    env_used = False
+    for s in shared_signals(program):
+        if s.producer:
+            for consumer in s.consumers:
+                lines.append(
+                    "  {} -> {} [label={}];".format(
+                        _quote(s.producer), _quote(consumer), _quote(s.name)
+                    )
+                )
+        else:
+            if not env_used:
+                lines.append('  "env" [shape=plaintext];')
+                env_used = True
+            for consumer in s.consumers:
+                lines.append(
+                    '  "env" -> {} [label={}, style=dotted];'.format(
+                        _quote(consumer), _quote(s.name)
+                    )
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def clock_graph_dot(
+    comp: Component, analysis: Optional[ClockAnalysis] = None
+) -> str:
+    """The clock hierarchy: synchrony classes with subset edges."""
+    if analysis is None:
+        analysis = analyze_clocks(comp)
+    lines = ['digraph clocks {', "  rankdir=BT;"]
+    for rep, members in sorted(analysis.classes.items()):
+        label = "{{{}}}".format(", ".join(sorted(members)))
+        attrs = []
+        if rep == analysis.master:
+            attrs.append("penwidth=2")
+        if rep in analysis.free:
+            attrs.append("color=red")
+        if rep in analysis.dead:
+            attrs.append("style=dotted")
+        lines.append(
+            "  {} [label={}{}];".format(
+                _quote(rep),
+                _quote(label),
+                (", " + ", ".join(attrs)) if attrs else "",
+            )
+        )
+    for rep, ups in sorted(analysis.subset.items()):
+        for up in sorted(ups):
+            if up != rep:
+                lines.append("  {} -> {};".format(_quote(rep), _quote(up)))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Lexer for the textual Signal dialect.
+
+Token kinds: ``IDENT``, ``INT``, keywords (one kind per keyword), and
+punctuation/operator kinds named after their spelling.  Comments run from
+``%`` to the end of the line (as in Signal) and ``#`` is accepted too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import SignalSyntaxError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+KEYWORDS = frozenset(
+    [
+        "process",
+        "program",
+        "where",
+        "end",
+        "when",
+        "default",
+        "pre",
+        "not",
+        "and",
+        "or",
+        "xor",
+        "mod",
+        "true",
+        "false",
+        "integer",
+        "boolean",
+        "event",
+    ]
+)
+
+# Longest first so that multi-character operators win.
+SYMBOLS = [
+    "(|",
+    "|)",
+    ":=",
+    "^=",
+    "==",
+    "/=",
+    "<=",
+    ">=",
+    "|",
+    "^",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "(",
+    ")",
+    ";",
+    ",",
+    "?",
+    "!",
+]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`SignalSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token("INT", text[start:i], line, col))
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = word if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(sym, sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise SignalSyntaxError(
+                "unexpected character {!r}".format(ch), line, col
+            )
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,164 @@
+"""Optimization passes over Signal components.
+
+Classical rewrites, restricted to *clock-preserving* transformations —
+in a polychronous language an algebraic identity is only valid when it
+keeps the expression's clock, so e.g. ``x * 0 -> 0`` is **not** performed
+(the left side ticks with ``x``, the right side is context-clocked).
+
+- :func:`fold_constants` / :func:`fold_component` — constant folding and
+  boolean identities;
+- :func:`inline_aliases` — copy propagation for ``x := y`` equations on
+  local signals;
+- :func:`eliminate_dead_code` — drop local equations no output
+  (transitively) depends on;
+- :func:`optimize_component` — the standard pipeline (fold, inline,
+  eliminate, iterate to fixpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.lang.types import BUILTIN_FUNCTIONS
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Bottom-up constant folding, clock-preserving rewrites only."""
+    expr = expr.map_children(fold_constants)
+    if isinstance(expr, App):
+        args = expr.args
+        if all(isinstance(a, Const) for a in args):
+            spec = BUILTIN_FUNCTIONS[expr.op]
+            try:
+                return Const(spec.fn(*[a.value for a in args]))
+            except (ZeroDivisionError, TypeError):
+                return expr
+        if expr.op == "not":
+            inner = args[0]
+            if isinstance(inner, App) and inner.op == "not":
+                return inner.args[0]  # not not e -> e
+        if expr.op == "and" and len(args) == 2:
+            # e and true -> e (the constant adapts to e's clock)
+            if isinstance(args[0], Const) and args[0].value is True:
+                return args[1]
+            if isinstance(args[1], Const) and args[1].value is True:
+                return args[0]
+        if expr.op == "or" and len(args) == 2:
+            if isinstance(args[0], Const) and args[0].value is False:
+                return args[1]
+            if isinstance(args[1], Const) and args[1].value is False:
+                return args[0]
+        return expr
+    if isinstance(expr, When):
+        # e when true -> e (constant condition adapts to e's clock)
+        if isinstance(expr.cond, Const) and expr.cond.value is True:
+            return expr.expr
+        return expr
+    if isinstance(expr, Default):
+        # a constant left branch is available at any clock: it shadows the
+        # right entirely
+        if isinstance(expr.left, Const):
+            return expr.left
+        return expr
+    return expr
+
+
+def fold_component(comp: Component) -> Component:
+    statements = [
+        Equation(st.target, fold_constants(st.expr))
+        if isinstance(st, Equation)
+        else st
+        for st in comp.statements
+    ]
+    return comp.with_statements(statements)
+
+
+def inline_aliases(comp: Component) -> Component:
+    """Copy propagation: replace local ``x := y`` by ``y`` everywhere.
+
+    Only *local* aliases are removed (outputs keep their equations: they
+    are the component's interface).  Sync constraints mentioning the alias
+    are rewritten to the aliased signal.
+    """
+    aliases = {}
+    for eq in comp.equations():
+        if eq.target in comp.locals and isinstance(eq.expr, Var):
+            aliases[eq.target] = eq.expr.name
+    if not aliases:
+        return comp
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in aliases and name not in seen:
+            seen.add(name)
+            name = aliases[name]
+        return name
+
+    mapping = {a: resolve(a) for a in aliases}
+    statements = []
+    for st in comp.statements:
+        if isinstance(st, Equation):
+            if st.target in mapping:
+                continue  # the alias definition disappears
+            statements.append(Equation(st.target, st.expr.rename(mapping)))
+        else:
+            renamed = st.rename(mapping)
+            # drop constraints made trivial (x ^= x)
+            if len(set(renamed.names)) > 1:
+                statements.append(renamed)
+    locals_ = {n: t for n, t in comp.locals.items() if n not in mapping}
+    return Component(comp.name, comp.inputs, comp.outputs, locals_, statements)
+
+
+def eliminate_dead_code(comp: Component) -> Component:
+    """Remove local equations nothing observable depends on.
+
+    Observable roots: every output equation and every sync constraint
+    (constraints shape the clocks of the signals they mention, so their
+    operands stay live).
+    """
+    live: Set[str] = set(comp.outputs)
+    for st in comp.statements:
+        if isinstance(st, SyncConstraint):
+            live |= set(st.names)
+    defs = {eq.target: eq for eq in comp.equations()}
+    frontier = list(live)
+    while frontier:
+        name = frontier.pop()
+        eq = defs.get(name)
+        if eq is None:
+            continue
+        for used in eq.expr.free_vars():
+            if used not in live:
+                live.add(used)
+                frontier.append(used)
+    statements = []
+    for st in comp.statements:
+        if isinstance(st, Equation) and st.target not in live:
+            continue
+        statements.append(st)
+    locals_ = {n: t for n, t in comp.locals.items() if n in live}
+    return Component(comp.name, comp.inputs, comp.outputs, locals_, statements)
+
+
+def optimize_component(comp: Component, max_passes: int = 8) -> Component:
+    """Fold + inline + eliminate, iterated to a fixpoint."""
+    for _ in range(max_passes):
+        before = list(comp.statements)
+        comp = eliminate_dead_code(inline_aliases(fold_component(comp)))
+        if list(comp.statements) == before:
+            break
+    return comp

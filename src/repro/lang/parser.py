@@ -1,0 +1,308 @@
+"""Recursive-descent parser for the textual Signal dialect.
+
+Grammar (EBNF; ``%`` comments; see the paper's Figure 1 for the abstract
+syntax this concretizes)::
+
+    file        ::= component+
+    component   ::= "process" IDENT "=" "(" iodecl* ")"
+                    "(|" statement ("|" statement)* "|)"
+                    ["where" vardecl*] "end"
+    iodecl      ::= ("?" | "!") type IDENT ("," IDENT)* ";"
+    vardecl     ::= type IDENT ("," IDENT)* ";"
+    type        ::= "integer" | "boolean" | "event"
+    statement   ::= IDENT ":=" expr
+                  | IDENT "^=" IDENT ("^=" IDENT)*
+    expr        ::= dexpr
+    dexpr       ::= wexpr ("default" wexpr)*          % lowest precedence
+    wexpr       ::= oexpr ("when" oexpr)*
+    oexpr       ::= aexpr (("or" | "xor") aexpr)*
+    aexpr       ::= nexpr ("and" nexpr)*
+    nexpr       ::= "not" nexpr | cexpr
+    cexpr       ::= sexpr [("==" | "=" | "/=" | "<" | "<=" | ">" | ">=") sexpr]
+    sexpr       ::= mexpr (("+" | "-") mexpr)*
+    mexpr       ::= uexpr (("*" | "/" | "mod") uexpr)*
+    uexpr       ::= "-" uexpr | "pre" literal uexpr | "^" uexpr | atom
+    atom        ::= IDENT ["(" expr ("," expr)* ")"]   % function call
+                  | literal | "(" expr ")"
+    literal     ::= INT | "true" | "false"
+
+``=`` is accepted as a synonym of ``==`` so the paper's equations paste in
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SignalSyntaxError
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    Program,
+    Statement,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.lang.lexer import Token, tokenize
+from repro.lang.types import BUILTIN_FUNCTIONS, TYPES_BY_NAME, Type
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def accept(self, kind: str):
+        if self.at(kind):
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise SignalSyntaxError(
+                "expected {!r}, found {!r}".format(kind, tok.value or tok.kind),
+                tok.line,
+                tok.column,
+            )
+        return self.next()
+
+    def error(self, message: str):
+        tok = self.peek()
+        raise SignalSyntaxError(message, tok.line, tok.column)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_file(self) -> List[Component]:
+        components = []
+        while not self.at("EOF"):
+            components.append(self.parse_component())
+        if not components:
+            self.error("empty input: expected at least one process")
+        return components
+
+    def parse_component(self) -> Component:
+        self.expect("process")
+        name = self.expect("IDENT").value
+        self.expect("=")
+        inputs: Dict[str, Type] = {}
+        outputs: Dict[str, Type] = {}
+        self.expect("(")
+        while not self.accept(")"):
+            if self.accept("?"):
+                table = inputs
+            elif self.accept("!"):
+                table = outputs
+            else:
+                self.error("expected '?' (input) or '!' (output) declaration")
+            ty, names = self.parse_decl()
+            for n in names:
+                if n in inputs or n in outputs:
+                    self.error("signal {!r} declared twice".format(n))
+                table[n] = ty
+            self.expect(";")
+        statements = self.parse_body()
+        locals_: Dict[str, Type] = {}
+        if self.accept("where"):
+            while not self.at("end"):
+                ty, names = self.parse_decl()
+                for n in names:
+                    if n in inputs or n in outputs or n in locals_:
+                        self.error("signal {!r} declared twice".format(n))
+                    locals_[n] = ty
+                self.expect(";")
+        self.expect("end")
+        try:
+            return Component(name, inputs, outputs, locals_, statements)
+        except ValueError as exc:
+            tok = self.peek()
+            raise SignalSyntaxError(str(exc), tok.line, tok.column)
+
+    def parse_decl(self) -> Tuple[Type, List[str]]:
+        tok = self.peek()
+        if tok.kind not in TYPES_BY_NAME:
+            self.error("expected a type (integer, boolean, event)")
+        self.next()
+        ty = TYPES_BY_NAME[tok.kind]
+        names = [self.expect("IDENT").value]
+        while self.accept(","):
+            names.append(self.expect("IDENT").value)
+        return ty, names
+
+    def parse_body(self) -> List[Statement]:
+        self.expect("(|")
+        statements = [self.parse_statement()]
+        while self.accept("|"):
+            statements.append(self.parse_statement())
+        self.expect("|)")
+        return statements
+
+    def parse_statement(self) -> Statement:
+        target = self.expect("IDENT").value
+        if self.accept("^="):
+            names = [target, self.expect("IDENT").value]
+            while self.accept("^="):
+                names.append(self.expect("IDENT").value)
+            return SyncConstraint(names)
+        self.expect(":=")
+        return Equation(target, self.parse_expr())
+
+    # expressions, lowest precedence first ---------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_default()
+
+    def parse_default(self) -> Expr:
+        expr = self.parse_when()
+        while self.accept("default"):
+            expr = Default(expr, self.parse_when())
+        return expr
+
+    def parse_when(self) -> Expr:
+        expr = self.parse_or()
+        while self.accept("when"):
+            expr = When(expr, self.parse_or())
+        return expr
+
+    def parse_or(self) -> Expr:
+        expr = self.parse_and()
+        while True:
+            if self.accept("or"):
+                expr = App("or", (expr, self.parse_and()))
+            elif self.accept("xor"):
+                expr = App("xor", (expr, self.parse_and()))
+            else:
+                return expr
+
+    def parse_and(self) -> Expr:
+        expr = self.parse_not()
+        while self.accept("and"):
+            expr = App("and", (expr, self.parse_not()))
+        return expr
+
+    def parse_not(self) -> Expr:
+        if self.accept("not"):
+            return App("not", (self.parse_not(),))
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Expr:
+        expr = self.parse_sum()
+        mapping = {"==": "==", "=": "==", "/=": "/=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+        kind = self.peek().kind
+        if kind in mapping:
+            self.next()
+            return App(mapping[kind], (expr, self.parse_sum()))
+        return expr
+
+    def parse_sum(self) -> Expr:
+        expr = self.parse_product()
+        while True:
+            if self.accept("+"):
+                expr = App("+", (expr, self.parse_product()))
+            elif self.accept("-"):
+                expr = App("-", (expr, self.parse_product()))
+            else:
+                return expr
+
+    def parse_product(self) -> Expr:
+        expr = self.parse_unary()
+        while True:
+            if self.accept("*"):
+                expr = App("*", (expr, self.parse_unary()))
+            elif self.accept("/"):
+                expr = App("/", (expr, self.parse_unary()))
+            elif self.accept("mod"):
+                expr = App("mod", (expr, self.parse_unary()))
+            else:
+                return expr
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            if self.at("INT"):
+                return Const(-int(self.next().value))
+            return App("neg", (self.parse_unary(),))
+        if self.accept("^"):
+            return ClockOf(self.parse_unary())
+        if self.accept("pre"):
+            init = self.parse_literal()
+            return Pre(init.value, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_literal(self) -> Const:
+        if self.at("INT"):
+            return Const(int(self.next().value))
+        if self.accept("true"):
+            return Const(True)
+        if self.accept("false"):
+            return Const(False)
+        if self.accept("-"):
+            tok = self.expect("INT")
+            return Const(-int(tok.value))
+        self.error("expected a literal (integer, true, false)")
+
+    def parse_atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "IDENT":
+            self.next()
+            if self.accept("("):
+                if tok.value not in BUILTIN_FUNCTIONS:
+                    raise SignalSyntaxError(
+                        "unknown function {!r}".format(tok.value),
+                        tok.line,
+                        tok.column,
+                    )
+                args = [self.parse_expr()]
+                while self.accept(","):
+                    args.append(self.parse_expr())
+                self.expect(")")
+                return App(tok.value, tuple(args))
+            return Var(tok.value)
+        if tok.kind in ("INT", "true", "false"):
+            return self.parse_literal()
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        self.error("expected an expression")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a single expression (useful in tests and the REPL)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser.expect("EOF")
+    return expr
+
+
+def parse_component(text: str) -> Component:
+    """Parse exactly one ``process ... end`` definition."""
+    parser = _Parser(tokenize(text))
+    comp = parser.parse_component()
+    parser.expect("EOF")
+    return comp
+
+
+def parse_program(text: str, name: str = "main") -> Program:
+    """Parse one or more process definitions into a Program."""
+    parser = _Parser(tokenize(text))
+    return Program(name, parser.parse_file())

@@ -1,0 +1,151 @@
+"""Pretty printer for the Signal dialect.
+
+``parse(format(ast)) == ast`` is the contract (tested property); the
+printed text also matches the paper's concrete notation closely enough to
+paste into the examples.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    Program,
+    Statement,
+    SyncConstraint,
+    Var,
+    When,
+)
+
+# Precedence ladder; larger binds tighter.  Mirrors the parser.
+_PREC_DEFAULT = 1
+_PREC_WHEN = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_CMP = 6
+_PREC_SUM = 7
+_PREC_PROD = 8
+_PREC_UNARY = 9
+_PREC_ATOM = 10
+
+_BINOP_PREC = {
+    "or": _PREC_OR,
+    "xor": _PREC_OR,
+    "and": _PREC_AND,
+    "==": _PREC_CMP,
+    "/=": _PREC_CMP,
+    "<": _PREC_CMP,
+    "<=": _PREC_CMP,
+    ">": _PREC_CMP,
+    ">=": _PREC_CMP,
+    "+": _PREC_SUM,
+    "-": _PREC_SUM,
+    "*": _PREC_PROD,
+    "/": _PREC_PROD,
+    "mod": _PREC_PROD,
+}
+
+
+def _literal(value) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)
+
+
+def _fmt(expr: Expr, parent_prec: int) -> str:
+    text, prec = _fmt_prec(expr)
+    if prec < parent_prec:
+        return "(" + text + ")"
+    return text
+
+
+def _fmt_prec(expr: Expr):
+    if isinstance(expr, Var):
+        return expr.name, _PREC_ATOM
+    if isinstance(expr, Const):
+        return _literal(expr.value), _PREC_ATOM
+    if isinstance(expr, Default):
+        # left-nested chains print flat; right operand parenthesized one
+        # level tighter to re-associate identically on reparse.
+        left = _fmt(expr.left, _PREC_DEFAULT)
+        right = _fmt(expr.right, _PREC_DEFAULT + 1)
+        return "{} default {}".format(left, right), _PREC_DEFAULT
+    if isinstance(expr, When):
+        left = _fmt(expr.expr, _PREC_WHEN)
+        right = _fmt(expr.cond, _PREC_WHEN + 1)
+        return "{} when {}".format(left, right), _PREC_WHEN
+    if isinstance(expr, Pre):
+        return (
+            "pre {} {}".format(_literal(expr.init), _fmt(expr.expr, _PREC_UNARY)),
+            _PREC_UNARY,
+        )
+    if isinstance(expr, ClockOf):
+        return "^{}".format(_fmt(expr.expr, _PREC_UNARY)), _PREC_UNARY
+    if isinstance(expr, App):
+        op = expr.op
+        if op == "not":
+            return "not {}".format(_fmt(expr.args[0], _PREC_NOT)), _PREC_NOT
+        if op == "neg":
+            return "-{}".format(_fmt(expr.args[0], _PREC_UNARY)), _PREC_UNARY
+        if op in _BINOP_PREC and len(expr.args) == 2:
+            prec = _BINOP_PREC[op]
+            left = _fmt(expr.args[0], prec)
+            # comparisons do not chain in the grammar: parenthesize both
+            # sides one level tighter so the reparse matches.
+            right_prec = prec + 1
+            if op in ("==", "/=", "<", "<=", ">", ">="):
+                left = _fmt(expr.args[0], prec + 1)
+            right = _fmt(expr.args[1], right_prec)
+            return "{} {} {}".format(left, op, right), prec
+        # generic function-call form (min, max, ...)
+        args = ", ".join(_fmt(a, _PREC_DEFAULT) for a in expr.args)
+        return "{}({})".format(op, args), _PREC_ATOM
+    raise TypeError("cannot format {!r}".format(expr))
+
+
+def format_expression(expr: Expr) -> str:
+    """Render an expression in the concrete syntax."""
+    return _fmt(expr, _PREC_DEFAULT)
+
+
+def format_statement(st: Statement) -> str:
+    if isinstance(st, Equation):
+        return "{} := {}".format(st.target, format_expression(st.expr))
+    if isinstance(st, SyncConstraint):
+        return " ^= ".join(st.names)
+    raise TypeError("cannot format {!r}".format(st))
+
+
+def format_component(comp: Component, indent: str = "  ") -> str:
+    """Render a component as a ``process ... end`` block."""
+    lines = ["process {} =".format(comp.name), indent + "("]
+    for name, ty in comp.inputs.items():
+        lines.append("{}  ? {} {};".format(indent, ty.name, name))
+    for name, ty in comp.outputs.items():
+        lines.append("{}  ! {} {};".format(indent, ty.name, name))
+    lines.append(indent + ")")
+    body = comp.statements
+    for i, st in enumerate(body):
+        lead = "(| " if i == 0 else " | "
+        lines.append(indent + lead + format_statement(st))
+    lines.append(indent + " |)")
+    if comp.locals:
+        lines.append("where")
+        for name, ty in comp.locals.items():
+            lines.append("{}{} {};".format(indent, ty.name, name))
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render every component of a program."""
+    return "\n\n".join(format_component(c) for c in program.components)

@@ -1,0 +1,242 @@
+"""A standard library of reusable Signal processes.
+
+These are the small stateful components every Signal design is built
+from — the idioms Polychrony ships as library processes.  Each
+constructor returns a :class:`~repro.lang.ast.Component` whose port names
+are the caller-supplied signal names, ready for synchronous composition
+by name fusion (put them in one :class:`~repro.lang.ast.Program` or
+absorb them with :meth:`~repro.lang.builder.ComponentBuilder.absorb`).
+
+The ``cell`` operator deserves a note: Signal's ``y := x cell k init v``
+("sustain x's last value, visible at clock k") is not primitive; it
+expands to ``y := x default (pre v y)`` plus the clock constraint
+``y ^= (^x default k)``, which is exactly what :func:`cell` builds.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Component, Const, Var, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import BOOL, EVENT, INT, Type
+
+
+def counter(
+    tick: str = "tick",
+    out: str = "count",
+    init: int = 0,
+    step: int = 1,
+    name: str = "Counter",
+) -> Component:
+    """``out`` counts activations of ``tick``: init+step, init+2*step, ..."""
+    b = ComponentBuilder(name)
+    tick_v = b.input(tick, EVENT)
+    out_v = b.output(out, INT)
+    b.define(out_v, pre(init, out_v) + step)
+    b.sync(out_v, tick_v)
+    return b.build()
+
+
+def modular_counter(
+    tick: str = "tick",
+    out: str = "count",
+    modulus: int = 2,
+    name: str = "ModCounter",
+) -> Component:
+    """A wrap-around counter — finite-state, safe for model checking."""
+    if modulus < 1:
+        raise ValueError("modulus must be >= 1")
+    b = ComponentBuilder(name)
+    tick_v = b.input(tick, EVENT)
+    out_v = b.output(out, INT)
+    b.define(out_v, (pre(0, out_v) + 1) % modulus)
+    b.sync(out_v, tick_v)
+    return b.build()
+
+
+def cell(
+    inp: str,
+    out: str,
+    clk: str = "",
+    init=0,
+    dtype: Type = INT,
+    name: str = "Cell",
+) -> Component:
+    """Sample-and-hold: ``out`` carries the last value of ``inp``.
+
+    ``out`` is present at the union of ``inp``'s clock and ``clk`` (an
+    event input; omit it for a pure follower present only with ``inp``).
+    This is Signal's ``cell`` operator, expanded.
+    """
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, dtype)
+    out_v = b.output(out, dtype)
+    if clk:
+        clk_v = b.input(clk, EVENT)
+        base = b.let("base", EVENT, inp_v.clock().default(clk_v))
+    else:
+        base = b.let("base", EVENT, inp_v.clock())
+    b.define(out_v, inp_v.default(pre(init, out_v)))
+    b.sync(out_v, base)
+    return b.build()
+
+
+def rising_edge(
+    inp: str,
+    out: str,
+    name: str = "RisingEdge",
+) -> Component:
+    """``out`` ticks when boolean ``inp`` goes false -> true.
+
+    The comparison is per-*presence*: edges are detected between
+    consecutive occurrences of ``inp`` (absence does not reset).
+    """
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, BOOL)
+    out_v = b.output(out, EVENT)
+    b.define(out_v, Const(True).when(inp_v & ~pre(False, inp_v)))
+    return b.build()
+
+
+def falling_edge(inp: str, out: str, name: str = "FallingEdge") -> Component:
+    """``out`` ticks when boolean ``inp`` goes true -> false."""
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, BOOL)
+    out_v = b.output(out, EVENT)
+    b.define(out_v, Const(True).when(~inp_v & pre(False, inp_v)))
+    return b.build()
+
+
+def clock_divider(
+    tick: str,
+    out: str,
+    ratio: int,
+    name: str = "ClockDivider",
+) -> Component:
+    """``out`` ticks once every ``ratio`` ticks of ``tick`` (first at #ratio)."""
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    b = ComponentBuilder(name)
+    tick_v = b.input(tick, EVENT)
+    out_v = b.output(out, EVENT)
+    phase = b.local("phase", INT)
+    b.define(phase, (pre(0, phase) + 1) % ratio)
+    b.sync(phase, tick_v)
+    b.define(out_v, Const(True).when(phase.eq(0)))
+    return b.build()
+
+
+def delay_line(
+    inp: str,
+    out: str,
+    depth: int,
+    init=0,
+    dtype: Type = INT,
+    name: str = "DelayLine",
+) -> Component:
+    """``out`` is ``inp`` delayed by ``depth`` occurrences (synchronous)."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, dtype)
+    out_v = b.output(out, dtype)
+    prev = inp_v
+    for i in range(1, depth):
+        stage = b.let("z{}".format(i), dtype, pre(init, prev))
+        prev = stage
+    b.define(out_v, pre(init, prev))
+    return b.build()
+
+
+def toggle(
+    tick: str = "tick",
+    out: str = "state",
+    init: bool = False,
+    name: str = "Toggle",
+) -> Component:
+    """A 1-bit state flipping at each tick."""
+    b = ComponentBuilder(name)
+    tick_v = b.input(tick, EVENT)
+    out_v = b.output(out, BOOL)
+    b.define(out_v, ~pre(init, out_v))
+    b.sync(out_v, tick_v)
+    return b.build()
+
+
+def moving_sum(
+    inp: str,
+    out: str,
+    taps: int = 2,
+    dtype: Type = INT,
+    name: str = "MovingSum",
+) -> Component:
+    """``out`` = sum of the last ``taps`` occurrences of ``inp``."""
+    if taps < 1:
+        raise ValueError("taps must be >= 1")
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, dtype)
+    out_v = b.output(out, dtype)
+    expr = inp_v
+    prev = inp_v
+    for i in range(1, taps):
+        stage = b.let("z{}".format(i), dtype, pre(0, prev))
+        expr = expr + stage
+        prev = stage
+    b.define(out_v, expr)
+    return b.build()
+
+
+def watchdog(
+    tick: str = "tick",
+    kick: str = "kick",
+    bark: str = "bark",
+    limit: int = 4,
+    name: str = "Watchdog",
+) -> Component:
+    """Barks when more than ``limit`` ticks pass without a kick."""
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    b = ComponentBuilder(name)
+    tick_v = b.input(tick, EVENT)
+    kick_v = b.input(kick, EVENT)
+    bark_v = b.output(bark, EVENT)
+    base = b.let("base", EVENT, tick_v.default(kick_v))
+    n = b.local("n", INT)
+    b.define(
+        n,
+        Const(0).when(kick_v).default((pre(0, n) + 1).when(tick_v)).default(pre(0, n)),
+    )
+    b.sync(n, base)
+    b.define(bark_v, Const(True).when((n > limit)).when(tick_v))
+    return b.build()
+
+
+def latch(
+    set_: str,
+    reset: str,
+    out: str,
+    clk: str = "",
+    name: str = "Latch",
+) -> Component:
+    """Set/reset latch: true after ``set_``, false after ``reset``.
+
+    When both arrive at one instant, ``set_`` wins (priority merge).
+    ``out`` is present at every set/reset and, when ``clk`` is given, at
+    every tick of that observation clock (holding its state meanwhile).
+    """
+    b = ComponentBuilder(name)
+    set_v = b.input(set_, EVENT)
+    reset_v = b.input(reset, EVENT)
+    out_v = b.output(out, BOOL)
+    base_expr = set_v.default(reset_v)
+    if clk:
+        base_expr = base_expr.default(b.input(clk, EVENT))
+    base = b.let("base", EVENT, base_expr)
+    b.define(
+        out_v,
+        Const(True)
+        .when(set_v)
+        .default(Const(False).when(reset_v))
+        .default(pre(False, out_v)),
+    )
+    b.sync(out_v, base)
+    return b.build()

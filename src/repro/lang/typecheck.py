@@ -1,0 +1,196 @@
+"""Static type checking for Signal components and programs.
+
+Rules
+-----
+
+- Every equation target must be an output or local (inputs come from the
+  environment) and must be defined exactly once (single assignment).
+- Every output and local must be defined.
+- Value types: ``event`` is the subtype of ``boolean`` carrying only
+  ``true``; an event expression can be used wherever a boolean is needed.
+  An ``event`` signal may only be defined by an expression of event type
+  (``^e``, ``e when c`` with ``e`` of event type, ``true when c``,
+  ``default`` of events).
+- Programs additionally require that a shared signal is produced by at
+  most one component and declared with one type everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import SignalTypeError
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    Program,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.lang.types import BOOL, BUILTIN_FUNCTIONS, EVENT, INT, Type, type_of_value
+
+
+def _compatible(expected: Type, actual: Type) -> bool:
+    """May a value of ``actual`` type flow where ``expected`` is required?"""
+    if expected is actual:
+        return True
+    if expected is BOOL and actual is EVENT:
+        return True
+    return False
+
+
+def _join(a: Type, b: Type, context: str) -> Type:
+    """Least common type of two branches (for ``default``)."""
+    if a is b:
+        return a
+    if {a, b} == {BOOL, EVENT}:
+        return BOOL
+    raise SignalTypeError(
+        "incompatible branch types {} and {} in {}".format(a, b, context)
+    )
+
+
+def infer_type(expr: Expr, env: Mapping[str, Type]) -> Type:
+    """Infer the value type of ``expr`` under signal typing ``env``."""
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise SignalTypeError("undeclared signal {!r}".format(expr.name))
+    if isinstance(expr, Const):
+        return type_of_value(expr.value)
+    if isinstance(expr, Pre):
+        inner = infer_type(expr.expr, env)
+        if inner is EVENT:
+            inner = BOOL  # the memorized value of an event is a boolean
+        init_ty = type_of_value(expr.init)
+        if not _compatible(inner, init_ty):
+            raise SignalTypeError(
+                "pre initial value {!r} does not match operand type {}".format(
+                    expr.init, inner
+                )
+            )
+        return inner
+    if isinstance(expr, When):
+        cond_ty = infer_type(expr.cond, env)
+        if not _compatible(BOOL, cond_ty):
+            raise SignalTypeError(
+                "when-condition must be boolean, found {}".format(cond_ty)
+            )
+        base = infer_type(expr.expr, env)
+        # `true when c` is the canonical event constructor of the paper.
+        if isinstance(expr.expr, Const) and expr.expr.value is True:
+            return EVENT
+        return base
+    if isinstance(expr, Default):
+        left = infer_type(expr.left, env)
+        right = infer_type(expr.right, env)
+        return _join(left, right, "default")
+    if isinstance(expr, ClockOf):
+        infer_type(expr.expr, env)  # operand must be well-typed
+        return EVENT
+    if isinstance(expr, App):
+        spec = BUILTIN_FUNCTIONS.get(expr.op)
+        if spec is None:
+            raise SignalTypeError("unknown function {!r}".format(expr.op))
+        if len(expr.args) != spec.arity:
+            raise SignalTypeError(
+                "{} expects {} operands, got {}".format(
+                    expr.op, spec.arity, len(expr.args)
+                )
+            )
+        arg_types = [infer_type(a, env) for a in expr.args]
+        if spec.arg_types is None:
+            # polymorphic (equality): operands of one common type
+            try:
+                _join(arg_types[0], arg_types[1], expr.op)
+            except SignalTypeError:
+                raise SignalTypeError(
+                    "operands of {} must have one type, found {} and {}".format(
+                        expr.op, arg_types[0], arg_types[1]
+                    )
+                )
+        else:
+            for i, (need, got) in enumerate(zip(spec.arg_types, arg_types)):
+                if not _compatible(need, got):
+                    raise SignalTypeError(
+                        "operand {} of {} must be {}, found {}".format(
+                            i + 1, expr.op, need, got
+                        )
+                    )
+        return spec.result_type
+    raise SignalTypeError("cannot type {!r}".format(expr))
+
+
+def check_component(comp: Component) -> None:
+    """Raise :class:`SignalTypeError` unless ``comp`` is well-formed."""
+    env: Dict[str, Type] = comp.signals()
+    defined = set()
+    for st in comp.statements:
+        if isinstance(st, SyncConstraint):
+            continue
+        assert isinstance(st, Equation)
+        if st.target in comp.inputs:
+            raise SignalTypeError(
+                "{}: input {!r} cannot be defined".format(comp.name, st.target)
+            )
+        if st.target in defined:
+            raise SignalTypeError(
+                "{}: signal {!r} defined more than once".format(comp.name, st.target)
+            )
+        defined.add(st.target)
+        actual = infer_type(st.expr, env)
+        expected = env[st.target]
+        if expected is EVENT:
+            if actual is not EVENT:
+                raise SignalTypeError(
+                    "{}: event signal {!r} defined by a {} expression".format(
+                        comp.name, st.target, actual
+                    )
+                )
+        elif not _compatible(expected, actual):
+            raise SignalTypeError(
+                "{}: {!r} declared {} but defined as {}".format(
+                    comp.name, st.target, expected, actual
+                )
+            )
+    missing = (set(comp.outputs) | set(comp.locals)) - defined
+    if missing:
+        raise SignalTypeError(
+            "{}: undefined signals {}".format(comp.name, sorted(missing))
+        )
+
+
+def check_program(program: Program) -> None:
+    """Component checks plus inter-component consistency."""
+    producers: Dict[str, str] = {}
+    types: Dict[str, Type] = {}
+    for comp in program.components:
+        check_component(comp)
+        for name, ty in comp.signals().items():
+            if name in comp.locals:
+                continue  # locals are private; collisions handled at flatten
+            if name in types and types[name] is not ty:
+                raise SignalTypeError(
+                    "signal {!r} declared {} and {} in different components".format(
+                        name, types[name], ty
+                    )
+                )
+            types[name] = ty
+        for name in comp.defined_names():
+            if name in comp.locals:
+                continue
+            if name in producers:
+                raise SignalTypeError(
+                    "signal {!r} produced by both {!r} and {!r}".format(
+                        name, producers[name], comp.name
+                    )
+                )
+            producers[name] = comp.name

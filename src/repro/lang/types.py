@@ -1,0 +1,113 @@
+"""Value types and builtin functions of the Signal dialect.
+
+Three value types cover the paper's examples (booleans and integers as
+event values, Section 3) plus the conventional ``event`` type of Signal —
+a signal that carries only the value ``True`` when present, used for pure
+clocks such as ``tick`` or ``alarm``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Optional, Tuple
+
+
+class Type:
+    """A Signal value type (nominal, compared by identity)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+EVENT = Type("event")
+BOOL = Type("boolean")
+INT = Type("integer")
+
+TYPES_BY_NAME: Dict[str, Type] = {t.name: t for t in (EVENT, BOOL, INT)}
+
+
+def type_of_value(value: object) -> Type:
+    """The type of a constant value appearing in an expression."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    raise TypeError("unsupported constant value: {!r}".format(value))
+
+
+def _safe_div(a: int, b: int) -> int:
+    """Integer division that mirrors hardware truncation toward zero."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in signal function")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _safe_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("modulo by zero in signal function")
+    return a - _safe_div(a, b) * b
+
+
+class FunctionSpec:
+    """Signature and evaluator of a builtin pointwise function.
+
+    ``arg_types`` of ``None`` means "all operands of one common type"
+    (polymorphic equality); otherwise a tuple of expected operand types.
+    """
+
+    __slots__ = ("name", "arity", "arg_types", "result_type", "fn")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        arg_types: Optional[Tuple[Type, ...]],
+        result_type: Type,
+        fn: Callable,
+    ):
+        self.name = name
+        self.arity = arity
+        self.arg_types = arg_types
+        self.result_type = result_type
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return "FunctionSpec({!r}/{})".format(self.name, self.arity)
+
+
+BUILTIN_FUNCTIONS: Dict[str, FunctionSpec] = {}
+
+
+def _register(name, arity, arg_types, result_type, fn):
+    BUILTIN_FUNCTIONS[name] = FunctionSpec(name, arity, arg_types, result_type, fn)
+
+
+_register("not", 1, (BOOL,), BOOL, operator.not_)
+_register("and", 2, (BOOL, BOOL), BOOL, lambda a, b: a and b)
+_register("or", 2, (BOOL, BOOL), BOOL, lambda a, b: a or b)
+_register("xor", 2, (BOOL, BOOL), BOOL, lambda a, b: bool(a) != bool(b))
+
+_register("+", 2, (INT, INT), INT, operator.add)
+_register("-", 2, (INT, INT), INT, operator.sub)
+_register("*", 2, (INT, INT), INT, operator.mul)
+_register("/", 2, (INT, INT), INT, _safe_div)
+_register("mod", 2, (INT, INT), INT, _safe_mod)
+_register("neg", 1, (INT,), INT, operator.neg)
+_register("min", 2, (INT, INT), INT, min)
+_register("max", 2, (INT, INT), INT, max)
+
+_register("==", 2, None, BOOL, operator.eq)
+_register("/=", 2, None, BOOL, operator.ne)
+_register("<", 2, (INT, INT), BOOL, operator.lt)
+_register("<=", 2, (INT, INT), BOOL, operator.le)
+_register(">", 2, (INT, INT), BOOL, operator.gt)
+_register(">=", 2, (INT, INT), BOOL, operator.ge)

@@ -1,0 +1,269 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A compact, dependency-free ROBDD package in the style of Bryant's
+original: hash-consed nodes, memoized ``apply``, existential
+quantification, variable renaming and satisfying-assignment extraction —
+everything the Sigali-style symbolic backend (:mod:`repro.mc.symbolic`)
+needs.
+
+Nodes are integers: ``0`` (false), ``1`` (true), and internal ids
+indexing a table of ``(level, low, high)`` triples.  Variable *levels*
+are allocated through :meth:`BDD.variable`; lower level = nearer the
+root.  All operations belong to a :class:`BDD` manager; mixing nodes from
+different managers is undefined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """A BDD manager (node table + caches + variable registry)."""
+
+    def __init__(self):
+        # node id -> (level, low, high); ids 0/1 are terminals
+        self._nodes: List[Tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple, int] = {}
+        self._names: List[str] = []          # level -> name
+        self._level_of: Dict[str, int] = {}
+
+    # -- variables ----------------------------------------------------------
+
+    def variable(self, name: str) -> int:
+        """The node testing ``name`` (registering it on first use)."""
+        level = self._level_of.get(name)
+        if level is None:
+            level = len(self._names)
+            self._names.append(name)
+            self._level_of[name] = level
+        return self._mk(level, FALSE, TRUE)
+
+    def level(self, name: str) -> int:
+        return self._level_of[name]
+
+    def name_of(self, level: int) -> str:
+        return self._names[level]
+
+    def var_count(self) -> int:
+        return len(self._names)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # -- structure ----------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _triple(self, node: int) -> Tuple[int, int, int]:
+        return self._nodes[node]
+
+    # -- core operations ----------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` — the universal connective."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = ("ite", f, g, h)
+        hit = self._apply_cache.get(key)
+        if hit is not None:
+            return hit
+        lf, _, _ = self._triple(f)
+        lg = self._triple(g)[0] if g > 1 else 1 << 30
+        lh = self._triple(h)[0] if h > 1 else 1 << 30
+        top = min(lf, lg, lh)
+
+        def cof(n: int, branch: int) -> int:
+            if n <= 1:
+                return n
+            level, low, high = self._triple(n)
+            if level != top:
+                return n
+            return high if branch else low
+
+        low = self.ite(cof(f, 0), cof(g, 0), cof(h, 0))
+        high = self.ite(cof(f, 1), cof(g, 1), cof(h, 1))
+        out = self._mk(top, low, high)
+        self._apply_cache[key] = out
+        return out
+
+    def NOT(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def AND(self, *fs: int) -> int:
+        out = TRUE
+        for f in fs:
+            out = self.ite(out, f, FALSE)
+            if out == FALSE:
+                return FALSE
+        return out
+
+    def OR(self, *fs: int) -> int:
+        out = FALSE
+        for f in fs:
+            out = self.ite(out, TRUE, f)
+            if out == TRUE:
+                return TRUE
+        return out
+
+    def XOR(self, f: int, g: int) -> int:
+        return self.ite(f, self.NOT(g), g)
+
+    def IFF(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.NOT(g))
+
+    def IMPLIES(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    # -- quantification / substitution -------------------------------------
+
+    def exists(self, names: Sequence[str], f: int) -> int:
+        """∃ names . f"""
+        levels = sorted(self._level_of[n] for n in names)
+        return self._exists(tuple(levels), f)
+
+    def _exists(self, levels: Tuple[int, ...], f: int) -> int:
+        if f <= 1 or not levels:
+            return f
+        key = ("ex", levels, f)
+        hit = self._apply_cache.get(key)
+        if hit is not None:
+            return hit
+        level, low, high = self._triple(f)
+        remaining = tuple(l for l in levels if l >= level)
+        if not remaining:
+            out = f
+        elif level == remaining[0]:
+            rest = remaining[1:]
+            out = self.OR(self._exists(rest, low), self._exists(rest, high))
+        else:
+            out = self._mk(
+                level,
+                self._exists(remaining, low),
+                self._exists(remaining, high),
+            )
+        self._apply_cache[key] = out
+        return out
+
+    def rename(self, mapping: Dict[str, str], f: int) -> int:
+        """Substitute variables by variables (e.g. next-state -> state).
+
+        Implemented by compose-with-variable; the mapping must be a
+        partial injection and may reorder levels arbitrarily.
+        """
+        if not mapping:
+            return f
+        pairs = {self._level_of[a]: self.variable(b) for a, b in mapping.items()}
+        cache: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if n <= 1:
+                return n
+            hit = cache.get(n)
+            if hit is not None:
+                return hit
+            level, low, high = self._triple(n)
+            var = pairs.get(level, self._mk(level, FALSE, TRUE))
+            out = self.ite(var, walk(high), walk(low))
+            cache[n] = out
+            return out
+
+        return walk(f)
+
+    def restrict(self, assignment: Dict[str, bool], f: int) -> int:
+        """Partial evaluation: fix some variables to constants."""
+        fixed = {self._level_of[n]: v for n, v in assignment.items()}
+        cache: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if n <= 1:
+                return n
+            hit = cache.get(n)
+            if hit is not None:
+                return hit
+            level, low, high = self._triple(n)
+            if level in fixed:
+                out = walk(high if fixed[level] else low)
+            else:
+                out = self._mk(level, walk(low), walk(high))
+            cache[n] = out
+            return out
+
+        return walk(f)
+
+    # -- inspection ----------------------------------------------------------
+
+    def any_sat(self, f: int) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment (variables not mentioned are free)."""
+        if f == FALSE:
+            return None
+        out: Dict[str, bool] = {}
+        node = f
+        while node > 1:
+            level, low, high = self._triple(node)
+            if high != FALSE:
+                out[self._names[level]] = True
+                node = high
+            else:
+                out[self._names[level]] = False
+                node = low
+        return out
+
+    def sat_count(self, f: int, n_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``n_vars`` variables."""
+        if n_vars is None:
+            n_vars = len(self._names)
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> Tuple[int, int]:
+            # returns (count, level) where count covers vars below `level`
+            if node == FALSE:
+                return 0, n_vars
+            if node == TRUE:
+                return 1, n_vars
+            if node in cache:
+                return cache[node]
+            level, low, high = self._triple(node)
+            cl, ll = walk(low)
+            ch, lh = walk(high)
+            count = cl * (1 << (ll - level - 1)) + ch * (1 << (lh - level - 1))
+            cache[node] = (count, level)
+            return count, level
+
+        count, level = walk(f)
+        return count * (1 << level)
+
+    def support(self, f: int) -> frozenset:
+        """The variables ``f`` actually depends on."""
+        seen = set()
+        out = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            level, low, high = self._triple(n)
+            out.add(self._names[level])
+            stack.append(low)
+            stack.append(high)
+        return frozenset(out)

@@ -1,0 +1,125 @@
+"""Compilation of finite-state Signal designs to explicit LTSs.
+
+The reactor's memory (``pre`` registers) is the state; for every reachable
+state and every *letter* of the chosen input alphabet a reaction is
+executed.  Letters whose reaction is inconsistent in a state (clock
+violations) are recorded as invalid there.
+
+Finite-state designs only: value-carrying state must stay in a finite
+range (e.g. modular counters); the compiler aborts past ``max_states``
+otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NonDeterministicClockError, SimulationError, VerificationError
+from repro.lang.analysis import flatten_program
+from repro.lang.ast import Component, Program
+from repro.lang.types import BOOL, EVENT, INT
+from repro.sim.engine import Reactor
+from repro.mc.lts import LTS
+
+
+def input_alphabet(
+    component: Component,
+    int_values: Sequence[int] = (0, 1),
+    always_present: Iterable[str] = (),
+    never_present: Iterable[str] = (),
+) -> List[Dict[str, object]]:
+    """Every combination of input presence and (finite-domain) values.
+
+    - event inputs: absent or present;
+    - boolean inputs: absent, ``True`` or ``False``;
+    - integer inputs: absent or one of ``int_values``.
+
+    ``always_present`` / ``never_present`` pin inputs and shrink the
+    alphabet (use for clocks known to tick every instant, or ports tied
+    off in the verification harness).
+    """
+    always = set(always_present)
+    never = set(never_present)
+    choices: List[List[Tuple[str, object]]] = []
+    for name, ty in component.inputs.items():
+        if name in never:
+            continue
+        if ty is EVENT:
+            options: List[Tuple[str, object]] = [(name, True)]
+        elif ty is BOOL:
+            options = [(name, True), (name, False)]
+        elif ty is INT:
+            options = [(name, v) for v in int_values]
+        else:
+            raise VerificationError("cannot enumerate type {}".format(ty))
+        if name not in always:
+            options = [(name, None)] + options  # None encodes absence
+        choices.append(options)
+    alphabet = []
+    for combo in itertools.product(*choices):
+        alphabet.append({n: v for n, v in combo if v is not None})
+    return alphabet
+
+
+def boolean_alphabet(component: Component, **kwargs) -> List[Dict[str, object]]:
+    """Alias of :func:`input_alphabet` restricted to 0/1 integer payloads.
+
+    Data values rarely influence control (alarms, occupancy); a binary
+    payload keeps the letter count small while still distinguishing flows.
+    """
+    return input_alphabet(component, int_values=(0, 1), **kwargs)
+
+
+def compile_lts(
+    design,
+    alphabet: Optional[List[Dict[str, object]]] = None,
+    max_states: int = 200000,
+    oracle=None,
+) -> LTS:
+    """Explore the full reachable state space of ``design``.
+
+    ``design`` is a Component or Program (flattened first).  ``alphabet``
+    defaults to :func:`boolean_alphabet`.  Raises
+    :class:`~repro.errors.VerificationError` when exploration exceeds
+    ``max_states`` (the design is not finite-state, or the bound is too
+    small) and when the design needs a clock oracle.
+    """
+    comp = flatten_program(design) if isinstance(design, Program) else design
+    if alphabet is None:
+        alphabet = boolean_alphabet(comp)
+    if not alphabet:
+        alphabet = [{}]
+    reactor = Reactor(comp, oracle=oracle)
+    interface = set(comp.inputs) | set(comp.outputs)
+    lts = LTS(reactor.state())
+    frontier = [lts.initial]
+    explored = set()
+    while frontier:
+        sid = frontier.pop()
+        if sid in explored:
+            continue
+        explored.add(sid)
+        state = lts.state_data(sid)
+        for letter in alphabet:
+            reactor.set_state(list(state))
+            try:
+                outputs = reactor.react(letter)
+            except NonDeterministicClockError as exc:
+                raise VerificationError(
+                    "design has free clocks; fix them or supply an oracle: "
+                    "{}".format(exc)
+                )
+            except SimulationError:
+                lts.mark_invalid(sid, letter)
+                continue
+            visible = {k: v for k, v in outputs.items() if k in interface}
+            target = lts.add_transition(sid, letter, visible, reactor.state())
+            if target not in explored:
+                frontier.append(target)
+            if lts.num_states() > max_states:
+                raise VerificationError(
+                    "state space exceeds {} states; "
+                    "is the design finite-state?".format(max_states)
+                )
+    return lts

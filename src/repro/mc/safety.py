@@ -1,0 +1,131 @@
+"""Safety checking on compiled LTSs.
+
+The verification obligation of Section 5.2 is the invariant "no alarm
+signal is ever raised"; :func:`check_never_present` is that check, with a
+counterexample *input sequence* on failure — exactly the error trace the
+paper feeds back into the estimation loop ("the error trace may help us
+finding the input sequence resulting in alarm; this input can be added to
+our simulation data").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.mc.lts import LTS, Transition
+
+
+class CounterExample(NamedTuple):
+    """A finite run violating an invariant."""
+
+    inputs: List[Dict[str, object]]     # the stimulus, one map per instant
+    outputs: List[Dict[str, object]]    # the observed reactions
+    violation: str                      # what went wrong at the last step
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def as_stimulus(self):
+        """Replay this counterexample as a simulator stimulus."""
+        return iter([dict(row) for row in self.inputs])
+
+    def render(self) -> str:
+        lines = ["counterexample ({} instants): {}".format(len(self), self.violation)]
+        for t, (i, o) in enumerate(zip(self.inputs, self.outputs)):
+            lines.append("  t={}: inputs={} -> outputs={}".format(t, i, o))
+        return "\n".join(lines)
+
+
+def _search(
+    lts: LTS, bad: Callable[[Transition], Optional[str]]
+) -> Optional[CounterExample]:
+    """BFS for the shortest path reaching a transition judged bad."""
+    parent: Dict[int, Tuple[int, Transition]] = {}
+    seen = {lts.initial}
+    queue = deque([lts.initial])
+    while queue:
+        sid = queue.popleft()
+        for tr in lts.successors(sid):
+            reason = bad(tr)
+            if reason is not None:
+                path: List[Transition] = [tr]
+                cur = sid
+                while cur in parent:
+                    cur, edge = parent[cur]
+                    path.append(edge)
+                path.reverse()
+                return CounterExample(
+                    inputs=[t.letter_dict() for t in path],
+                    outputs=[t.outputs_dict() for t in path],
+                    violation=reason,
+                )
+            if tr.target not in seen:
+                seen.add(tr.target)
+                parent[tr.target] = (sid, tr)
+                queue.append(tr.target)
+    return None
+
+
+def check_invariant(
+    lts: LTS, predicate: Callable[[Dict[str, object]], bool], name: str = "invariant"
+) -> Optional[CounterExample]:
+    """Does every reachable reaction satisfy ``predicate(outputs)``?
+
+    Returns ``None`` when the invariant holds, else a shortest
+    counterexample.
+    """
+
+    def bad(tr: Transition) -> Optional[str]:
+        out = tr.outputs_dict()
+        if not predicate(out):
+            return "{} violated by outputs {}".format(name, out)
+        return None
+
+    return _search(lts, bad)
+
+
+def check_never_present(lts: LTS, signal: str) -> Optional[CounterExample]:
+    """The Section 5.2 obligation: ``signal`` (e.g. an alarm) never occurs."""
+    return check_invariant(
+        lts,
+        lambda out: signal not in out,
+        name="never {}".format(signal),
+    )
+
+
+def reachable_outputs(lts: LTS, signal: str) -> frozenset:
+    """Every value ``signal`` takes on some reachable reaction."""
+    values = set()
+    for tr in lts.transitions():
+        out = tr.outputs_dict()
+        if signal in out:
+            values.add(out[signal])
+    return frozenset(values)
+
+
+def find_reaction_error(lts: LTS) -> Optional[CounterExample]:
+    """A shortest path to a state where some alphabet letter is rejected.
+
+    A rejected letter means the environment can offer inputs the design
+    cannot absorb (a clock-constraint violation) — often a benign modeling
+    artifact, sometimes a real interface bug; the checker surfaces it
+    either way.
+    """
+
+    def bad(tr: Transition) -> Optional[str]:
+        if lts.invalid.get(tr.target):
+            return "state {} rejects letters {}".format(
+                tr.target, [dict(l) for l in lts.invalid[tr.target][:3]]
+            )
+        return None
+
+    if lts.invalid.get(lts.initial):
+        return CounterExample(
+            inputs=[],
+            outputs=[],
+            violation="initial state rejects letters {}".format(
+                [dict(l) for l in lts.invalid[lts.initial][:3]]
+            ),
+        )
+    return _search(lts, bad)

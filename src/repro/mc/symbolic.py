@@ -1,0 +1,398 @@
+"""Symbolic (BDD-based) verification of boolean Signal programs.
+
+The Polychrony toolset's checker, Sigali, works symbolically on the
+polynomial encoding of a Signal program; this module rebuilds that idea
+with BDDs.  Each signal ``s`` of a *boolean* program (types ``event`` /
+``boolean`` only) becomes two BDD variables — presence ``p:s`` and value
+``v:s`` — and each core equation becomes a relation tying them per the
+Table 1 semantics:
+
+=====================  ==================================================
+``x := pre v0 y``      ``p_x <-> p_y``;  ``p_x -> (v_x <-> m)``;
+                       ``m' <-> ite(p_y, v_y, m)``
+``x := y when z``      ``p_x <-> (p_y & p_z & v_z)``; ``p_x -> (v_x <-> v_y)``
+``x := y default z``   ``p_x <-> (p_y | p_z)``;
+                       ``p_x -> (v_x <-> ite(p_y, v_y, v_z))``
+``x := f(y, ...)``     presences pairwise equal; pointwise ``f`` on values
+``x ^= y``             ``p_x <-> p_y``
+=====================  ==================================================
+
+The conjunction ``R`` of those relations *is* the program's reaction
+relation; reachability is the usual symbolic fixpoint with ``R`` as the
+transition relation over the ``pre`` memories.  Environments are the
+same input alphabets the explicit backend uses (encoded as a disjunction
+of letters), so the two backends are directly comparable — tested.
+
+Semantic note: a constant operand is context-clocked ("chameleon"), so
+the relation for e.g. ``y default 0`` leaves the result's presence free
+above ``p_y``.  The symbolic backend therefore explores *every*
+denotationally consistent resolution of free clocks, whereas the
+simulator commits to the least one; on input-deterministic programs (the
+:attr:`repro.clocks.ClockAnalysis` ``free`` set empty) both coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+from repro.lang.analysis import flatten_program, normalize_component
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Pre,
+    Program,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.lang.types import BOOL, EVENT
+from repro.mc.bdd import BDD, FALSE, TRUE
+from repro.mc.safety import CounterExample
+
+
+class SymbolicChecker:
+    """Reaction relation + symbolic reachability for one boolean design.
+
+    ``alphabet`` (optional) restricts the environment exactly like the
+    explicit backend's input alphabets: a list of input maps, each map
+    naming the present inputs (events/booleans) and their values.
+    Without it, inputs are free.
+    """
+
+    def __init__(
+        self,
+        design,
+        alphabet: Optional[Sequence[Dict[str, object]]] = None,
+    ):
+        comp = flatten_program(design) if isinstance(design, Program) else design
+        for name, ty in comp.signals().items():
+            if ty not in (BOOL, EVENT):
+                raise VerificationError(
+                    "symbolic backend handles boolean programs only; "
+                    "{!r} has type {}".format(name, ty)
+                )
+        comp = normalize_component(comp, lower_clocks=False, to_core=True)
+        self.component = comp
+        self.bdd = BDD()
+        self._types = comp.signals()
+
+        # Variable order drives BDD size.  Register variables in *dataflow
+        # order*: inputs first, then each equation's operands/target as the
+        # statements mention them, with every `pre` memory (current and
+        # next) right next to the signals it couples.  This keeps related
+        # tests adjacent and tames the relation's size dramatically.
+        self._signals = list(self._types)
+        self._pre_slots: List[Tuple[Pre, str]] = []
+
+        def reg_signal(name: str) -> None:
+            self.bdd.variable("p:" + name)
+            if self._types.get(name) is BOOL:
+                self.bdd.variable("v:" + name)
+
+        for s in comp.inputs:
+            reg_signal(s)
+        for st in comp.statements:
+            if isinstance(st, SyncConstraint):
+                for n in st.names:
+                    reg_signal(n)
+                continue
+            for node in st.expr.walk():
+                if isinstance(node, Var):
+                    reg_signal(node.name)
+                elif isinstance(node, Pre):
+                    slot = "m:{}".format(len(self._pre_slots))
+                    self._pre_slots.append((node, slot))
+                    self.bdd.variable(slot)
+                    self.bdd.variable(slot + "'")
+            reg_signal(st.target)
+
+        self.relation = self._build_relation()
+        if alphabet is not None:
+            self.relation = self.bdd.AND(
+                self.relation, self._encode_alphabet(alphabet)
+            )
+        self._non_state = [
+            v
+            for s in self._signals
+            for v in (("p:" + s,) if self._types.get(s) is EVENT else ("p:" + s, "v:" + s))
+        ]
+        self._state_vars = [slot for _, slot in self._pre_slots]
+        self._rename_back = {slot + "'": slot for slot in self._state_vars}
+        self.iterations = 0
+        self._rings: List[int] = []
+        self._reached: Optional[int] = None
+
+    # -- encoding -------------------------------------------------------------
+
+    def _pv(self, name: str) -> Tuple[int, int]:
+        p = self.bdd.variable("p:" + name)
+        if self._types.get(name) is BOOL:
+            v = self.bdd.variable("v:" + name)
+        else:
+            v = TRUE  # events carry `true`
+        return p, v
+
+    def _operand(self, expr) -> Tuple[Optional[int], int]:
+        """(presence, value) of a core operand; presence None = chameleon."""
+        if isinstance(expr, Var):
+            return self._pv(expr.name)
+        if isinstance(expr, Const):
+            return None, TRUE if expr.value else FALSE
+        raise VerificationError("not in core form: {!r}".format(expr))
+
+    def _build_relation(self) -> int:
+        bdd = self.bdd
+        slot_of = {id(node): slot for node, slot in self._pre_slots}
+        parts: List[int] = []
+        for st in self.component.statements:
+            if isinstance(st, SyncConstraint):
+                first = bdd.variable("p:" + st.names[0])
+                for other in st.names[1:]:
+                    parts.append(bdd.IFF(first, bdd.variable("p:" + other)))
+                continue
+            assert isinstance(st, Equation)
+            p_x, v_x = self._pv(st.target)
+            rhs = st.expr
+            if isinstance(rhs, (Var, Const)):
+                p_y, v_y = self._operand(rhs)
+                if p_y is None:
+                    parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, v_y)))
+                else:
+                    parts.append(bdd.IFF(p_x, p_y))
+                    parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, v_y)))
+                continue
+            if isinstance(rhs, Pre):
+                slot = slot_of[id(rhs)]
+                m = bdd.variable(slot)
+                m_next = bdd.variable(slot + "'")
+                p_y, v_y = self._operand(rhs.expr)
+                if p_y is None:
+                    raise VerificationError("pre of a constant has no clock")
+                parts.append(bdd.IFF(p_x, p_y))
+                parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, m)))
+                parts.append(bdd.IFF(m_next, bdd.ite(p_y, v_y, m)))
+                continue
+            if isinstance(rhs, ClockOf):
+                p_y, _ = self._operand(rhs.expr)
+                if p_y is None:
+                    raise VerificationError("clock of a constant is free")
+                parts.append(bdd.IFF(p_x, p_y))
+                parts.append(bdd.IMPLIES(p_x, v_x))
+                continue
+            if isinstance(rhs, When):
+                p_y, v_y = self._operand(rhs.expr)
+                p_z, v_z = self._operand(rhs.cond)
+                cond = v_z if p_z is None else bdd.AND(p_z, v_z)
+                base = TRUE if p_y is None else p_y
+                parts.append(bdd.IFF(p_x, bdd.AND(base, cond)))
+                parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, v_y)))
+                continue
+            if isinstance(rhs, Default):
+                p_y, v_y = self._operand(rhs.left)
+                p_z, v_z = self._operand(rhs.right)
+                if p_y is None:
+                    # chameleon left shadows the right entirely
+                    parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, v_y)))
+                    continue
+                if p_z is None:
+                    # context-clocked right: clock free above p_y
+                    parts.append(bdd.IMPLIES(p_y, p_x))
+                    parts.append(
+                        bdd.IMPLIES(p_x, bdd.IFF(v_x, bdd.ite(p_y, v_y, v_z)))
+                    )
+                    continue
+                parts.append(bdd.IFF(p_x, bdd.OR(p_y, p_z)))
+                parts.append(
+                    bdd.IMPLIES(p_x, bdd.IFF(v_x, bdd.ite(p_y, v_y, v_z)))
+                )
+                continue
+            if isinstance(rhs, App):
+                ops = [self._operand(a) for a in rhs.args]
+                concrete = [p for p, _ in ops if p is not None]
+                for p in concrete:
+                    parts.append(bdd.IFF(p_x, p))
+                if not concrete:
+                    raise VerificationError(
+                        "all-constant application has a free clock"
+                    )
+                value = self._apply_op(rhs.op, [v for _, v in ops])
+                parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, value)))
+                continue
+            raise VerificationError("cannot encode {!r}".format(rhs))
+        return self.bdd.AND(*parts)
+
+    def _apply_op(self, op: str, values: List[int]) -> int:
+        bdd = self.bdd
+        if op == "not":
+            return bdd.NOT(values[0])
+        if op == "and":
+            return bdd.AND(*values)
+        if op == "or":
+            return bdd.OR(*values)
+        if op == "xor":
+            return bdd.XOR(values[0], values[1])
+        if op == "==":
+            return bdd.IFF(values[0], values[1])
+        if op == "/=":
+            return bdd.XOR(values[0], values[1])
+        raise VerificationError(
+            "operator {!r} is not boolean; the symbolic backend handles "
+            "boolean programs only".format(op)
+        )
+
+    def _encode_alphabet(self, alphabet: Sequence[Dict[str, object]]) -> int:
+        bdd = self.bdd
+        letters = []
+        for letter in alphabet:
+            conj = []
+            for name in self.component.inputs:
+                p = bdd.variable("p:" + name)
+                if name in letter:
+                    conj.append(p)
+                    if self._types[name] is BOOL:
+                        v = bdd.variable("v:" + name)
+                        conj.append(v if letter[name] else bdd.NOT(v))
+                else:
+                    conj.append(bdd.NOT(p))
+            letters.append(bdd.AND(*conj))
+        return bdd.OR(*letters)
+
+    # -- reachability ----------------------------------------------------------
+
+    def initial_states(self) -> int:
+        bdd = self.bdd
+        conj = []
+        for node, slot in self._pre_slots:
+            m = bdd.variable(slot)
+            conj.append(m if node.init else bdd.NOT(m))
+        return bdd.AND(*conj)
+
+    def transition(self) -> int:
+        """``T(m, m') = ∃ signals . R`` — computed once and cached."""
+        if getattr(self, "_transition", None) is None:
+            self._transition = self.bdd.exists(self._non_state, self.relation)
+        return self._transition
+
+    def reachable_states(self) -> int:
+        """Fixpoint of the image computation; cached."""
+        if self._reached is not None:
+            return self._reached
+        bdd = self.bdd
+        trans = self.transition()
+        frontier = self.initial_states()
+        reached = frontier
+        self._rings = [frontier]
+        while frontier != FALSE:
+            self.iterations += 1
+            step = bdd.AND(trans, frontier)
+            img = bdd.exists(self._state_vars, step)
+            img = bdd.rename(self._rename_back, img)
+            new = bdd.AND(img, bdd.NOT(reached))
+            if new == FALSE:
+                break
+            reached = bdd.OR(reached, new)
+            frontier = new
+            self._rings.append(new)
+        self._reached = reached
+        return reached
+
+    def state_count(self) -> int:
+        """Number of reachable memory valuations."""
+        if not self._state_vars:
+            return 1
+        total = self.bdd.var_count()
+        count = self.bdd.sat_count(self.reachable_states(), n_vars=total)
+        # the reachable set depends on state variables only; every other
+        # variable is a don't-care doubling the raw count
+        return count >> (total - len(self._state_vars))
+
+    # -- queries -----------------------------------------------------------------
+
+    def reachable(self, condition: int) -> bool:
+        """Is some reaction satisfying ``condition`` (a BDD over p:/v:
+        variables) enabled from a reachable state?"""
+        hit = self.bdd.AND(self.relation, self.reachable_states(), condition)
+        return hit != FALSE
+
+    def presence(self, signal: str) -> int:
+        return self.bdd.variable("p:" + signal)
+
+    def check_never_present(self, signal: str) -> Optional[CounterExample]:
+        """The Section 5.2 obligation, symbolically, with a counterexample
+        input sequence reconstructed from the reachability rings."""
+        bad = self.presence(signal)
+        self.reachable_states()
+        bdd = self.bdd
+        # find the earliest ring from which a bad reaction fires
+        hit_ring = None
+        for k, ring in enumerate(self._rings):
+            if bdd.AND(self.relation, ring, bad) != FALSE:
+                hit_ring = k
+                break
+        if hit_ring is None:
+            return None
+        # walk backward: pick a bad state in ring k, then predecessors
+        inputs: List[Dict[str, object]] = []
+        # choose the final (bad) reaction
+        final = bdd.AND(self.relation, self._rings[hit_ring], bad)
+        assignment = bdd.any_sat(final)
+        state = self._state_of(assignment)
+        inputs.append(self._letter_of(assignment))
+        # reconstruct the stem
+        for k in range(hit_ring, 0, -1):
+            prev = bdd.AND(
+                self.relation,
+                self._rings[k - 1],
+                self._next_state_bdd(state),
+            )
+            assignment = bdd.any_sat(prev)
+            if assignment is None:
+                break  # should not happen; defensive
+            inputs.append(self._letter_of(assignment))
+            state = self._state_of(assignment)
+        inputs.reverse()
+        return CounterExample(
+            inputs=inputs,
+            outputs=[{} for _ in inputs],
+            violation="never {} violated (symbolic)".format(signal),
+        )
+
+    # -- assignment plumbing -----------------------------------------------------
+
+    def _letter_of(self, assignment: Dict[str, bool]) -> Dict[str, object]:
+        letter: Dict[str, object] = {}
+        for name in self.component.inputs:
+            if assignment.get("p:" + name, False):
+                if self._types[name] is BOOL:
+                    letter[name] = assignment.get("v:" + name, False)
+                else:
+                    letter[name] = True
+        return letter
+
+    def _state_of(self, assignment: Dict[str, bool]) -> Dict[str, bool]:
+        return {
+            slot: assignment.get(slot, False) for slot in self._state_vars
+        }
+
+    def _state_bdd(self, state: Dict[str, bool]) -> int:
+        bdd = self.bdd
+        return bdd.AND(
+            *[
+                bdd.variable(s) if v else bdd.NOT(bdd.variable(s))
+                for s, v in state.items()
+            ]
+        )
+
+    def _next_state_bdd(self, state: Dict[str, bool]) -> int:
+        bdd = self.bdd
+        return bdd.AND(
+            *[
+                bdd.variable(s + "'") if v else bdd.NOT(bdd.variable(s + "'"))
+                for s, v in state.items()
+            ]
+        )

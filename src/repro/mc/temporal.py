@@ -1,0 +1,192 @@
+"""Temporal reasoning beyond plain invariants.
+
+Safety ("nothing bad", :mod:`repro.mc.safety`) covers the paper's
+verification obligation; this module adds the liveness-flavored queries a
+designer asks right after:
+
+- :func:`find_lasso` — a concrete infinite execution (stem + cycle) whose
+  cycle satisfies a per-reaction predicate, e.g. "the system can run
+  forever without ever delivering" (starvation witness);
+- :func:`check_response` — a bounded response property: from every
+  reachable state, is a ``goal`` reaction reachable (AG EF goal)?  With
+  ``within`` it becomes "reachable in at most k steps";
+- :func:`inevitable` — must every infinite fair run keep ``goal``
+  reachable?  (equivalently: no reachable cycle avoids ``goal`` forever —
+  checked via SCC analysis of the goal-free sub-graph).
+
+All queries run on the finite LTSs produced by
+:func:`repro.mc.compile.compile_lts`; environments are encoded in the
+alphabet, as everywhere else in :mod:`repro.mc`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.mc.lts import LTS, Transition
+
+Predicate = Callable[[Dict[str, object]], bool]
+
+
+class Lasso(NamedTuple):
+    """An infinite execution: play ``stem`` once, then ``cycle`` forever."""
+
+    stem: List[Dict[str, object]]     # input maps
+    cycle: List[Dict[str, object]]    # nonempty; returns to its first state
+
+    def render(self) -> str:
+        lines = ["lasso: stem of {} instants, cycle of {}".format(
+            len(self.stem), len(self.cycle))]
+        for t, row in enumerate(self.stem):
+            lines.append("  stem  t={}: {}".format(t, row))
+        for t, row in enumerate(self.cycle):
+            lines.append("  cycle t={}: {}".format(t, row))
+        return "\n".join(lines)
+
+
+def _path_inputs(parent, sid) -> List[Dict[str, object]]:
+    path = []
+    while sid in parent:
+        sid, tr = parent[sid]
+        path.append(tr.letter_dict())
+    path.reverse()
+    return path
+
+
+def find_lasso(
+    lts: LTS,
+    cycle_pred: Predicate,
+    stem_pred: Optional[Predicate] = None,
+) -> Optional[Lasso]:
+    """A reachable cycle every reaction of which satisfies ``cycle_pred``.
+
+    ``stem_pred``, when given, additionally constrains the reactions of
+    the stem leading to the cycle.  Returns ``None`` when no such infinite
+    execution exists.
+    """
+    # sub-graph of transitions allowed inside the cycle
+    allowed: Dict[int, List[Transition]] = {}
+    for tr in lts.transitions():
+        if cycle_pred(tr.outputs_dict()):
+            allowed.setdefault(tr.source, []).append(tr)
+
+    # states reachable (via stem_pred-satisfying reactions, if constrained)
+    parent: Dict[int, Tuple[int, Transition]] = {}
+    reach = {lts.initial}
+    queue = deque([lts.initial])
+    while queue:
+        sid = queue.popleft()
+        for tr in lts.successors(sid):
+            if stem_pred is not None and not stem_pred(tr.outputs_dict()):
+                continue
+            if tr.target not in reach:
+                reach.add(tr.target)
+                parent[tr.target] = (sid, tr)
+                queue.append(tr.target)
+
+    # find a cycle within `allowed` restricted to reachable states: iterate
+    # DFS from each reachable state that has allowed transitions
+    def cycle_from(start: int) -> Optional[List[Transition]]:
+        stack: List[Tuple[int, List[Transition]]] = [(start, [])]
+        on_path: Dict[int, int] = {start: 0}
+        best: Optional[List[Transition]] = None
+        visited: Set[int] = set()
+
+        def dfs(sid: int, path: List[Transition]) -> Optional[List[Transition]]:
+            for tr in allowed.get(sid, ()):  # noqa: B023
+                if tr.target in on_path:
+                    return path[on_path[tr.target]:] + [tr]
+                if tr.target in visited:
+                    continue
+                on_path[tr.target] = len(path) + 1
+                found = dfs(tr.target, path + [tr])
+                del on_path[tr.target]
+                if found:
+                    return found
+            visited.add(sid)
+            return None
+
+        return dfs(start, [])
+
+    for start in sorted(reach):
+        if start not in allowed:
+            continue
+        cyc = cycle_from(start)
+        if cyc is None:
+            continue
+        # stem: reachable path to the cycle's entry state
+        entry = cyc[0].source
+        stem = _path_inputs(parent, entry)
+        return Lasso(stem=stem, cycle=[t.letter_dict() for t in cyc])
+    return None
+
+
+class ResponseVerdict(NamedTuple):
+    holds: bool
+    # when violated: a reachable state from which the goal is unreachable
+    # (or not reachable within the bound), plus the path to it
+    witness_path: Optional[List[Dict[str, object]]]
+
+
+def check_response(
+    lts: LTS,
+    goal: Predicate,
+    within: Optional[int] = None,
+) -> ResponseVerdict:
+    """AG EF goal: from every reachable state, a goal reaction is reachable.
+
+    ``within`` bounds the number of reactions allowed to reach the goal
+    (``AG EF<=k``).  The witness on violation is the input path to an
+    offending state.
+    """
+    # distance from each state to the nearest goal transition (backward BFS)
+    dist: Dict[int, int] = {}
+    # states with an immediate goal transition have distance 1
+    preds: Dict[int, List[int]] = {}
+    for tr in lts.transitions():
+        preds.setdefault(tr.target, []).append(tr.source)
+        if goal(tr.outputs_dict()):
+            if dist.get(tr.source, 1 << 30) > 1:
+                dist[tr.source] = 1
+    queue = deque(sorted(dist))
+    while queue:
+        sid = queue.popleft()
+        for p in preds.get(sid, ()):
+            if p not in dist or dist[p] > dist[sid] + 1:
+                dist[p] = dist[sid] + 1
+                queue.append(p)
+
+    # forward BFS over reachable states, tracking paths
+    parent: Dict[int, Tuple[int, Transition]] = {}
+    seen = {lts.initial}
+    queue = deque([lts.initial])
+    while queue:
+        sid = queue.popleft()
+        d = dist.get(sid)
+        if d is None or (within is not None and d > within):
+            return ResponseVerdict(False, _path_inputs(parent, sid))
+        for tr in lts.successors(sid):
+            if tr.target not in seen:
+                seen.add(tr.target)
+                parent[tr.target] = (sid, tr)
+                queue.append(tr.target)
+    return ResponseVerdict(True, None)
+
+
+def inevitable(lts: LTS, goal: Predicate) -> Optional[Lasso]:
+    """Can the system run forever while *never* performing a goal reaction?
+
+    Returns the starving lasso when one exists (the property "goal is
+    inevitable under any infinite execution" then FAILS), ``None`` when
+    every infinite run must eventually hit the goal.
+
+    Note: with a free environment the empty letter usually idles forever,
+    so inevitability only makes sense for alphabets/environments that
+    force progress — the caller chooses those.
+    """
+    return find_lasso(
+        lts,
+        cycle_pred=lambda out: not goal(out),
+        stem_pred=lambda out: not goal(out),
+    )

@@ -1,0 +1,21 @@
+"""Operational (reaction-based) simulator for Signal components.
+
+The engine executes one *reaction* (synchronous instant) at a time: given
+the presence/values of inputs, it solves the equations by monotone
+constraint propagation over a four-valued presence domain (unknown,
+present, absent, constant), mirroring how the Polychrony compiler's clock
+calculus resolves instants.  See :mod:`repro.sim.engine`.
+
+- :class:`~repro.sim.engine.Reactor` — compiled component + reaction solver
+- :class:`~repro.sim.trace.SimTrace` — recorded run, convertible to a
+  tagged :class:`~repro.tags.behavior.Behavior`
+- :mod:`repro.sim.stimuli` — stimulus constructors (periodic, bursty, ...)
+- :func:`~repro.sim.runner.simulate` — convenience driver
+"""
+
+from repro.sim.engine import ABSENT, Reactor
+from repro.sim.trace import SimTrace
+from repro.sim.runner import simulate
+from repro.sim import stimuli
+
+__all__ = ["ABSENT", "Reactor", "SimTrace", "simulate", "stimuli"]

@@ -1,0 +1,135 @@
+"""Coverage measurement for simulation runs.
+
+Verification-by-simulation (the Section 5.2 estimation loop) is only as
+good as the stimuli; these metrics quantify how much of a design a run
+actually exercised — the classic EDA coverage triad, adapted to the
+polychronous setting:
+
+- *presence coverage*: which signals ever occurred (a never-present
+  signal was not exercised at all — or is provably dead, see
+  :attr:`repro.clocks.ClockAnalysis.dead`);
+- *value/toggle coverage*: which booleans took both values, how many
+  distinct values each integer signal showed;
+- *clock-pattern coverage*: which presence combinations of a signal group
+  were observed (e.g. all four write/read combinations of a FIFO port
+  pair) — polychrony's analogue of condition coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast import Component
+from repro.lang.types import BOOL, EVENT
+from repro.sim.trace import SimTrace
+
+
+class SignalCoverage(NamedTuple):
+    name: str
+    occurrences: int
+    values_seen: Tuple  # distinct values, sorted by repr
+    toggled: bool       # booleans: both values observed
+
+
+class CoverageReport(NamedTuple):
+    instants: int
+    signals: Dict[str, SignalCoverage]
+    never_present: Tuple[str, ...]
+    untoggled_booleans: Tuple[str, ...]
+    clock_patterns: Dict[Tuple[str, ...], FrozenSet[FrozenSet[str]]]
+
+    def presence_ratio(self) -> float:
+        if not self.signals:
+            return 1.0
+        covered = sum(1 for s in self.signals.values() if s.occurrences)
+        return covered / float(len(self.signals))
+
+    def render(self) -> str:
+        lines = [
+            "coverage over {} instants: {}/{} signals exercised ({:.0%})".format(
+                self.instants,
+                sum(1 for s in self.signals.values() if s.occurrences),
+                len(self.signals),
+                self.presence_ratio(),
+            )
+        ]
+        if self.never_present:
+            lines.append("  never present: {}".format(list(self.never_present)))
+        if self.untoggled_booleans:
+            lines.append(
+                "  booleans stuck at one value: {}".format(
+                    list(self.untoggled_booleans)
+                )
+            )
+        for group, patterns in sorted(self.clock_patterns.items()):
+            shown = sorted("{" + ",".join(sorted(p)) + "}" for p in patterns)
+            lines.append(
+                "  presence patterns over {}: {}/{} seen: {}".format(
+                    list(group), len(patterns), 2 ** len(group), shown
+                )
+            )
+        return "\n".join(lines)
+
+
+def measure_coverage(
+    trace: SimTrace,
+    component: Optional[Component] = None,
+    signals: Optional[Sequence[str]] = None,
+    clock_groups: Iterable[Sequence[str]] = (),
+) -> CoverageReport:
+    """Compute coverage of ``trace``.
+
+    ``component`` supplies the full signal universe (so signals that never
+    occurred are reported); otherwise the universe is what the trace saw.
+    ``clock_groups`` lists signal tuples whose joint presence patterns
+    should be tracked.
+    """
+    if signals is not None:
+        universe: List[str] = list(signals)
+    elif component is not None:
+        universe = sorted(component.signals())
+    else:
+        universe = trace.signals()
+
+    bool_like: Set[str] = set()
+    if component is not None:
+        for name, ty in component.signals().items():
+            if ty is BOOL or ty is EVENT:
+                bool_like.add(name)
+
+    per_signal: Dict[str, SignalCoverage] = {}
+    for name in universe:
+        values = trace.values(name)
+        distinct = sorted(set(values), key=repr)
+        is_bool = name in bool_like or all(isinstance(v, bool) for v in values)
+        toggled = is_bool and len(set(values)) == 2
+        per_signal[name] = SignalCoverage(
+            name, len(values), tuple(distinct), toggled
+        )
+
+    never = tuple(n for n in universe if per_signal[n].occurrences == 0)
+    stuck = tuple(
+        n
+        for n in universe
+        if n in bool_like
+        and per_signal[n].occurrences
+        and not per_signal[n].toggled
+        # events carry only True; they cannot toggle by definition
+        and not (component is not None and component.signals()[n] is EVENT)
+    )
+
+    patterns: Dict[Tuple[str, ...], FrozenSet[FrozenSet[str]]] = {}
+    for group in clock_groups:
+        group = tuple(group)
+        seen: Set[FrozenSet[str]] = set()
+        for row in trace.instants:
+            seen.add(frozenset(n for n in group if n in row))
+        patterns[group] = frozenset(seen)
+
+    return CoverageReport(
+        instants=len(trace),
+        signals=per_signal,
+        never_present=never,
+        untoggled_booleans=stuck,
+        clock_patterns=patterns,
+    )

@@ -1,0 +1,34 @@
+"""Convenience drivers around :class:`~repro.sim.engine.Reactor`."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional, Union
+
+from repro.lang.analysis import flatten_program
+from repro.lang.ast import Component, Program
+from repro.sim.engine import Oracle, Reactor
+from repro.sim.trace import SimTrace
+
+
+def simulate(
+    design: Union[Component, Program],
+    stimulus: Iterable[Dict[str, object]],
+    n: Optional[int] = None,
+    oracle: Optional[Oracle] = None,
+    reactor: Optional[Reactor] = None,
+) -> SimTrace:
+    """Run ``design`` against ``stimulus`` for ``n`` instants.
+
+    Programs are flattened (synchronous composition) first.  ``n`` defaults
+    to the stimulus length; infinite stimuli require an explicit ``n``.
+    A pre-built ``reactor`` can be supplied to continue a run.
+    """
+    if reactor is None:
+        comp = flatten_program(design) if isinstance(design, Program) else design
+        reactor = Reactor(comp, oracle=oracle)
+    trace = SimTrace()
+    rows = stimulus if n is None else itertools.islice(stimulus, n)
+    for inputs in rows:
+        trace.append(reactor.react(inputs))
+    return trace

@@ -1,0 +1,143 @@
+"""Value Change Dump (VCD) export of simulation traces.
+
+Maps the polychronous trace onto the classic EDA waveform format so runs
+can be inspected in GTKWave & co.:
+
+- one VCD time unit per reaction instant;
+- boolean signals are 1-bit wires, integers 32-bit vectors, events are
+  VCD ``event`` vars (momentary blips);
+- *absence* — which VCD has no native notion of — is encoded as the
+  unknown value ``x`` for wires/vectors, so a signal's waveform shows
+  exactly the instants where it was present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.lang.ast import Component
+from repro.lang.types import BOOL, EVENT, INT
+from repro.sim.trace import SimTrace
+
+_ID_ALPHABET = [chr(c) for c in range(33, 127)]
+
+
+def _id_code(index: int) -> str:
+    """Short printable identifier codes: !, ", ..., !!, !", ..."""
+    digits = []
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, len(_ID_ALPHABET))
+        digits.append(_ID_ALPHABET[rem])
+    return "".join(reversed(digits))
+
+
+def _kind_of_values(values: Sequence[object]) -> str:
+    if values and all(v is True for v in values):
+        return "event"
+    if all(isinstance(v, bool) for v in values):
+        return "wire1"
+    return "vector"
+
+
+def _kind_of_type(ty) -> str:
+    if ty is EVENT:
+        return "event"
+    if ty is BOOL:
+        return "wire1"
+    if ty is INT:
+        return "vector"
+    return "vector"
+
+
+def to_vcd(
+    trace: SimTrace,
+    component: Optional[Component] = None,
+    signals: Optional[Iterable[str]] = None,
+    module: str = "top",
+    timescale: str = "1 ns",
+    width: int = 32,
+) -> str:
+    """Render ``trace`` as a VCD document (returned as a string).
+
+    ``component`` supplies declared types (recommended — without it the
+    per-signal kind is inferred from the observed values, so an
+    all-``True`` boolean would render as an event).  ``signals`` selects
+    and orders the dumped signals.
+    """
+    names = list(signals) if signals is not None else trace.signals()
+    types = component.signals() if component is not None else {}
+    kinds: Dict[str, str] = {}
+    for name in names:
+        if name in types:
+            kinds[name] = _kind_of_type(types[name])
+        else:
+            kinds[name] = _kind_of_values(trace.values(name))
+    codes = {name: _id_code(i) for i, name in enumerate(names)}
+
+    lines = [
+        "$comment repro polychronous trace $end",
+        "$timescale {} $end".format(timescale),
+        "$scope module {} $end".format(module),
+    ]
+    for name in names:
+        kind = kinds[name]
+        if kind == "event":
+            lines.append("$var event 1 {} {} $end".format(codes[name], name))
+        elif kind == "wire1":
+            lines.append("$var wire 1 {} {} $end".format(codes[name], name))
+        else:
+            lines.append("$var wire {} {} {} $end".format(width, codes[name], name))
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    def value_tokens(name: str, value, present: bool):
+        kind = kinds[name]
+        code = codes[name]
+        if kind == "event":
+            return ["1{}".format(code)] if present else []
+        if kind == "wire1":
+            if not present:
+                return ["x{}".format(code)]
+            return ["{}{}".format(1 if value else 0, code)]
+        if not present:
+            return ["bx {}".format(code)]
+        v = int(value)
+        if v < 0:
+            v &= (1 << width) - 1  # two's complement
+        return ["b{:b} {}".format(v, code)]
+
+    # initial dump: everything absent/unknown
+    lines.append("$dumpvars")
+    for name in names:
+        lines.extend(value_tokens(name, None, False))
+    lines.append("$end")
+
+    last_present: Dict[str, object] = {name: ("absent",) for name in names}
+    for t, row in enumerate(trace.instants):
+        changes = []
+        for name in names:
+            present = name in row
+            state = (row[name],) if present else ("absent",)
+            if kinds[name] == "event":
+                # events re-fire at every presence
+                if present:
+                    changes.extend(value_tokens(name, row[name], True))
+                last_present[name] = state
+                continue
+            if state != last_present[name]:
+                changes.extend(
+                    value_tokens(name, row.get(name), present)
+                )
+                last_present[name] = state
+        if changes:
+            lines.append("#{}".format(t))
+            lines.extend(changes)
+    lines.append("#{}".format(len(trace.instants)))
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(path: str, trace: SimTrace, **kwargs) -> None:
+    """Write :func:`to_vcd` output to ``path``."""
+    with open(path, "w") as f:
+        f.write(to_vcd(trace, **kwargs))

@@ -1,0 +1,91 @@
+"""Tagged denotational model of polychronous (Signal) processes.
+
+This package implements the semantic universe of the paper:
+
+- :mod:`repro.tags.trace` — signals as discrete chains of tagged events
+  (Definition 1).
+- :mod:`repro.tags.behavior` — behaviors: partial maps from signal names to
+  signal traces, with projection and renaming (Definitions 1 and 5).
+- :mod:`repro.tags.process` — processes as sets of behaviors over a common
+  variable set.
+- :mod:`repro.tags.equivalence` — stretching, stretch-equivalence,
+  relaxation and flow-equivalence (Definitions 2 and 4).
+- :mod:`repro.tags.composition` — synchronous, asynchronous and
+  asynchronous-causal parallel composition (Definitions 3, 6 and 7).
+- :mod:`repro.tags.denotation` — denotations of the elementary Signal
+  equations (Table 1).
+- :mod:`repro.tags.channels` — the unbounded asynchronous FIFO channel
+  (Definition 8) and the bounded n-FIFO characterization (Definition 9).
+
+Tags are numbers (``int`` or ``float``).  The paper's tag domain is a
+partially ordered set; concrete traces produced by simulators are
+linearizations of it, so numeric tags lose no generality for the finite
+behaviors manipulated here.  The equivalence checks only use the order
+structure of tags, never their absolute values, except where a definition
+explicitly demands ``t <= f(t)`` (stretching), which is checked pointwise
+on the used tags and is extendable to an order automorphism of the
+rationals (see :mod:`repro.tags.equivalence`).
+"""
+
+from repro.tags.trace import Event, SignalTrace
+from repro.tags.behavior import Behavior
+from repro.tags.process import Process
+from repro.tags.equivalence import (
+    is_stretching,
+    stretch_equivalent,
+    is_relaxation,
+    flow_equivalent,
+    canonicalize,
+    flow_values,
+)
+from repro.tags.composition import (
+    synchronous_compose,
+    in_asynchronous_composition,
+    in_async_causal_composition,
+)
+from repro.tags.denotation import (
+    pre_semantics,
+    when_semantics,
+    default_semantics,
+    func_semantics,
+    denote_expression,
+    in_pre,
+    in_when,
+    in_default,
+    in_func,
+)
+from repro.tags.channels import (
+    in_afifo,
+    in_bounded_fifo,
+    minimal_fifo_bound,
+    afifo_behavior,
+)
+
+__all__ = [
+    "Event",
+    "SignalTrace",
+    "Behavior",
+    "Process",
+    "is_stretching",
+    "stretch_equivalent",
+    "is_relaxation",
+    "flow_equivalent",
+    "canonicalize",
+    "flow_values",
+    "synchronous_compose",
+    "in_asynchronous_composition",
+    "in_async_causal_composition",
+    "pre_semantics",
+    "when_semantics",
+    "default_semantics",
+    "func_semantics",
+    "denote_expression",
+    "in_pre",
+    "in_when",
+    "in_default",
+    "in_func",
+    "in_afifo",
+    "in_bounded_fifo",
+    "minimal_fifo_bound",
+    "afifo_behavior",
+]

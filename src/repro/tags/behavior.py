@@ -1,0 +1,202 @@
+"""Behaviors: partial maps from signal names to traces (Definition 1).
+
+A behavior assigns one :class:`~repro.tags.trace.SignalTrace` to each
+variable in its domain.  Projection (``b|_X``), co-projection (``b\\_X``)
+and renaming (``b[y/x]``, Definition 5) are provided, together with
+constructors from value tables (handy in tests and benches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.tags.trace import SignalTrace, Tag, Value
+
+ABSENT = None  # marker used by `from_table` rows for "signal absent here"
+
+
+class Behavior:
+    """An immutable mapping ``signal name -> SignalTrace``."""
+
+    __slots__ = ("_signals",)
+
+    def __init__(self, signals: Mapping[str, SignalTrace]):
+        for name, trace in signals.items():
+            if not isinstance(trace, SignalTrace):
+                raise TypeError(
+                    "behavior entry {!r} is not a SignalTrace: {!r}".format(name, trace)
+                )
+        self._signals: Dict[str, SignalTrace] = dict(signals)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls, columns: Sequence[str], rows: Sequence[Sequence[object]], start: int = 0
+    ) -> "Behavior":
+        """Build a behavior from an instant-by-instant table.
+
+        ``rows[t][k]`` is the value of signal ``columns[k]`` at tag
+        ``start + t``, or :data:`ABSENT` (``None``) when the signal is
+        absent at that instant.  This mirrors the trace tables of Figure 2
+        of the paper.
+        """
+        per_signal: Dict[str, list] = {name: [] for name in columns}
+        for t, row in enumerate(rows):
+            if len(row) != len(columns):
+                raise ValueError(
+                    "row {} has {} entries, expected {}".format(t, len(row), len(columns))
+                )
+            for name, value in zip(columns, row):
+                if value is not ABSENT:
+                    per_signal[name].append((start + t, value))
+        return cls({name: SignalTrace(evs) for name, evs in per_signal.items()})
+
+    @classmethod
+    def from_values(cls, **flows: Sequence[Value]) -> "Behavior":
+        """Build a behavior where every signal is present at 0, 1, 2, ..."""
+        return cls({name: SignalTrace.from_values(vals) for name, vals in flows.items()})
+
+    @classmethod
+    def empty(cls, names: Iterable[str] = ()) -> "Behavior":
+        return cls({name: SignalTrace() for name in names})
+
+    # -- access ---------------------------------------------------------------
+
+    def vars(self) -> frozenset:
+        """``vars(b)``: the domain of the behavior."""
+        return frozenset(self._signals)
+
+    def __getitem__(self, name: str) -> SignalTrace:
+        return self._signals[name]
+
+    def get(self, name: str, default: Optional[SignalTrace] = None):
+        return self._signals.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signals
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._signals))
+
+    def items(self) -> Iterator[Tuple[str, SignalTrace]]:
+        return iter(sorted(self._signals.items()))
+
+    def __len__(self) -> int:
+        return len(self._signals)
+
+    # -- paper operations -------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Behavior":
+        """``b|_X``: restrict the domain to ``names`` (missing names ignored)."""
+        keep = set(names)
+        return Behavior({n: s for n, s in self._signals.items() if n in keep})
+
+    def hide(self, names: Iterable[str]) -> "Behavior":
+        """``b\\_X``: drop ``names`` from the domain."""
+        drop = set(names)
+        return Behavior({n: s for n, s in self._signals.items() if n not in drop})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Behavior":
+        """``b[y/x]``: rename signals according to ``{old: new}``.
+
+        New names must be fresh (no collisions with remaining names).
+        """
+        out: Dict[str, SignalTrace] = {}
+        for name, trace in self._signals.items():
+            new = mapping.get(name, name)
+            if new in out:
+                raise ValueError("renaming collides on {!r}".format(new))
+            out[new] = trace
+        if len(out) != len(self._signals):
+            raise ValueError("renaming collides with an existing signal name")
+        return Behavior(out)
+
+    def merge(self, other: "Behavior") -> "Behavior":
+        """Union of two behaviors with disjoint-or-agreeing domains.
+
+        Shared names must carry identical traces (this is the join used by
+        synchronous composition).
+        """
+        out = dict(self._signals)
+        for name, trace in other._signals.items():
+            if name in out and out[name] != trace:
+                raise ValueError(
+                    "behaviors disagree on shared signal {!r}".format(name)
+                )
+            out[name] = trace
+        return Behavior(out)
+
+    def all_tags(self) -> Tuple[Tag, ...]:
+        """The sorted union of tags used by any signal of the behavior."""
+        tags = set()
+        for trace in self._signals.values():
+            tags.update(trace.tags())
+        return tuple(sorted(tags))
+
+    def retimed(self, mapping) -> "Behavior":
+        """Apply one tag transformation to every signal (stretching)."""
+        return Behavior({n: s.retimed(mapping) for n, s in self._signals.items()})
+
+    def up_to(self, tag: Tag) -> "Behavior":
+        """Truncate every signal to events at or before ``tag``."""
+        return Behavior({n: s.up_to(tag) for n, s in self._signals.items()})
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_table(self) -> Tuple[Tuple[str, ...], list]:
+        """Inverse of :meth:`from_table`: (columns, rows) with ``None`` holes."""
+        columns = tuple(sorted(self._signals))
+        tags = self.all_tags()
+        rows = []
+        for t in tags:
+            row = []
+            for name in columns:
+                trace = self._signals[name]
+                row.append(trace.value_at(t) if trace.present_at(t) else ABSENT)
+            rows.append(row)
+        return columns, rows
+
+    def render(self, columns: Optional[Sequence[str]] = None, absent: str = ".") -> str:
+        """ASCII rendering in the style of Figure 2 of the paper."""
+        if columns is None:
+            columns = tuple(sorted(self._signals))
+        tags = self.all_tags()
+        width = max([len(c) for c in columns] + [3])
+        lines = []
+        header = " " * width + " | " + " ".join(
+            "{:>5}".format(t) for t in tags
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in columns:
+            trace = self._signals.get(name, SignalTrace())
+            cells = []
+            for t in tags:
+                if trace.present_at(t):
+                    v = trace.value_at(t)
+                    if v is True:
+                        v = "T"
+                    elif v is False:
+                        v = "F"
+                    cells.append("{:>5}".format(v))
+                else:
+                    cells.append("{:>5}".format(absent))
+            lines.append("{:>{w}} | {}".format(name, " ".join(cells), w=width))
+        return "\n".join(lines)
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Behavior):
+            return NotImplemented
+        return self._signals == other._signals
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._signals.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "{}={!r}".format(n, s) for n, s in sorted(self._signals.items())
+        )
+        return "Behavior({})".format(inner)

@@ -1,0 +1,129 @@
+"""Asynchronous FIFO channels at the semantic level (Definitions 8 and 9).
+
+``AFifo`` — the unbounded asynchronous FIFO — is "only a semantical
+object" (Section 4.1): it has no Signal implementation.  Here it lives as
+a membership predicate over behaviors and a behavior constructor used as
+the *reference model* against which the implementable bounded FIFOs of
+:mod:`repro.desync` are validated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.tags.behavior import Behavior
+from repro.tags.trace import SignalTrace, Tag
+
+
+def in_afifo(
+    b: Behavior, x: str = "x", y: str = "y", allow_pending: bool = True
+) -> bool:
+    """Is ``b`` a behavior of ``AFifo x -> y`` (Definition 8)?
+
+    The output flow equals the input flow (first-in first-out, lossless)
+    and each item is read at or after it was written:
+    ``b|{x}`` relaxes to ``b|{y}[x/y]``.
+
+    ``allow_pending`` admits *finite prefixes* where the last writes have
+    not been read yet (``values(y)`` a strict prefix of ``values(x)``),
+    which is the form every finite observation of an unbounded FIFO takes.
+    """
+    if set(b.vars()) != {x, y}:
+        return False
+    sx, sy = b[x], b[y]
+    if len(sy) > len(sx):
+        return False
+    if not allow_pending and len(sy) != len(sx):
+        return False
+    for ex, ey in zip(sx, sy):
+        if ex.value != ey.value or ey.tag < ex.tag:
+            return False
+    return True
+
+
+def occupancy_profile(b: Behavior, x: str = "x", y: str = "y"):
+    """Occupancy ``|[b(x)]_t| - |[b(y)]_t|`` at every used tag, in tag order.
+
+    Yields ``(tag, occupancy)`` pairs.  For a behavior of ``AFifo`` the
+    occupancy is always nonnegative.
+    """
+    tags = sorted(set(b[x].tags()) | set(b[y].tags()))
+    for t in tags:
+        yield t, b[x].count_up_to(t) - b[y].count_up_to(t)
+
+
+def in_bounded_fifo(
+    b: Behavior, n: int, x: str = "x", y: str = "y", allow_pending: bool = True
+) -> bool:
+    """Is ``b`` a behavior of ``nFifo x -> y`` (Definition 9)?
+
+    Definition 9 = Definition 8 plus the bound: at every tag the number of
+    writes exceeds the number of reads by at most ``n``.
+    """
+    if not in_afifo(b, x, y, allow_pending=allow_pending):
+        return False
+    return all(occ <= n for _, occ in occupancy_profile(b, x, y))
+
+
+def minimal_fifo_bound(b: Behavior, x: str = "x", y: str = "y") -> int:
+    """The least ``n`` such that ``b`` is a behavior of ``nFifo`` (peak occupancy).
+
+    Raises :class:`ValueError` when ``b`` is not even an ``AFifo`` behavior.
+    """
+    if not in_afifo(b, x, y, allow_pending=True):
+        raise ValueError("behavior is not an AFifo behavior")
+    peak = 0
+    for _, occ in occupancy_profile(b, x, y):
+        peak = max(peak, occ)
+    return peak
+
+
+def afifo_behavior(
+    writes: SignalTrace,
+    read_tags: Optional[Sequence[Tag]] = None,
+    latency: int = 1,
+    x: str = "x",
+    y: str = "y",
+) -> Behavior:
+    """Construct an ``AFifo`` behavior from a write trace and a read schedule.
+
+    ``read_tags``, when given, supplies the tag of each read in order (one
+    per write, extra entries ignored, shorter schedules leave writes
+    pending).  Otherwise each item is read ``latency`` after the later of
+    its write and the previous read (a maximally eager reader of the given
+    latency).
+    """
+    events = []
+    if read_tags is not None:
+        for ev, t in zip(writes, read_tags):
+            if t < ev.tag:
+                raise ValueError(
+                    "read at {} precedes write at {}".format(t, ev.tag)
+                )
+            events.append((t, ev.value))
+    else:
+        prev: Optional[Tag] = None
+        for ev in writes:
+            t = ev.tag + latency
+            if prev is not None and t <= prev:
+                t = prev + latency
+            events.append((t, ev.value))
+            prev = t
+    return Behavior({x: writes, y: SignalTrace(events)})
+
+
+def lemma2_condition(
+    write_trace: SignalTrace, read_trace: SignalTrace, n: int
+) -> bool:
+    """The timing condition of Lemma 2: ``t(read_i) <= t(write_{i+n})``.
+
+    Every read of rank ``i`` happens no later than the write of rank
+    ``i + n``; equivalently, the producer is never more than ``n`` items
+    ahead of the consumer, so an ``n``-place FIFO suffices.  Indices past
+    the end of the write trace impose no constraint (the producer stopped).
+    """
+    for i, ev in enumerate(read_trace):
+        j = i + n
+        if j < len(write_trace) and ev.tag > write_trace[j].tag:
+            return False
+    return True

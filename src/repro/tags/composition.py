@@ -1,0 +1,145 @@
+"""Parallel composition operators (Definitions 3, 6 and 7).
+
+``synchronous_compose`` is constructive on finite processes.  The
+asynchronous compositions denote infinite sets (every admissible retiming
+is a member), so they are provided as *membership predicates*: given a
+candidate composed behavior ``d`` and witness behaviors drawn from the
+component processes, decide whether ``d`` belongs to the composition.
+This is exactly what the theorem-validation benches need: behaviors
+observed on a desynchronized implementation are checked for membership in
+the asynchronous(-causal) composition of the original components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+from repro.tags.behavior import Behavior
+from repro.tags.equivalence import is_relaxation, is_stretching
+from repro.tags.process import Process
+
+
+def synchronous_compose(p: Process, q: Process) -> Process:
+    """``P |s| Q`` (Definition 3) on finite representative sets.
+
+    A composed behavior restricted to ``vars(P)`` must be in ``P`` and
+    restricted to ``vars(Q)`` must be in ``Q``; on finite sets this is the
+    join of every pair agreeing exactly on shared variables.
+    """
+    shared = p.vars() & q.vars()
+    out = []
+    for b in p:
+        b_shared = b.project(shared)
+        for c in q:
+            if c.project(shared) == b_shared:
+                out.append(b.merge(c))
+    return Process(out)
+
+
+def _async_conditions(
+    d: Behavior, b: Behavior, c: Behavior, x_vars: frozenset, y_vars: frozenset
+) -> bool:
+    """The shared core of Definitions 6 and 7 for one witness pair."""
+    shared = x_vars & y_vars
+    # Private parts of each component are stretchings of the witnesses.
+    if not is_stretching(b.hide(y_vars), d.hide(y_vars)):
+        return False
+    if not is_stretching(c.hide(x_vars), d.hide(x_vars)):
+        return False
+    # Shared variables are relaxations of both witnesses.
+    d_shared = d.project(shared)
+    if not is_relaxation(b.project(shared), d_shared):
+        return False
+    if not is_relaxation(c.project(shared), d_shared):
+        return False
+    return True
+
+
+def in_asynchronous_composition(
+    d: Behavior, p: Process, q: Process
+) -> Optional[Tuple[Behavior, Behavior]]:
+    """``d in P |a| Q`` (Definition 6), searching witnesses in ``p x q``.
+
+    Returns the witness pair ``(b, c)`` when membership holds, ``None``
+    otherwise.  ``d`` must be a behavior over ``vars(P) | vars(Q)``.
+    """
+    x_vars, y_vars = p.vars(), q.vars()
+    if d.vars() != x_vars | y_vars:
+        return None
+    for b in p:
+        for c in q:
+            if _async_conditions(d, b, c, x_vars, y_vars):
+                return (b, c)
+    return None
+
+
+def _causal_ok(
+    b: Behavior,
+    c: Behavior,
+    produced_by_p: Iterable[str],
+    produced_by_q: Iterable[str],
+) -> bool:
+    """Causality clauses of Definition 7 on one witness pair.
+
+    For ``P ->x Q`` (``x`` produced by P, consumed by Q) the flow read by
+    the consumer is a per-signal stretching of the flow written by the
+    producer: same values, each read at or after the matching write.
+    """
+    for x in produced_by_p:
+        if not is_relaxation(b.project({x}), c.project({x})):
+            return False
+    for y in produced_by_q:
+        if not is_relaxation(c.project({y}), b.project({y})):
+            return False
+    return True
+
+
+def in_async_causal_composition(
+    d: Behavior,
+    p: Process,
+    q: Process,
+    produced_by_p: Iterable[str] = (),
+    produced_by_q: Iterable[str] = (),
+) -> Optional[Tuple[Behavior, Behavior]]:
+    """``d in P |,a| Q`` (Definition 7), searching witnesses in ``p x q``.
+
+    ``produced_by_p`` lists shared variables ``x`` with ``P ->x Q`` and
+    ``produced_by_q`` those with ``Q ->y P``.  Together they must cover the
+    shared variables for the composition to be causal.
+
+    Returns a witness pair or ``None``.
+    """
+    x_vars, y_vars = p.vars(), q.vars()
+    if d.vars() != x_vars | y_vars:
+        return None
+    produced_by_p = tuple(produced_by_p)
+    produced_by_q = tuple(produced_by_q)
+    for b in p:
+        for c in q:
+            if not _async_conditions(d, b, c, x_vars, y_vars):
+                continue
+            if _causal_ok(b, c, produced_by_p, produced_by_q):
+                return (b, c)
+    return None
+
+
+def check_witnessed_membership(
+    d: Behavior,
+    b: Behavior,
+    c: Behavior,
+    produced_by_p: Mapping[str, bool] = None,
+) -> bool:
+    """Definition 7 membership for one *known* witness pair ``(b, c)``.
+
+    ``produced_by_p`` maps each shared variable to ``True`` when produced
+    by P, ``False`` when produced by Q.  This avoids the quadratic witness
+    search when the witness is known (e.g. extracted from the same
+    simulation run as ``d``).
+    """
+    x_vars, y_vars = b.vars(), c.vars()
+    if not _async_conditions(d, b, c, x_vars, y_vars):
+        return False
+    produced_by_p = produced_by_p or {}
+    by_p = [x for x, is_p in produced_by_p.items() if is_p]
+    by_q = [x for x, is_p in produced_by_p.items() if not is_p]
+    return _causal_ok(b, c, by_p, by_q)

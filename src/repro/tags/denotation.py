@@ -1,0 +1,172 @@
+"""Denotations of the elementary Signal equations (Table 1 of the paper).
+
+For each primitive we provide
+
+- a *generator*: given the operand traces, the unique trace the defined
+  signal must carry (the primitives are functional from operands to
+  result), and
+- a *membership predicate*: does a behavior satisfy the equation's
+  denotation?  These predicates are the reference against which the
+  operational simulator is validated (experiment T1).
+
+:func:`denote_expression` lifts the generators to whole (acyclic)
+expressions over a behavior, giving a second, independent implementation
+of the language semantics used by the property-based conformance tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.tags.behavior import Behavior
+from repro.tags.trace import SignalTrace
+
+
+# -- generators -------------------------------------------------------------
+
+
+def pre_semantics(y: SignalTrace, init: object) -> SignalTrace:
+    """``x = pre init y``: x is synchronous to y and carries y's previous value.
+
+    ``tags(x) = tags(y)``, ``x(t(y_1)) = init`` and
+    ``x(t(y_{i+1})) = y(t(y_i))``.
+    """
+    values = (init,) + y.values()[:-1] if len(y) else ()
+    return SignalTrace(zip(y.tags(), values))
+
+
+def when_semantics(y: SignalTrace, z: SignalTrace) -> SignalTrace:
+    """``x = y when z``: x is y sampled where z is present and true."""
+    true_tags = {e.tag for e in z if e.value is True or e.value == True}  # noqa: E712
+    return SignalTrace((e.tag, e.value) for e in y if e.tag in true_tags)
+
+
+def default_semantics(y: SignalTrace, z: SignalTrace) -> SignalTrace:
+    """``x = y default z``: y's events, completed by z's where y is absent."""
+    y_tags = set(y.tags())
+    merged = [(e.tag, e.value) for e in y]
+    merged += [(e.tag, e.value) for e in z if e.tag not in y_tags]
+    merged.sort(key=lambda tv: tv[0])
+    return SignalTrace(merged)
+
+
+def func_semantics(f: Callable, operands: Sequence[SignalTrace]) -> SignalTrace:
+    """``x = f(y, z, ...)``: pointwise application on synchronous operands.
+
+    Raises :class:`ValueError` when the operands are not synchronous (the
+    equation's denotation is empty for such operand traces).
+    """
+    if not operands:
+        raise ValueError("f needs at least one operand")
+    tags = operands[0].tags()
+    for s in operands[1:]:
+        if s.tags() != tags:
+            raise ValueError("operands of a function must be synchronous")
+    return SignalTrace(
+        (t, f(*(s[i].value for s in operands))) for i, t in enumerate(tags)
+    )
+
+
+# -- membership predicates ----------------------------------------------------
+
+
+def denote_expression(expr, behavior: Behavior) -> SignalTrace:
+    """Denotational value of a :mod:`repro.lang` expression over ``behavior``.
+
+    Constants take the clock their context imposes; since this evaluator
+    works bottom-up it cannot know that clock, so a bare constant denotes
+    the *always-available* chameleon — represented lazily: constants are
+    resolved against the sibling operand's tags inside ``when`` /
+    ``default`` / applications, and a top-level bare constant is an error
+    (its clock is unconstrained, matching the simulator's refusal).
+
+    Self-referential expressions (feedback through ``pre``) cannot be
+    evaluated bottom-up and raise :class:`ValueError`; use the operational
+    engine for those.
+    """
+    from repro.lang import ast as A  # local import: tags must not require lang
+
+    class _Chameleon:
+        def __init__(self, value):
+            self.value = value
+
+    def resolve(val, tags):
+        if isinstance(val, _Chameleon):
+            return SignalTrace((t, val.value) for t in tags)
+        return val
+
+    def ev(e):
+        if isinstance(e, A.Var):
+            if e.name not in behavior:
+                raise ValueError("signal {!r} missing from behavior".format(e.name))
+            return behavior[e.name]
+        if isinstance(e, A.Const):
+            return _Chameleon(e.value)
+        if isinstance(e, A.Pre):
+            inner = ev(e.expr)
+            if isinstance(inner, _Chameleon):
+                raise ValueError("pre of a constant has no clock")
+            return pre_semantics(inner, e.init)
+        if isinstance(e, A.ClockOf):
+            inner = ev(e.expr)
+            if isinstance(inner, _Chameleon):
+                return _Chameleon(True)
+            return SignalTrace((t, True) for t in inner.tags())
+        if isinstance(e, A.When):
+            cond = ev(e.cond)
+            base = ev(e.expr)
+            if isinstance(cond, _Chameleon):
+                if not cond.value:
+                    return SignalTrace()
+                return base  # `when true` is the identity on the clock
+            base = resolve(base, cond.tags())
+            return when_semantics(base, cond)
+        if isinstance(e, A.Default):
+            left = ev(e.left)
+            right = ev(e.right)
+            if isinstance(left, _Chameleon):
+                # an always-available left shadows the right entirely
+                return left
+            right = resolve(right, ())  # constant right adds no instants
+            return default_semantics(left, right)
+        if isinstance(e, A.App):
+            from repro.lang.types import BUILTIN_FUNCTIONS
+
+            spec = BUILTIN_FUNCTIONS[e.op]
+            operands = [ev(a) for a in e.args]
+            concrete = [o for o in operands if not isinstance(o, _Chameleon)]
+            if not concrete:
+                return _Chameleon(spec.fn(*[o.value for o in operands]))
+            tags = concrete[0].tags()
+            operands = [resolve(o, tags) for o in operands]
+            return func_semantics(spec.fn, operands)
+        raise ValueError("cannot denote {!r}".format(e))
+
+    result = ev(expr)
+    if isinstance(result, _Chameleon):
+        raise ValueError("bare constant expression has no clock")
+    return result
+
+
+def in_pre(b: Behavior, x: str, y: str, init: object) -> bool:
+    """Does ``b`` satisfy ``[[x = pre init y]]``?"""
+    return b[x] == pre_semantics(b[y], init)
+
+
+def in_when(b: Behavior, x: str, y: str, z: str) -> bool:
+    """Does ``b`` satisfy ``[[x = y when z]]``?"""
+    return b[x] == when_semantics(b[y], b[z])
+
+
+def in_default(b: Behavior, x: str, y: str, z: str) -> bool:
+    """Does ``b`` satisfy ``[[x = y default z]]``?"""
+    return b[x] == default_semantics(b[y], b[z])
+
+
+def in_func(b: Behavior, x: str, operands: Sequence[str], f: Callable) -> bool:
+    """Does ``b`` satisfy ``[[x = f(operands...)]]``?"""
+    try:
+        expected = func_semantics(f, [b[name] for name in operands])
+    except ValueError:
+        return False
+    return b[x] == expected

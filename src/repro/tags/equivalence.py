@@ -1,0 +1,136 @@
+"""Stretching, stretch-equivalence, relaxation, flow-equivalence.
+
+These are Definitions 2 and 4 of the paper.  All checks are performed on
+finite behaviors with numeric tags.
+
+Soundness of the finite checks
+------------------------------
+
+*Stretching* asks for an order automorphism ``f`` of the tag domain with
+``t <= f(t)`` mapping behavior ``b`` onto ``c``.  Over a dense countable
+linear order (the rationals, into which our numeric tags embed), an
+increasing partial map on finitely many points with ``t <= f(t)`` at every
+point extends to such an automorphism by piecewise-linear interpolation:
+between two constraint points the interpolant of two ``>= id`` endpoints
+stays ``>= id``, and outside the constrained interval a translation by the
+(nonnegative) boundary offset works.  Hence checking the pointwise
+conditions on the *used* tags is exactly equivalent to Definition 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.tags.behavior import Behavior
+from repro.tags.trace import SignalTrace
+
+
+def is_stretching(b: Behavior, c: Behavior) -> bool:
+    """``b <= c`` (Definition 2): is ``c`` a stretching of ``b``?
+
+    There must be one global increasing tag bijection ``f`` with
+    ``t <= f(t)`` that maps every signal of ``b`` onto the corresponding
+    signal of ``c`` (same values, synchronizations preserved).
+    """
+    if b.vars() != c.vars():
+        return False
+    tags_b = b.all_tags()
+    tags_c = c.all_tags()
+    if len(tags_b) != len(tags_c):
+        return False
+    # The only candidate bijection on used tags is the rank-wise map.
+    if any(tb > tc for tb, tc in zip(tags_b, tags_c)):
+        return False
+    f: Dict = dict(zip(tags_b, tags_c))
+    for name in b.vars():
+        sb, sc = b[name], c[name]
+        if len(sb) != len(sc):
+            return False
+        for eb, ec in zip(sb, sc):
+            if f[eb.tag] != ec.tag or eb.value != ec.value:
+                return False
+    return True
+
+
+def canonicalize(b: Behavior) -> Behavior:
+    """The minimal stretching representative of ``b``.
+
+    Tags are renumbered to ``0, 1, 2, ...`` in order over the union of all
+    tags used by ``b``.  Two behaviors are stretch-equivalent iff their
+    canonical forms are equal (see :func:`stretch_equivalent`).
+    """
+    ranks = {t: i for i, t in enumerate(b.all_tags())}
+    return b.retimed(ranks)
+
+
+def stretch_equivalent(b: Behavior, c: Behavior) -> bool:
+    """``b ~ c`` (Definition 2): some behavior stretches to both.
+
+    Equivalent to equality of canonical forms: the rank-retimed behavior
+    ``d = canonicalize(b)`` satisfies ``d <= b`` and, when the structures
+    agree, ``d = canonicalize(c) <= c``.
+    """
+    if b.vars() != c.vars():
+        return False
+    return canonicalize(b) == canonicalize(c)
+
+
+def _single_trace_stretching(sb: SignalTrace, sc: SignalTrace) -> bool:
+    """Stretching restricted to one signal: values equal, tags grow."""
+    if len(sb) != len(sc):
+        return False
+    return all(
+        eb.value == ec.value and eb.tag <= ec.tag for eb, ec in zip(sb, sc)
+    )
+
+
+def is_relaxation(b: Behavior, c: Behavior) -> bool:
+    """``b (relaxes to) c`` (Definition 4): per-signal stretching.
+
+    Each signal of ``c`` carries the same flow as in ``b``, but signals may
+    be retimed independently (which may break inter-signal synchronization),
+    with every event of ``c`` at or after the matching event of ``b``.
+    """
+    if b.vars() != c.vars():
+        return False
+    return all(_single_trace_stretching(b[name], c[name]) for name in b.vars())
+
+
+def flow_values(b: Behavior) -> Dict[str, Tuple]:
+    """The flow of a behavior: each signal's value sequence, timing erased."""
+    return {name: b[name].values() for name in b.vars()}
+
+
+def flow_equivalent(b: Behavior, c: Behavior) -> bool:
+    """``b ~~ c`` (Definition 4): there is a common relaxation of both.
+
+    Because relaxation preserves each signal's value sequence and can move
+    tags arbitrarily far right, a common relaxation exists iff the flows
+    (per-signal value sequences) coincide.  The witness retimes signal
+    ``x``'s ``i``-th event to ``max(t(b(x)_i), t(c(x)_i))``.
+    """
+    if b.vars() != c.vars():
+        return False
+    return flow_values(b) == flow_values(c)
+
+
+def common_relaxation(b: Behavior, c: Behavior) -> Behavior:
+    """A concrete witness ``d`` with ``b`` and ``c`` both relaxing to ``d``.
+
+    Raises :class:`ValueError` when ``b`` and ``c`` are not flow-equivalent.
+    """
+    if not flow_equivalent(b, c):
+        raise ValueError("behaviors are not flow equivalent")
+    out = {}
+    for name in b.vars():
+        sb, sc = b[name], c[name]
+        events = []
+        last = None
+        for eb, ec in zip(sb, sc):
+            t = max(eb.tag, ec.tag)
+            if last is not None and t <= last:
+                t = last + 1  # keep the chain strictly increasing
+            events.append((t, eb.value))
+            last = t
+        out[name] = SignalTrace(events)
+    return Behavior(out)

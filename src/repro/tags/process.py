@@ -1,0 +1,130 @@
+"""Processes: sets of behaviors over a common variable set.
+
+The paper's processes are (generally infinite) sets of behaviors; a Signal
+program denotes one.  For validation we manipulate *finite* processes: a
+finite set of finite behaviors, typically obtained by simulating a program
+against a family of stimuli.  Stretch closure (``P*``) is represented
+implicitly: membership and equality are offered both exactly and *up to
+stretching* / *up to flow*, which is how Lemma 1 ("all Signal programs are
+stretch-closed") is exercised without materializing infinite sets.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Mapping
+
+from repro.tags.behavior import Behavior
+from repro.tags.equivalence import (
+    canonicalize,
+    flow_equivalent,
+    is_stretching,
+    stretch_equivalent,
+)
+
+
+class Process:
+    """An immutable finite set of behaviors with a common variable set."""
+
+    __slots__ = ("_behaviors", "_vars")
+
+    def __init__(self, behaviors: Iterable[Behavior]):
+        behaviors = frozenset(behaviors)
+        names = None
+        for b in behaviors:
+            if names is None:
+                names = b.vars()
+            elif b.vars() != names:
+                raise ValueError(
+                    "behaviors of a process must share one variable set: "
+                    "{} vs {}".format(sorted(names), sorted(b.vars()))
+                )
+        self._behaviors: FrozenSet[Behavior] = behaviors
+        self._vars = names if names is not None else frozenset()
+
+    # -- access -------------------------------------------------------------
+
+    def vars(self) -> frozenset:
+        return self._vars
+
+    def behaviors(self) -> FrozenSet[Behavior]:
+        return self._behaviors
+
+    def __iter__(self) -> Iterator[Behavior]:
+        return iter(self._behaviors)
+
+    def __len__(self) -> int:
+        return len(self._behaviors)
+
+    def __contains__(self, b: Behavior) -> bool:
+        return b in self._behaviors
+
+    # -- paper operations ---------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Process":
+        """``P|_X``: projection of every behavior."""
+        return Process(b.project(names) for b in self._behaviors)
+
+    def hide(self, names: Iterable[str]) -> "Process":
+        """``P\\_X``: co-projection of every behavior."""
+        return Process(b.hide(names) for b in self._behaviors)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Process":
+        """``P[y/x]`` (Definition 5)."""
+        return Process(b.rename(mapping) for b in self._behaviors)
+
+    def canonical(self) -> "Process":
+        """Canonical representative set: each behavior rank-retimed.
+
+        ``P.canonical()`` identifies ``P`` up to stretch closure: two
+        processes have equal stretch closures iff their canonical sets are
+        equal.
+        """
+        return Process(canonicalize(b) for b in self._behaviors)
+
+    def contains_up_to_stretching(self, b: Behavior) -> bool:
+        """Is ``b`` in the stretch closure ``P*``?"""
+        return any(stretch_equivalent(b, member) for member in self._behaviors)
+
+    def contains_stretching_of(self, b: Behavior) -> bool:
+        """Does ``P`` contain a behavior that stretches ``b`` (``b <= member``)?"""
+        return any(is_stretching(b, member) for member in self._behaviors)
+
+    def contains_up_to_flow(self, b: Behavior) -> bool:
+        """Does ``P`` contain a flow-equivalent behavior?"""
+        return any(flow_equivalent(b, member) for member in self._behaviors)
+
+    def equal_up_to_stretching(self, other: "Process") -> bool:
+        """Equality of stretch closures (the ``=`` used by the theorems)."""
+        if self._vars != other._vars:
+            return False
+        return self.canonical().behaviors() == other.canonical().behaviors()
+
+    def equal_up_to_flow(self, other: "Process") -> bool:
+        """Mutual inclusion up to flow equivalence."""
+        if self._vars != other._vars:
+            return False
+        return all(other.contains_up_to_flow(b) for b in self._behaviors) and all(
+            self.contains_up_to_flow(b) for b in other._behaviors
+        )
+
+    def included_up_to_flow(self, other: "Process") -> bool:
+        """Every behavior of ``self`` has a flow-equivalent member in ``other``."""
+        return all(other.contains_up_to_flow(b) for b in self._behaviors)
+
+    def union(self, other: "Process") -> "Process":
+        return Process(self._behaviors | other._behaviors)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Process):
+            return NotImplemented
+        return self._behaviors == other._behaviors
+
+    def __hash__(self) -> int:
+        return hash(self._behaviors)
+
+    def __repr__(self) -> str:
+        return "Process({} behaviors over {})".format(
+            len(self._behaviors), sorted(self._vars)
+        )

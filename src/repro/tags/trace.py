@@ -1,0 +1,171 @@
+"""Signal traces: discrete chains of tagged events (Definition 1).
+
+A signal is a partial function from tags to values whose domain is a
+discrete, well-founded chain.  Concretely we store an immutable sequence of
+events with strictly increasing numeric tags.  The index of an event in the
+sequence is its rank in the chain (``s_i`` in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+Tag = Union[int, float]
+Value = object
+
+
+class Event:
+    """A single event: a value observed at a tag.
+
+    The paper defines events as elements of ``T x V``.  ``t(e)`` is
+    :attr:`tag`.
+    """
+
+    __slots__ = ("tag", "value")
+
+    def __init__(self, tag: Tag, value: Value):
+        self.tag = tag
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "Event({!r}, {!r})".format(self.tag, self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.tag == other.tag and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.value))
+
+
+class SignalTrace:
+    """An immutable finite chain of events with strictly increasing tags.
+
+    Supports the chain operations used throughout the paper: rank indexing
+    (``s_i``), prefixes up to a tag (``[s]_t``), length (``|s|``), and
+    retiming (applying a tag bijection, used by stretching).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Tuple[Tag, Value]] = ()):
+        evs: List[Event] = []
+        last: Optional[Tag] = None
+        for item in events:
+            ev = item if isinstance(item, Event) else Event(item[0], item[1])
+            if last is not None and ev.tag <= last:
+                raise ValueError(
+                    "tags must be strictly increasing: {!r} after {!r}".format(
+                        ev.tag, last
+                    )
+                )
+            last = ev.tag
+            evs.append(ev)
+        self._events = tuple(evs)
+
+    @classmethod
+    def from_values(cls, values: Sequence[Value], start: int = 0, step: int = 1) -> "SignalTrace":
+        """Build a trace with evenly spaced integer tags."""
+        return cls((start + i * step, v) for i, v in enumerate(values))
+
+    # -- chain access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return SignalTrace((e.tag, e.value) for e in self._events[i])
+        return self._events[i]
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        return self._events
+
+    def tags(self) -> Tuple[Tag, ...]:
+        """The chain of tags at which the signal is present."""
+        return tuple(e.tag for e in self._events)
+
+    def values(self) -> Tuple[Value, ...]:
+        """The flow of the signal: its values in chain order."""
+        return tuple(e.value for e in self._events)
+
+    def value_at(self, tag: Tag) -> Value:
+        """The value of the signal at ``tag``; raises ``KeyError`` if absent."""
+        for e in self._events:
+            if e.tag == tag:
+                return e.value
+            if e.tag > tag:
+                break
+        raise KeyError(tag)
+
+    def present_at(self, tag: Tag) -> bool:
+        return any(e.tag == tag for e in self._events)
+
+    # -- paper operations --------------------------------------------------
+
+    def up_to(self, tag: Tag) -> "SignalTrace":
+        """``[s]_t``: the sub-chain of events with tags ``<= tag``."""
+        return SignalTrace((e.tag, e.value) for e in self._events if e.tag <= tag)
+
+    def count_up_to(self, tag: Tag) -> int:
+        """``|[s]_t|``: how many events occurred at or before ``tag``."""
+        return sum(1 for e in self._events if e.tag <= tag)
+
+    def subchain(self, i: int, n: int) -> "SignalTrace":
+        """``s_{i..i+n}``: the sub-chain of length ``n + 1`` starting at rank ``i``."""
+        return self[i : i + n + 1]
+
+    def retimed(self, mapping) -> "SignalTrace":
+        """Apply a tag transformation ``mapping`` (callable or dict).
+
+        The transformation must be strictly increasing on the trace's tags;
+        :class:`ValueError` is raised otherwise.  This is the trace-level
+        ingredient of stretching (Definition 2).
+        """
+        if isinstance(mapping, dict):
+            get = mapping.__getitem__
+        else:
+            get = mapping
+        return SignalTrace((get(e.tag), e.value) for e in self._events)
+
+    def shifted(self, delta: Tag) -> "SignalTrace":
+        """Shift every tag by ``delta`` (a special case of retiming)."""
+        return self.retimed(lambda t: t + delta)
+
+    def concat(self, other: "SignalTrace") -> "SignalTrace":
+        """Concatenate ``other`` after this trace (tags must keep increasing)."""
+        return SignalTrace(
+            [(e.tag, e.value) for e in self._events]
+            + [(e.tag, e.value) for e in other._events]
+        )
+
+    def is_prefix_of(self, other: "SignalTrace") -> bool:
+        """True when this trace is an event-wise prefix of ``other``."""
+        if len(self) > len(other):
+            return False
+        return all(a == b for a, b in zip(self._events, other._events))
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignalTrace):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        inner = ", ".join("{}:{!r}".format(e.tag, e.value) for e in self._events)
+        return "SignalTrace([{}])".format(inner)
+
+
+EMPTY_TRACE = SignalTrace()

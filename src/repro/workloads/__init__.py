@@ -1,0 +1,32 @@
+"""Workload scenarios: the "given environment" of Section 5.2.
+
+A :class:`Workload` packages matching descriptions of one environment for
+the three execution styles the repo compares:
+
+- a *stimulus factory* driving the synchronous / desynchronized multiclock
+  simulator (activation events + channel read requests), and
+- a *schedule factory* driving the GALS event-driven network.
+
+The scenario constructors cover the regimes the paper's discussion turns
+on: rate-matched steady flow, bursty producers with matched average rate
+(bounded backlog — estimable buffers), sustained rate mismatch (no finite
+buffer suffices), and randomized/adversarial arrival patterns.
+"""
+
+from repro.workloads.scenarios import (
+    Workload,
+    adversarial,
+    bursty_producer,
+    rate_mismatch_sweep,
+    steady,
+    burst_sweep,
+)
+
+__all__ = [
+    "Workload",
+    "adversarial",
+    "bursty_producer",
+    "rate_mismatch_sweep",
+    "steady",
+    "burst_sweep",
+]

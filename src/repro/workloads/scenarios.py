@@ -1,0 +1,161 @@
+"""Concrete workload scenarios for the producer/consumer designs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional
+
+from repro.gals import schedules
+from repro.sim import stimuli
+
+
+class Workload(NamedTuple):
+    """One environment, usable with every execution backend.
+
+    ``stimulus_factory()`` yields per-instant input maps for the
+    synchronous simulator (driving ``producer_act`` and ``reader_req``
+    signal names); ``schedule_factory()`` returns GALS activation
+    schedules keyed by node name.
+    """
+
+    name: str
+    stimulus_factory: Callable[[], Iterator[Dict[str, object]]]
+    schedule_factory: Callable[[], Dict[str, Iterator[float]]]
+    params: Dict[str, object]
+
+    def stimulus(self):
+        return self.stimulus_factory()
+
+    def gals_schedules(self):
+        return self.schedule_factory()
+
+
+def steady(
+    producer_period: int = 1,
+    reader_period: int = 1,
+    producer_act: str = "p_act",
+    reader_req: str = "x_rreq",
+    producer_node: str = "P",
+    consumer_node: str = "Q",
+    reader_phase: int = 0,
+) -> Workload:
+    """Periodic producer and reader."""
+
+    def stim():
+        return stimuli.merge(
+            stimuli.periodic(producer_act, producer_period),
+            stimuli.periodic(reader_req, reader_period, phase=reader_phase),
+        )
+
+    def scheds():
+        return {
+            producer_node: schedules.periodic(float(producer_period)),
+            consumer_node: schedules.periodic(
+                float(reader_period), phase=reader_phase + 0.5
+            ),
+        }
+
+    return Workload(
+        "steady(p={}, r={})".format(producer_period, reader_period),
+        stim,
+        scheds,
+        {"producer_period": producer_period, "reader_period": reader_period},
+    )
+
+
+def bursty_producer(
+    burst: int = 3,
+    gap: int = 3,
+    reader_period: int = 2,
+    producer_act: str = "p_act",
+    reader_req: str = "x_rreq",
+    producer_node: str = "P",
+    consumer_node: str = "Q",
+) -> Workload:
+    """Bursts of writes with a matched-average reader.
+
+    Average producer rate is ``burst / (burst + gap)``; pick
+    ``reader_period <= (burst + gap) / burst`` to keep the backlog bounded
+    and the buffer estimable.
+    """
+
+    def stim():
+        return stimuli.merge(
+            stimuli.bursty(producer_act, burst=burst, gap=gap),
+            stimuli.periodic(reader_req, reader_period),
+        )
+
+    def scheds():
+        return {
+            producer_node: schedules.bursty(
+                burst=burst, intra=1.0, gap=float(gap)
+            ),
+            consumer_node: schedules.periodic(float(reader_period), phase=0.5),
+        }
+
+    return Workload(
+        "bursty(b={}, g={}, r={})".format(burst, gap, reader_period),
+        stim,
+        scheds,
+        {"burst": burst, "gap": gap, "reader_period": reader_period},
+    )
+
+
+def adversarial(
+    p_write: float = 0.7,
+    p_read: float = 0.5,
+    seed: int = 0,
+    producer_act: str = "p_act",
+    reader_req: str = "x_rreq",
+    producer_node: str = "P",
+    consumer_node: str = "Q",
+) -> Workload:
+    """Independent random arrivals (Bernoulli per instant / Poisson in time)."""
+
+    def stim():
+        return stimuli.merge(
+            stimuli.bernoulli(producer_act, p_write, seed=seed),
+            stimuli.bernoulli(reader_req, p_read, seed=seed + 1),
+        )
+
+    def scheds():
+        return {
+            producer_node: schedules.poisson(p_write, seed=seed),
+            consumer_node: schedules.poisson(p_read, seed=seed + 1),
+        }
+
+    return Workload(
+        "adversarial(pw={}, pr={}, seed={})".format(p_write, p_read, seed),
+        stim,
+        scheds,
+        {"p_write": p_write, "p_read": p_read, "seed": seed},
+    )
+
+
+def rate_mismatch_sweep(
+    reader_periods: Iterable[int] = (1, 2, 3, 4),
+    producer_period: int = 1,
+    **kwargs,
+) -> List[Workload]:
+    """Steady workloads with increasing reader sluggishness (experiment F3)."""
+    return [
+        steady(producer_period=producer_period, reader_period=rp, **kwargs)
+        for rp in reader_periods
+    ]
+
+
+def burst_sweep(
+    bursts: Iterable[int] = (1, 2, 3, 5, 8),
+    slack: int = 1,
+    **kwargs,
+) -> List[Workload]:
+    """Bursty workloads with growing burst length and matched average rate.
+
+    ``gap`` grows with the burst so the reader (period ``1 + slack``) keeps
+    up on average while peak backlog grows linearly — the regime where the
+    estimated buffer size should track the burst length (experiment F4).
+    """
+    out = []
+    for b in bursts:
+        gap = b * slack + b  # reader at period (1+slack) drains b in b*(1+slack)
+        out.append(bursty_producer(burst=b, gap=gap, reader_period=1 + slack, **kwargs))
+    return out

@@ -1,0 +1,84 @@
+"""Tests for the extended CLI (verify backends, coverage)."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.desync import one_place_fifo
+from repro.lang import format_component
+from repro.lang.types import BOOL
+
+
+@pytest.fixture
+def fifo_file(tmp_path):
+    comp, ports = one_place_fifo(dtype=BOOL)
+    path = tmp_path / "fifo.sig"
+    path.write_text(format_component(comp))
+    return str(path), ports
+
+
+@pytest.fixture
+def counter_file(tmp_path):
+    path = tmp_path / "counter.sig"
+    path.write_text(
+        "process C = (? event tick; ! integer x; ! event blown;)"
+        "(| x := (pre 0 x) + 1 | x ^= tick"
+        " | blown := (true when (x > 3)) when tick |) end"
+    )
+    return str(path)
+
+
+class TestVerifyBackends:
+    def test_explicit_refutes(self, fifo_file, capsys):
+        path, ports = fifo_file
+        rc = main(["verify", path, "--never", ports.alarm])
+        assert rc == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_symbolic_refutes_identically(self, fifo_file, capsys):
+        path, ports = fifo_file
+        rc = main(["verify", path, "--never", ports.alarm, "--backend", "symbolic"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "symbolic" in out and "counterexample" in out
+
+    def test_symbolic_proves(self, fifo_file, capsys):
+        path, ports = fifo_file
+        # tie the write port off: no writes, no alarm, provable
+        rc = main(
+            ["verify", path, "--never", ports.alarm,
+             "--backend", "symbolic", "--never-input", "msgin"]
+        )
+        assert rc == 0
+        assert "PROVEN" in capsys.readouterr().out
+
+    def test_bounded_backend_on_infinite_state(self, counter_file, capsys):
+        # unbounded counter: explicit compilation would diverge, the
+        # bounded backend refutes within the depth
+        rc = main(
+            ["verify", counter_file, "--never", "blown",
+             "--backend", "bounded", "--depth", "6"]
+        )
+        assert rc == 1
+        assert "bounded search" in capsys.readouterr().out
+
+    def test_bounded_safe_within_depth(self, counter_file, capsys):
+        rc = main(
+            ["verify", counter_file, "--never", "blown",
+             "--backend", "bounded", "--depth", "3"]
+        )
+        assert rc == 0
+        assert "SAFE up to depth 3" in capsys.readouterr().out
+
+
+class TestCoverageCommand:
+    def test_coverage_report(self, fifo_file, capsys):
+        path, ports = fifo_file
+        rc = main(
+            ["coverage", path, "--stim", "msgin:2:0:true",
+             "--stim", "rreq:2:1", "-n", "20",
+             "--group", "msgin,rreq"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coverage over 20 instants" in out
+        assert "presence patterns" in out

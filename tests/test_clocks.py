@@ -1,0 +1,194 @@
+"""Tests for the clock calculus (expr normalization, extraction, hierarchy)."""
+
+from repro.clocks import (
+    CEmpty,
+    CInter,
+    CSample,
+    CUnion,
+    CVar,
+    analyze_clocks,
+    extract_constraints,
+    inter,
+    union,
+)
+from repro.lang import parse_component
+
+
+class TestClockExprNormalization:
+    def test_union_flatten_dedupe(self):
+        e = union(CVar("a"), union(CVar("b"), CVar("a")))
+        assert isinstance(e, CUnion)
+        assert e.parts == (CVar("a"), CVar("b"))
+
+    def test_union_identity(self):
+        assert union(CVar("a")) == CVar("a")
+        assert union() is CEmpty
+        assert union(CVar("a"), CEmpty) == CVar("a")
+
+    def test_union_absorbs_sample_under_var(self):
+        assert union(CVar("z"), CSample("z", True)) == CVar("z")
+
+    def test_union_of_complementary_samples_is_var(self):
+        assert union(CSample("z", True), CSample("z", False)) == CVar("z")
+
+    def test_inter_flatten_and_zero(self):
+        assert inter(CVar("a"), CEmpty) is CEmpty
+        e = inter(CVar("a"), inter(CVar("b"), CVar("a")))
+        assert isinstance(e, CInter)
+        assert e.parts == (CVar("a"), CVar("b"))
+
+    def test_inter_of_complementary_samples_is_zero(self):
+        assert inter(CSample("z", True), CSample("z", False)) is CEmpty
+
+    def test_inter_absorbs_var_over_sample(self):
+        assert inter(CVar("z"), CSample("z", True)) == CSample("z", True)
+
+    def test_ordering_and_hash(self):
+        assert len({CVar("a"), CVar("a"), CSample("a", True)}) == 2
+        assert sorted([CVar("b"), CSample("a")])  # total order exists
+
+    def test_leaves(self):
+        e = union(inter(CVar("a"), CSample("z")), CVar("b"))
+        assert e.leaves() == {CVar("a"), CSample("z"), CVar("b")}
+
+
+class TestExtraction:
+    def constraints_of(self, text):
+        return extract_constraints(parse_component(text))
+
+    def test_function_synchronizes(self):
+        cs = self.constraints_of(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := a + b |) end"
+        )
+        rights = {(c.left, c.right) for c in cs}
+        assert (CVar("x"), CVar("a")) in rights
+        assert (CVar("x"), CVar("b")) in rights
+
+    def test_when_intersects(self):
+        cs = self.constraints_of(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := a when c |) end"
+        )
+        assert cs[0].left == CVar("x")
+        assert cs[0].right == inter(CVar("a"), CSample("c", True))
+
+    def test_default_unions(self):
+        cs = self.constraints_of(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := a default b |) end"
+        )
+        assert cs[0].right == union(CVar("a"), CVar("b"))
+
+    def test_pre_synchronous(self):
+        cs = self.constraints_of(
+            "process C = (? integer a; ! integer x;) (| x := pre 0 a |) end"
+        )
+        assert (cs[0].left, cs[0].right) == (CVar("x"), CVar("a"))
+
+    def test_sync_constraint(self):
+        cs = self.constraints_of(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := a | a ^= b |) end"
+        )
+        pairs = {(c.left, c.right) for c in cs}
+        assert (CVar("a"), CVar("b")) in pairs
+
+    def test_nested_expression_goes_through_fresh_locals(self):
+        cs = self.constraints_of(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := (a + 1) when c |) end"
+        )
+        # a fresh local _t0 := a + 1 and x := _t0 when c
+        lefts = {c.left for c in cs}
+        assert CVar("x") in lefts
+        assert any(l != CVar("x") for l in lefts)
+
+    def test_constant_sampled_by_condition(self):
+        cs = self.constraints_of(
+            "process C = (? boolean c; ! boolean x;) (| x := true when c |) end"
+        )
+        assert cs[0].right == CSample("c", True)
+
+
+class TestHierarchy:
+    def test_synchronous_classes(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x; ! integer y;)"
+            "(| x := a + 1 | y := pre 0 x |) end"
+        )
+        an = analyze_clocks(comp)
+        assert an.synchronous("a", "x")
+        assert an.synchronous("x", "y")
+
+    def test_sampled_clock_is_subset(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := a when c |) end"
+        )
+        an = analyze_clocks(comp)
+        rx, ra = an.rep["x"], an.rep["a"]
+        assert ra in an.subset[rx]
+        assert not an.synchronous("x", "a")
+
+    def test_input_deterministic_design(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer x; ! integer t;)"
+            "(| x := a when c | t := a + 1 |) end"
+        )
+        an = analyze_clocks(comp)
+        assert an.is_input_deterministic()
+        assert an.free == frozenset()
+
+    def test_free_clock_detected(self):
+        comp = parse_component(
+            "process Cell = (? integer msgin; ! integer msgout;)"
+            "(| data := msgin default (pre 0 data)"
+            " | msgout := data when ^msgout |)"
+            " where integer data; end"
+        )
+        an = analyze_clocks(comp)
+        assert not an.is_input_deterministic()
+        assert an.rep["msgout"] in an.free or an.rep["data"] in an.free
+
+    def test_master_clock_default_union(self):
+        comp = parse_component(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := a default b |) end"
+        )
+        an = analyze_clocks(comp)
+        assert an.master == an.rep["x"]
+
+    def test_no_master_for_independent_domains(self):
+        comp = parse_component(
+            "process D = (? integer a; ? integer b; ! integer x; ! integer y;)"
+            "(| x := a * 2 | y := b + 1 |) end"
+        )
+        an = analyze_clocks(comp)
+        assert an.master is None
+
+    def test_render_mentions_classes(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x;) (| x := a + 1 |) end"
+        )
+        text = analyze_clocks(comp).render()
+        assert "clock classes" in text
+        assert "a" in text and "x" in text
+
+    def test_determinism_matches_simulator_oracle_need(self):
+        """The report's free clocks correspond to reactor oracle needs."""
+        from repro.sim import Reactor
+
+        free_comp = parse_component(
+            "process Cell = (? integer msgin; ! integer msgout;)"
+            "(| data := msgin default (pre 0 data)"
+            " | msgout := data when ^msgout |)"
+            " where integer data; end"
+        )
+        an = analyze_clocks(free_comp)
+        assert not an.is_input_deterministic()
+        # and indeed the simulator silently picks the least clock (msgout
+        # never appears), which is why the report matters.
+        r = Reactor(free_comp)
+        out = r.react({"msgin": 1})
+        assert "msgout" not in out

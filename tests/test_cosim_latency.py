@@ -1,0 +1,147 @@
+"""Tests for co-simulation and GALS channel latency."""
+
+import pytest
+
+from repro.designs import producer_consumer
+from repro.gals import AsyncChannel, AsyncNetwork, schedules
+from repro.lang import optimize_component, parse_component
+from repro.sim import stimuli
+from repro.sim.cosim import Cosim, cosimulate
+
+
+SRC_A = (
+    "process A = (? integer a; ? boolean c; ! integer y;)"
+    "(| y := (a + a) when c |) end"
+)
+SRC_B = (
+    "process B = (? integer a; ? boolean c; ! integer y;)"
+    "(| y := (2 * a) when c |) end"
+)
+SRC_BAD = (
+    "process X = (? integer a; ? boolean c; ! integer y;)"
+    "(| y := (a + a + 1) when c |) end"
+)
+
+
+def stim():
+    return stimuli.merge(
+        stimuli.periodic("a", 1, values=stimuli.counter()),
+        stimuli.periodic("c", 2, values=iter([True, False] * 20)),
+    )
+
+
+class TestCosim:
+    def test_equivalent_designs(self):
+        report = cosimulate(
+            parse_component(SRC_A), parse_component(SRC_B), stim(), n=20
+        )
+        assert report.equivalent
+        assert report.instants == 20
+
+    def test_mismatch_located(self):
+        report = cosimulate(
+            parse_component(SRC_A), parse_component(SRC_BAD), stim(), n=20
+        )
+        assert not report.equivalent
+        m = report.mismatches[0]
+        assert m.instant == 0
+        assert m.left != m.right
+        assert "instant 0" in m.render()
+
+    def test_stop_at_first(self):
+        cos = Cosim(parse_component(SRC_A), parse_component(SRC_BAD))
+        report = cos.run(stim(), n=20, stop_at_first=True)
+        assert len(report.mismatches) == 1
+        assert report.instants < 20
+
+    def test_view_restricts_comparison(self):
+        # compare nothing -> vacuously equivalent
+        report = cosimulate(
+            parse_component(SRC_A),
+            parse_component(SRC_BAD),
+            stim(),
+            n=10,
+            view=lambda out: {},
+        )
+        assert report.equivalent
+
+    def test_input_mismatch_rejected(self):
+        other = parse_component(
+            "process Z = (? integer b; ! integer y;) (| y := b |) end"
+        )
+        with pytest.raises(ValueError):
+            Cosim(parse_component(SRC_A), other)
+
+    def test_rejection_counts_as_mismatch(self):
+        strict = parse_component(
+            "process S = (? integer a; ? boolean c; ! integer y;)"
+            "(| y := a + (0 when c) |) end"  # requires c true whenever a
+        )
+        lenient = parse_component(
+            "process L = (? integer a; ? boolean c; ! integer y;)"
+            "(| y := a |) end"
+        )
+        report = cosimulate(strict, lenient, stim(), n=6)
+        assert not report.equivalent
+
+    def test_optimizer_validated_by_cosim(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer y;)"
+            "(| t := a | u := 1 + 1 | y := (t when (c and true))"
+            " default (u when c) default t |)"
+            " where integer t, u; end"
+        )
+        report = cosimulate(comp, optimize_component(comp), stim(), n=30)
+        assert report.equivalent
+
+
+class TestChannelLatency:
+    def test_item_invisible_until_latency_elapses(self):
+        ch = AsyncChannel("c", latency=2.0)
+        ch.push("v", 1.0)
+        assert not ch.available(2.9)
+        assert ch.available(3.0)
+        assert ch.pop(3.5) == "v"
+        assert ch.mean_latency() == pytest.approx(2.5)
+
+    def test_zero_latency_default(self):
+        ch = AsyncChannel("c")
+        ch.push("v", 1.0)
+        assert ch.available(1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncChannel("c", latency=-1.0)
+
+    def test_network_latency_delays_delivery(self):
+        fast = AsyncNetwork.from_program(
+            producer_consumer(), schedules={"P": schedules.periodic(1.0)}
+        )
+        t_fast = fast.run(horizon=6.0)
+
+        slow = AsyncNetwork.from_program(
+            producer_consumer(),
+            schedules={"P": schedules.periodic(1.0)},
+            latencies={"x": 2.5},
+        )
+        t_slow = slow.run(horizon=6.0)
+        # same flow, fewer deliveries inside the horizon
+        n = len(t_slow.values("y"))
+        assert n < len(t_fast.values("y"))
+        assert list(t_slow.values("y")) == list(t_fast.values("y"))[:n]
+        # read tags lag write tags by at least the latency
+        writes = t_slow.behavior["x__w"].tags()
+        reads = t_slow.behavior["x__r"].tags()
+        for w, r in zip(writes, reads):
+            assert r - w >= 2.5 - 1e-9
+
+    def test_stats_report_latency(self):
+        net = AsyncNetwork.from_program(
+            producer_consumer(),
+            schedules={"P": schedules.periodic(1.0)},
+            latencies={"x": 1.0},
+        )
+        trace = net.run(horizon=8.0)
+        stats = list(trace.channels.values())[0]
+        assert stats["latency"] == 1.0
+        assert stats["mean_wait"] >= 1.0

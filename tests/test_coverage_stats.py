@@ -1,0 +1,121 @@
+"""Tests for coverage measurement and channel statistics."""
+
+import pytest
+
+from repro.designs import producer_consumer
+from repro.desync import desynchronize
+from repro.desync.stats import channel_stats, network_stats
+from repro.lang import parse_component
+from repro.sim import simulate, stimuli
+from repro.sim.coverage import measure_coverage
+from repro.tags.behavior import Behavior
+from repro.tags.trace import SignalTrace
+
+COMP = parse_component(
+    "process C = (? integer a; ? boolean c; ? event e; ! integer y; ! boolean odd;)"
+    "(| y := a when c | odd := (a mod 2) = 1 |) end"
+)
+
+
+class TestCoverage:
+    def test_full_universe_reported(self):
+        trace = simulate(COMP, stimuli.rows([{"a": 1, "c": True}]), n=1)
+        report = measure_coverage(trace, component=COMP)
+        assert set(report.signals) == {"a", "c", "e", "y", "odd"}
+        assert "e" in report.never_present
+
+    def test_toggle_detection(self):
+        rows = [{"a": 1, "c": True}, {"a": 2, "c": True}]
+        report = measure_coverage(
+            simulate(COMP, stimuli.rows(rows)), component=COMP
+        )
+        # c never toggled (always True); odd toggled (1 odd, 2 even)
+        assert "c" in report.untoggled_booleans
+        assert report.signals["odd"].toggled
+
+    def test_events_never_count_as_stuck(self):
+        rows = [{"a": 1, "c": True, "e": True}]
+        report = measure_coverage(simulate(COMP, stimuli.rows(rows)), component=COMP)
+        assert "e" not in report.untoggled_booleans
+
+    def test_value_coverage(self):
+        rows = [{"a": v, "c": True} for v in (1, 2, 2, 3)]
+        report = measure_coverage(simulate(COMP, stimuli.rows(rows)), component=COMP)
+        assert report.signals["a"].values_seen == (1, 2, 3)
+
+    def test_clock_patterns(self):
+        rows = [{"a": 1}, {"c": True}, {"a": 1, "c": True}, {}]
+        report = measure_coverage(
+            simulate(COMP, stimuli.rows(rows)),
+            component=COMP,
+            clock_groups=[("a", "c")],
+        )
+        patterns = report.clock_patterns[("a", "c")]
+        assert len(patterns) == 4  # all combinations observed
+
+    def test_presence_ratio_and_render(self):
+        trace = simulate(COMP, stimuli.rows([{"a": 1, "c": False}]), n=1)
+        report = measure_coverage(trace, component=COMP)
+        assert 0 < report.presence_ratio() < 1
+        text = report.render()
+        assert "coverage over" in text and "never present" in text
+
+
+class TestChannelStats:
+    def run(self, capacity=2, reader_period=2, n=20):
+        res = desynchronize(producer_consumer(), capacities=capacity)
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 2),
+            stimuli.periodic("x_rreq", reader_period, phase=1),
+        )
+        return simulate(res.program, stim, n=n), res
+
+    def test_counts_and_latency(self):
+        trace, res = self.run()
+        ch = res.channels[0]
+        stats = channel_stats(trace, ch.write_port, ch.read_port, alarm=ch.alarm)
+        assert stats.writes == 10
+        assert stats.reads >= 9
+        assert stats.lost == 0
+        assert stats.mean_latency >= 1.0  # reads offset by one instant
+        assert stats.peak_occupancy >= 1
+        assert "throughput" in stats.render()
+
+    def test_lossy_run_excludes_rejected_writes(self):
+        res = desynchronize(producer_consumer(), capacities=1)
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1), stimuli.periodic("x_rreq", 4)
+        )
+        trace = simulate(res.program, stim, n=16)
+        ch = res.channels[0]
+        stats = channel_stats(trace, ch.write_port, ch.read_port, alarm=ch.alarm)
+        assert stats.lost > 0
+        # latencies pair accepted writes with reads; all nonnegative
+        assert all(l >= 0 for l in stats.latencies)
+
+    def test_occupancy_timeline_monotone_steps(self):
+        trace, res = self.run()
+        ch = res.channels[0]
+        stats = channel_stats(trace, ch.write_port, ch.read_port)
+        assert all(occ >= 0 for _, occ in stats.occupancy)
+        tags = [t for t, _ in stats.occupancy]
+        assert tags == sorted(tags)
+
+    def test_network_stats(self):
+        trace, res = self.run()
+        stats = network_stats(trace, res.channels)
+        assert len(stats) == 1
+        only = list(stats.values())[0]
+        assert only.writes == 10
+
+    def test_behavior_source(self):
+        b = Behavior(
+            {
+                "w": SignalTrace([(0, 1), (2, 2)]),
+                "r": SignalTrace([(1, 1), (5, 2)]),
+            }
+        )
+        stats = channel_stats(b, "w", "r")
+        assert stats.latencies == (1, 3)
+        assert stats.pending == 0
+        assert stats.peak_occupancy == 1

@@ -1,0 +1,131 @@
+"""Tests for producer clock masking (Section 5.2 backpressure)."""
+
+import pytest
+
+from repro.designs import modular_producer_consumer, producer_consumer
+from repro.desync import clock_gate, desynchronize
+from repro.errors import TransformError
+from repro.lang import check_component, check_program
+from repro.mc import check_never_present, compile_lts
+from repro.sim import Reactor, simulate, stimuli
+
+
+class TestClockGate:
+    def test_passes_when_not_full(self):
+        comp, ports = clock_gate("act", ["f"])
+        check_component(comp)
+        r = Reactor(comp)
+        out = r.react({"act": True})
+        assert ports.gated in out
+
+    def test_blocks_after_full_observation(self):
+        comp, ports = clock_gate("act", ["f"])
+        r = Reactor(comp)
+        r.react({"f": True})            # channel reports full
+        out = r.react({"act": True})
+        assert ports.gated not in out   # masked
+        r.react({"f": False})           # channel drains
+        out = r.react({"act": True})
+        assert ports.gated in out
+
+    def test_simultaneous_full_uses_previous_state(self):
+        # The gate reads its hold register through `pre`: a full report in
+        # the same instant as the activation takes effect next time.
+        comp, ports = clock_gate("act", ["f"])
+        r = Reactor(comp)
+        out = r.react({"act": True, "f": True})
+        assert ports.gated in out       # decision predates the report
+        out = r.react({"act": True})
+        assert ports.gated not in out
+
+    def test_multiple_channels_any_full_blocks(self):
+        comp, ports = clock_gate("act", ["f1", "f2"])
+        r = Reactor(comp)
+        r.react({"f1": False, "f2": True})
+        assert ports.gated not in r.react({"act": True})
+        r.react({"f2": False})
+        assert ports.gated in r.react({"act": True})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clock_gate("act", [])
+
+
+class TestBackpressuredDesync:
+    def desync(self, capacity=2):
+        return desynchronize(
+            producer_consumer(),
+            capacities=capacity,
+            backpressure={"P": "p_act"},
+        )
+
+    def test_program_well_formed(self):
+        res = self.desync()
+        check_program(res.program)
+        names = {c.name for c in res.program.components}
+        assert "Gate_P" in names
+
+    def test_no_alarms_under_sustained_mismatch(self):
+        res = self.desync(capacity=2)
+        ch = res.channels[0]
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1),       # producer wants every instant
+            stimuli.periodic(ch.rreq, 3),       # reader only every third
+        )
+        trace = simulate(res.program, stim, n=30)
+        assert trace.presence_count(ch.alarm) == 0
+
+    def test_lossless_delivery(self):
+        res = self.desync(capacity=2)
+        ch = res.channels[0]
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1), stimuli.periodic(ch.rreq, 3)
+        )
+        trace = simulate(res.program, stim, n=40)
+        written = trace.values(ch.write_port)
+        read = trace.values(ch.read_port)
+        # every accepted write is eventually read, in order, no gaps
+        assert read == written[: len(read)]
+        # and the producer's flow itself is gapless (1, 2, 3, ...)
+        assert written == list(range(1, len(written) + 1))
+
+    def test_producer_actually_throttled(self):
+        res = self.desync(capacity=2)
+        ch = res.channels[0]
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1), stimuli.periodic(ch.rreq, 3)
+        )
+        trace = simulate(res.program, stim, n=30)
+        fires = trace.presence_count(ch.write_port)
+        assert fires < 30  # fewer firings than activations offered
+
+    def test_alarm_unreachable_in_free_environment(self):
+        # The headline property: with masking, "no alarm" is PROVABLE with
+        # no assumption on the environment at all.
+        res = desynchronize(
+            modular_producer_consumer(modulus=2),
+            capacities=1,
+            backpressure={"P": "p_act"},
+        )
+        free = [{}, {"p_act": True}, {"x_rreq": True},
+                {"p_act": True, "x_rreq": True}]
+        lts = compile_lts(res.program, alphabet=free)
+        assert check_never_present(lts, res.channels[0].alarm) is None
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(TransformError):
+            desynchronize(
+                producer_consumer(), capacities=1, backpressure={"Z": "p_act"}
+            )
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(TransformError):
+            desynchronize(
+                producer_consumer(), capacities=1, backpressure={"P": "nope"}
+            )
+
+    def test_consumer_without_channels_rejected(self):
+        with pytest.raises(TransformError):
+            desynchronize(
+                producer_consumer(), capacities=1, backpressure={"Q": "x"}
+            )

@@ -1,0 +1,198 @@
+"""Tests for the FIFO channel components (Example 1 and Section 5.1)."""
+
+import pytest
+
+from repro.lang import check_component
+from repro.lang.types import BOOL
+from repro.desync import n_fifo_chain, n_fifo_direct, one_place_fifo
+from repro.sim import Reactor
+
+
+def run(comp, rows):
+    r = Reactor(comp)
+    return [r.react(row) for row in rows]
+
+
+class TestOnePlaceFifo:
+    def setup_method(self):
+        self.comp, self.ports = one_place_fifo()
+        check_component(self.comp)
+
+    def test_write_then_read(self):
+        outs = run(self.comp, [{"msgin": 7}, {"rreq": True}])
+        assert "ok" in outs[0] and "alarm" not in outs[0]
+        assert outs[0]["full"] is True
+        assert outs[1]["msgout"] == 7
+        assert outs[1]["full"] is False
+
+    def test_read_empty_yields_nothing(self):
+        outs = run(self.comp, [{"rreq": True}])
+        assert "msgout" not in outs[0]
+        assert outs[0]["full"] is False
+
+    def test_write_while_full_alarms_and_keeps_data(self):
+        outs = run(self.comp, [{"msgin": 1}, {"msgin": 2}, {"rreq": True}])
+        assert "alarm" in outs[1] and "ok" not in outs[1]
+        assert outs[2]["msgout"] == 1  # the overwrite was rejected
+
+    def test_simultaneous_write_read_when_full(self):
+        # Paper rule: the read succeeds, the write is rejected (the slot is
+        # not freed within the instant).
+        outs = run(self.comp, [{"msgin": 1}, {"msgin": 2, "rreq": True}, {"rreq": True}])
+        assert outs[1]["msgout"] == 1
+        assert "alarm" in outs[1]
+        assert outs[1]["full"] is False
+        assert "msgout" not in outs[2]  # 2 was lost
+
+    def test_simultaneous_write_read_when_empty(self):
+        outs = run(self.comp, [{"msgin": 5, "rreq": True}])
+        assert "msgout" not in outs[0]  # nothing to read yet
+        assert "ok" in outs[0]
+        assert outs[0]["full"] is True
+
+    def test_idle_instants_are_silent(self):
+        outs = run(self.comp, [{}, {"msgin": 1}, {}])
+        assert outs[0] == {}
+        assert outs[2] == {}
+
+    def test_flow_preserved_alternating(self):
+        rows = []
+        for v in (10, 20, 30):
+            rows.append({"msgin": v})
+            rows.append({"rreq": True})
+        outs = run(self.comp, rows)
+        got = [o["msgout"] for o in outs if "msgout" in o]
+        assert got == [10, 20, 30]
+
+    def test_prefix_and_boolean_dtype(self):
+        comp, ports = one_place_fifo(dtype=BOOL, prefix="ch_")
+        check_component(comp)
+        outs = run(comp, [{"ch_msgin": True}, {"ch_rreq": True}])
+        assert outs[1]["ch_msgout"] is True
+        assert ports.msgin == "ch_msgin"
+
+    def test_external_tick_mode(self):
+        comp, ports = one_place_fifo(external_tick=True)
+        check_component(comp)
+        outs = run(
+            comp,
+            [
+                {"msgin": 3, "tick": True},
+                {"tick": True},
+                {"rreq": True, "tick": True},
+            ],
+        )
+        assert outs[2]["msgout"] == 3
+        assert ports.tick == "tick"
+
+
+class TestNFifoDirect:
+    def test_capacity_and_order(self):
+        comp, _ = n_fifo_direct(3)
+        check_component(comp)
+        rows = [{"msgin": v} for v in (1, 2, 3)] + [{"rreq": True}] * 3
+        outs = run(comp, rows)
+        assert all("ok" in o for o in outs[:3])
+        got = [o["msgout"] for o in outs if "msgout" in o]
+        assert got == [1, 2, 3]
+
+    def test_alarm_on_overflow(self):
+        comp, _ = n_fifo_direct(2)
+        outs = run(comp, [{"msgin": 1}, {"msgin": 2}, {"msgin": 3}])
+        assert "alarm" not in outs[0] and "alarm" not in outs[1]
+        assert "alarm" in outs[2]
+        assert outs[1]["full"] is True
+
+    def test_lost_item_skipped(self):
+        comp, _ = n_fifo_direct(1)
+        rows = [{"msgin": 1}, {"msgin": 2}, {"rreq": True}, {"rreq": True}]
+        outs = run(comp, rows)
+        got = [o["msgout"] for o in outs if "msgout" in o]
+        assert got == [1]  # 2 was dropped with an alarm
+
+    def test_same_instant_read_write_mid_occupancy(self):
+        comp, _ = n_fifo_direct(2)
+        outs = run(
+            comp,
+            [
+                {"msgin": 1},
+                {"msgin": 2, "rreq": True},   # read 1, write 2: count stays 1
+                {"msgin": 3, "rreq": True},   # read 2, write 3
+                {"rreq": True},
+            ],
+        )
+        got = [o.get("msgout") for o in outs]
+        assert got == [None, 1, 2, 3]
+        assert all("alarm" not in o for o in outs)
+
+    def test_wraparound_many_items(self):
+        comp, _ = n_fifo_direct(2)
+        rows = []
+        for v in range(10):
+            rows.append({"msgin": v})
+            rows.append({"rreq": True})
+        outs = run(comp, rows)
+        got = [o["msgout"] for o in outs if "msgout" in o]
+        assert got == list(range(10))
+
+    def test_read_empty_fails_quietly(self):
+        comp, _ = n_fifo_direct(2)
+        outs = run(comp, [{"rreq": True}])
+        assert "msgout" not in outs[0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            n_fifo_direct(0)
+
+
+class TestNFifoChain:
+    def tick_rows(self, accesses):
+        """Merge access maps with an always-on chain clock."""
+        return [dict(a, tick=True) for a in accesses]
+
+    def test_ripple_latency(self):
+        comp, _ = n_fifo_chain(3)
+        check_component(comp)
+        # item enters stage 1, needs 2 transfers to reach stage 3
+        rows = self.tick_rows([{"msgin": 9}, {}, {}, {"rreq": True}, {"rreq": True}])
+        outs = run(comp, rows)
+        got = [o.get("msgout") for o in outs]
+        assert 9 in got  # delivered after rippling
+        assert got[3] == 9 or got[4] == 9
+
+    def test_order_preserved(self):
+        # Writes spaced by one tick so the ripple keeps up (back-to-back
+        # writes into a chain alarm, see the conservatism test below).
+        comp, _ = n_fifo_chain(2)
+        rows = self.tick_rows(
+            [{"msgin": 1}, {}, {"msgin": 2}, {}, {"rreq": True}, {}, {"rreq": True}, {}]
+        )
+        outs = run(comp, rows)
+        assert all("alarm" not in o for o in outs)
+        got = [o["msgout"] for o in outs if "msgout" in o]
+        assert got == [1, 2]
+
+    def test_head_full_alarm_is_conservative(self):
+        # Write two items back-to-back: the second arrives while stage 1
+        # has not yet rippled -> alarm even though capacity is 2.
+        comp, _ = n_fifo_chain(2)
+        rows = self.tick_rows([{"msgin": 1}, {"msgin": 2}])
+        outs = run(comp, rows)
+        assert "alarm" in outs[1]
+
+    def test_spaced_writes_fill_capacity_without_alarm(self):
+        comp, _ = n_fifo_chain(2)
+        rows = self.tick_rows([{"msgin": 1}, {}, {"msgin": 2}, {}])
+        outs = run(comp, rows)
+        assert all("alarm" not in o for o in outs)
+        assert outs[3]["full"] is True or outs[2]["full"] is True
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            n_fifo_chain(0)
+
+    def test_chain_of_one_behaves_like_single_cell(self):
+        comp, _ = n_fifo_chain(1)
+        rows = self.tick_rows([{"msgin": 4}, {"rreq": True}])
+        outs = run(comp, rows)
+        assert outs[1]["msgout"] == 4

@@ -1,0 +1,117 @@
+"""Tests for the executable theorem validators (repro.desync.theorems)."""
+
+import pytest
+
+from repro.designs import pipeline, producer_consumer, request_response
+from repro.desync import validate_theorem1, validate_theorem2
+from repro.errors import TransformError
+from repro.sim import stimuli
+
+
+def draining_stimulus(produce_until=20, horizon=30, reader_period=1):
+    rows = []
+    for t in range(horizon):
+        row = {}
+        if t < produce_until:
+            row["p_act"] = True
+        if t >= 1 and (t - 1) % reader_period == 0:
+            row["x_rreq"] = True
+        rows.append(row)
+    return lambda: stimuli.rows(rows)
+
+
+class TestTheorem1:
+    def test_holds_on_draining_run(self):
+        report = validate_theorem1(
+            producer_consumer(), draining_stimulus(), horizon=30
+        )
+        assert report.ok
+        assert report.afifo and report.membership and report.flow_preserved
+        assert report.alarms == 0
+        assert report.peak_occupancy >= 1
+        assert "OK" in report.render()
+
+    def test_pending_items_break_membership_only(self):
+        # producer never stops: items in flight at the horizon, so the
+        # finite-prefix Definition 7 check cannot close
+        report = validate_theorem1(
+            producer_consumer(),
+            draining_stimulus(produce_until=30, reader_period=2),
+            horizon=30,
+        )
+        assert report.afifo          # the channel itself is fine
+        assert report.flow_preserved
+        assert not report.membership  # relaxation needs equal event counts
+        assert not report.ok
+
+    def test_peak_occupancy_reports_lemma2_bound(self):
+        report = validate_theorem1(
+            producer_consumer(),
+            draining_stimulus(produce_until=12, horizon=30, reader_period=2),
+            horizon=30,
+        )
+        assert report.ok
+        assert report.peak_occupancy >= 2  # writes outpace the slow reader
+
+    def test_requires_single_channel(self):
+        with pytest.raises(TransformError):
+            validate_theorem1(
+                request_response(), lambda: stimuli.silence(), horizon=4
+            )
+
+
+class TestTheorem2:
+    def test_pipeline_network_faithful(self):
+        prog = pipeline(stages=2)
+
+        def stim():
+            rows = []
+            for t in range(40):
+                row = {}
+                if t < 24 and t % 2 == 0:
+                    row["p_act"] = True
+                row["x0_rreq"] = True
+                row["x1_rreq"] = True
+                rows.append(row)
+            return stimuli.rows(rows)
+
+        report = validate_theorem2(prog, capacities=2, stimulus_factory=stim,
+                                   horizon=40)
+        assert report.ok
+        assert len(report.verdicts) == 2
+        assert "OK" in report.render()
+
+    def test_undersized_network_detected(self):
+        prog = pipeline(stages=2)
+
+        def stim():
+            return stimuli.merge(
+                stimuli.periodic("p_act", 1),
+                stimuli.periodic("x0_rreq", 3),
+                stimuli.periodic("x1_rreq", 3),
+            )
+
+        report = validate_theorem2(prog, capacities=1, stimulus_factory=stim,
+                                   horizon=30)
+        assert not report.ok
+        assert any(a > 0 for a in report.alarms.values())
+        assert "HYPOTHESES NOT MET" in report.render()
+
+    def test_two_way_network(self):
+        def stim():
+            rows = []
+            for t in range(40):
+                row = {}
+                if t < 24 and t % 2 == 0:
+                    row["c_act"] = True
+                row["req_rreq"] = True
+                row["rsp_rreq"] = True
+                rows.append(row)
+            return stimuli.rows(rows)
+
+        report = validate_theorem2(
+            request_response(), capacities=2, stimulus_factory=stim, horizon=40
+        )
+        assert report.ok
+        signals = {ch.signal for ch in report.channels}
+        assert signals == {"req", "rsp"}

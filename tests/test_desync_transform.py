@@ -1,0 +1,175 @@
+"""Tests for the desynchronizing transformation and instrumentation."""
+
+import pytest
+
+from repro.designs import fan_out, producer_consumer, request_response
+from repro.desync import desynchronize, instrument_channel, instrumented_fifo
+from repro.errors import TransformError
+from repro.lang import check_program
+from repro.sim import Reactor, simulate, stimuli
+from repro.tags.equivalence import flow_values
+
+
+def sync_reference(n=8):
+    """Flows of the fully synchronous composition (all clocks together)."""
+    trace = simulate(producer_consumer(), stimuli.periodic("p_act", 1), n=n)
+    return trace
+
+
+class TestDesynchronize:
+    def test_structure(self):
+        res = desynchronize(producer_consumer(), capacities=2)
+        assert len(res.channels) == 1
+        ch = res.channels[0]
+        assert (ch.signal, ch.producer, ch.consumer) == ("x", "P", "Q")
+        assert ch.write_port == "x__w" and ch.read_port == "x__r"
+        assert ch.capacity == 2
+        check_program(res.program)
+        names = {c.name for c in res.program.components}
+        assert "P" in names and "Q" in names and any("Fifo" in n for n in names)
+
+    def test_channel_lookup(self):
+        res = desynchronize(producer_consumer(), capacities=1)
+        assert res.channel_for("x").signal == "x"
+        with pytest.raises(KeyError):
+            res.channel_for("nope")
+
+    def test_flow_preserved_when_rates_match(self):
+        res = desynchronize(producer_consumer(), capacities=1)
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1), stimuli.periodic("x_rreq", 1)
+        )
+        trace = simulate(res.program, stim, n=10)
+        assert "x_alarm" not in trace.signals() or trace.presence_count("x_alarm") == 0
+        # consumer sees the producer's flow, shifted by channel latency
+        ref = sync_reference(10)
+        assert trace.values("y")[:8] == ref.values("y")[:8]
+
+    def test_slow_reader_overflows_small_fifo(self):
+        res = desynchronize(producer_consumer(), capacities=1)
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1), stimuli.periodic("x_rreq", 3)
+        )
+        trace = simulate(res.program, stim, n=12)
+        assert trace.presence_count("x_alarm") > 0
+
+    def test_bigger_fifo_absorbs_burst(self):
+        res = desynchronize(producer_consumer(), capacities=4)
+        # bursty producer, steady reader of the same average rate
+        stim = stimuli.merge(
+            stimuli.bursty("p_act", burst=3, gap=3),
+            stimuli.periodic("x_rreq", 2),
+        )
+        trace = simulate(res.program, stim, n=24)
+        assert trace.presence_count("x_alarm") == 0
+
+    def test_per_signal_capacity_map(self):
+        res = desynchronize(producer_consumer(), capacities={"x": 3})
+        assert res.channels[0].capacity == 3
+
+    def test_missing_capacity_rejected(self):
+        with pytest.raises(TransformError):
+            desynchronize(producer_consumer(), capacities={})
+
+    def test_unknown_signal_restriction_rejected(self):
+        with pytest.raises(TransformError):
+            desynchronize(producer_consumer(), capacities=1, signals=["ghost"])
+
+    def test_read_request_mapped_to_existing_input(self):
+        res = desynchronize(
+            producer_consumer(), capacities=1, read_requests={"x": "q_act"}
+        )
+        assert res.channels[0].rreq == "q_act"
+        flat_inputs = set()
+        for comp in res.program.components:
+            flat_inputs.update(comp.inputs)
+        assert "q_act" in flat_inputs
+
+    def test_two_way_dependencies(self):
+        res = desynchronize(request_response(), capacities=2)
+        sigs = {ch.signal for ch in res.channels}
+        assert sigs == {"req", "rsp"}
+        check_program(res.program)
+
+    def test_fan_out_creates_one_channel_per_consumer(self):
+        res = desynchronize(fan_out(), capacities=1)
+        consumers = {(ch.signal, ch.consumer) for ch in res.channels}
+        assert consumers == {("x", "Q1"), ("x", "Q2")}
+        ports = {ch.read_port for ch in res.channels}
+        assert ports == {"x__r_Q1", "x__r_Q2"}
+        check_program(res.program)
+
+    def test_fan_out_delivers_to_both(self):
+        res = desynchronize(fan_out(), capacities=2)
+        rr = [ch.rreq for ch in res.channels]
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 2),
+            stimuli.periodic(rr[0], 1),
+            stimuli.periodic(rr[1], 1),
+        )
+        trace = simulate(res.program, stim, n=12)
+        assert trace.values("y1") == [2 * v for v in trace.values("x__w")][: len(trace.values("y1"))]
+        assert trace.values("y2")[:4] == [3, 6, 9, 12][: len(trace.values("y2"))]
+
+    def test_chain_kind_adds_tick_input(self):
+        res = desynchronize(producer_consumer(), capacities=2, kind="chain")
+        ch = res.channels[0]
+        assert ch.tick == "x_tick"
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 3),
+            stimuli.periodic("x_rreq", 3, phase=1),
+            stimuli.periodic("x_tick", 1),
+        )
+        trace = simulate(res.program, stim, n=15)
+        assert trace.values("y")[:3] == [2, 4, 6]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TransformError):
+            desynchronize(producer_consumer(), capacities=1, kind="quantum")
+
+
+class TestInstrumentation:
+    def test_watch_counts_consecutive_misses(self):
+        comp, ports = instrument_channel("al", "okk")
+        r = Reactor(comp)
+        rows = [
+            {"al": True},
+            {"al": True},
+            {"okk": True},
+            {"al": True},
+            {},
+        ]
+        outs = [r.react(row) for row in rows]
+        assert [o.get("cnt") for o in outs] == [1, 2, 0, 1, None]
+        assert [o.get("reg") for o in outs] == [1, 2, 2, 2, None]
+
+    def test_instrumented_fifo_reports_misses(self):
+        comp, ports, wports = instrumented_fifo(1)
+        r = Reactor(comp)
+        outs = [
+            r.react({"msgin": 1}),
+            r.react({"msgin": 2}),  # rejected
+            r.react({"msgin": 3}),  # rejected
+            r.react({"rreq": True}),
+            r.react({"msgin": 4}),
+        ]
+        regs = [o.get(wports.reg) for o in outs]
+        assert regs[2] == 2
+        assert regs[4] == 2  # register keeps the maximum
+
+    def test_instrumented_desync_program(self):
+        res = desynchronize(producer_consumer(), capacities=1, instrument=True)
+        ch = res.channels[0]
+        assert ch.cnt and ch.reg
+        stim = stimuli.merge(
+            stimuli.periodic("p_act", 1), stimuli.periodic("x_rreq", 4)
+        )
+        trace = simulate(res.program, stim, n=12)
+        regs = trace.values(ch.reg)
+        assert regs and max(regs) >= 1
+
+    def test_instrumented_fifo_kind_validation(self):
+        with pytest.raises(ValueError):
+            instrumented_fifo(2, kind="one")
+        with pytest.raises(ValueError):
+            instrumented_fifo(1, kind="weird")

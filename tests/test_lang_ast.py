@@ -1,0 +1,210 @@
+"""Unit tests for the Signal AST and builder."""
+
+import pytest
+
+from repro.lang import (
+    App,
+    BOOL,
+    ClockOf,
+    Component,
+    ComponentBuilder,
+    Const,
+    Default,
+    EVENT,
+    Equation,
+    INT,
+    Pre,
+    Program,
+    SyncConstraint,
+    Var,
+    When,
+    const,
+    pre,
+    var,
+)
+
+
+class TestExpressions:
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_rejects_exotic_values(self):
+        with pytest.raises(ValueError):
+            Const(3.5)
+
+    def test_coercion_of_python_values(self):
+        e = var("x") + 1
+        assert e == App("+", (Var("x"), Const(1)))
+
+    def test_operator_sugar(self):
+        x, y = var("x"), var("y")
+        assert (x & y) == App("and", (x, y))
+        assert (x | y) == App("or", (x, y))
+        assert (~x) == App("not", (x,))
+        assert (x ^ y) == App("xor", (x, y))
+        assert (x < y) == App("<", (x, y))
+        assert x.eq(y) == App("==", (x, y))
+        assert x.ne(y) == App("/=", (x, y))
+        assert (-x) == App("neg", (x,))
+        assert (x % 2) == App("mod", (x, Const(2)))
+
+    def test_signal_operators(self):
+        x, c = var("x"), var("c")
+        assert x.when(c) == When(x, c)
+        assert x.default(0) == Default(x, Const(0))
+        assert x.clock() == ClockOf(x)
+        assert pre(0, x) == Pre(0, x)
+
+    def test_reverse_operators(self):
+        assert (1 + var("x")) == App("+", (Const(1), Var("x")))
+        assert (True & var("b")) == App("and", (Const(True), Var("b")))
+
+    def test_free_vars(self):
+        e = var("x").when(var("c")).default(pre(0, var("y")))
+        assert e.free_vars() == {"x", "c", "y"}
+
+    def test_rename(self):
+        e = var("x") + var("y")
+        assert e.rename({"x": "z"}) == var("z") + var("y")
+
+    def test_walk_preorder(self):
+        e = var("x").default(var("y"))
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds == ["Default", "Var", "Var"]
+
+    def test_structural_equality_and_hash(self):
+        a = var("x").when(var("c"))
+        b = var("x").when(var("c"))
+        assert a == b and hash(a) == hash(b)
+        assert a != var("x").when(var("d"))
+
+    def test_const_distinguishes_bool_from_int(self):
+        assert Const(True) != Const(1)
+        assert Const(False) != Const(0)
+
+    def test_pre_requires_constant_init(self):
+        with pytest.raises(ValueError):
+            Pre(var("x"), var("y"))
+
+
+class TestStatements:
+    def test_equation_rename(self):
+        eq = Equation("x", var("y"))
+        r = eq.rename({"x": "a", "y": "b"})
+        assert r.target == "a" and r.expr == var("b")
+
+    def test_sync_constraint_needs_two(self):
+        with pytest.raises(ValueError):
+            SyncConstraint(["x"])
+
+    def test_sync_constraint_rename_and_vars(self):
+        sc = SyncConstraint(["x", "y"])
+        assert sc.free_vars() == {"x", "y"}
+        assert sc.rename({"x": "z"}).names == ("z", "y")
+
+
+class TestComponent:
+    def make(self):
+        return Component(
+            "C",
+            inputs={"a": INT},
+            outputs={"x": INT},
+            locals={"m": INT},
+            statements=[
+                Equation("m", pre(0, var("m")) + 1),
+                Equation("x", var("a") + var("m")),
+            ],
+        )
+
+    def test_signals_and_classification(self):
+        c = self.make()
+        assert set(c.signals()) == {"a", "x", "m"}
+        assert c.defined_names() == {"m", "x"}
+        assert c.interface() == {"a", "x"}
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ValueError):
+            Component("C", {"a": INT}, {"a": INT}, {}, [])
+
+    def test_undeclared_signal_rejected(self):
+        with pytest.raises(ValueError):
+            Component("C", {}, {"x": INT}, {}, [Equation("x", var("ghost"))])
+
+    def test_rename_interface_and_body(self):
+        c = self.make().rename({"a": "a2", "x": "x2"})
+        assert "a2" in c.inputs and "x2" in c.outputs
+        assert c.equations()[1] == Equation("x2", var("a2") + var("m"))
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().rename({"a": "m"})
+
+    def test_prefixed(self):
+        c = self.make().prefixed("P_", keep=["a"])
+        assert "a" in c.inputs
+        assert "P_x" in c.outputs and "P_m" in c.locals
+
+    def test_equations_and_sync_split(self):
+        c = Component(
+            "C",
+            {"a": INT, "b": INT},
+            {"x": INT},
+            {},
+            [Equation("x", var("a")), SyncConstraint(["a", "b"])],
+        )
+        assert len(c.equations()) == 1
+        assert len(c.sync_constraints()) == 1
+
+
+class TestProgram:
+    def test_lookup(self):
+        c = Component("P", {}, {"x": INT}, {}, [Equation("x", const(1).when(const(True)))])
+        prog = Program("main", [c])
+        assert prog.component("P") is c
+        with pytest.raises(KeyError):
+            prog.component("Q")
+
+    def test_duplicate_component_rejected(self):
+        c = Component("P", {}, {"x": INT}, {}, [Equation("x", const(1).when(const(True)))])
+        with pytest.raises(ValueError):
+            Program("main", [c, c])
+
+
+class TestBuilder:
+    def test_build_roundtrip(self):
+        b = ComponentBuilder("Cell")
+        msgin = b.input("msgin", INT)
+        rq = b.input("rq", EVENT)
+        msgout = b.output("msgout", INT)
+        data = b.local("data", INT)
+        b.define(data, msgin.default(pre(0, data)))
+        b.define(msgout, data.when(rq))
+        comp = b.build()
+        assert set(comp.inputs) == {"msgin", "rq"}
+        assert comp.defined_names() == {"data", "msgout"}
+
+    def test_let_declares_and_defines(self):
+        b = ComponentBuilder("C")
+        a = b.input("a", BOOL)
+        v = b.let("n", BOOL, ~a)
+        comp = b.build()
+        assert v == Var("n")
+        assert comp.locals == {"n": BOOL}
+        assert comp.equations()[0] == Equation("n", ~a)
+
+    def test_double_declaration_rejected(self):
+        b = ComponentBuilder("C")
+        b.input("a", BOOL)
+        with pytest.raises(ValueError):
+            b.output("a", BOOL)
+
+    def test_sync_accepts_vars_and_strings(self):
+        b = ComponentBuilder("C")
+        a = b.input("a", BOOL)
+        b.input("c", BOOL)
+        b.output("x", BOOL)
+        b.define("x", a)
+        b.sync(a, "c")
+        comp = b.build()
+        assert comp.sync_constraints()[0].names == ("a", "c")

@@ -1,0 +1,97 @@
+"""Tests for the DOT graph exports."""
+
+from repro.__main__ import main
+from repro.clocks import analyze_clocks
+from repro.designs import fan_out, producer_consumer
+from repro.lang import parse_component
+from repro.lang.analysis import flatten_program
+from repro.lang.graph import clock_graph_dot, program_graph_dot, signal_graph_dot
+
+COMP = parse_component(
+    "process C = (? integer a; ? boolean c; ! integer y;)"
+    "(| m := (pre 0 m) + a | y := m when c |) where integer m; end"
+)
+
+
+class TestSignalGraph:
+    def test_shapes_by_role(self):
+        dot = signal_graph_dot(COMP)
+        assert '"a" [shape=box];' in dot
+        assert '"y" [shape=doublecircle];' in dot
+        assert '"m" [shape=ellipse];' in dot
+
+    def test_instant_vs_delayed_edges(self):
+        dot = signal_graph_dot(COMP)
+        assert '"a" -> "m";' in dot                      # instantaneous
+        assert '"m" -> "m" [style=dashed, label=pre];' in dot  # through pre
+
+    def test_instantaneous_only(self):
+        dot = signal_graph_dot(COMP, instantaneous_only=True)
+        assert "dashed" not in dot
+
+    def test_valid_dot_structure(self):
+        dot = signal_graph_dot(COMP)
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+
+
+class TestProgramGraph:
+    def test_producer_consumer_edge(self):
+        dot = program_graph_dot(producer_consumer())
+        assert '"P" -> "Q" [label="x"];' in dot
+
+    def test_fan_out_edges(self):
+        dot = program_graph_dot(fan_out())
+        assert '"P" -> "Q1" [label="x"];' in dot
+        assert '"P" -> "Q2" [label="x"];' in dot
+
+    def test_environment_inputs_dotted(self):
+        from repro.lang import parse_program
+
+        prog = parse_program(
+            "process A = (? integer shared; ! integer u;) (| u := shared |) end\n"
+            "process B = (? integer shared; ! integer v;) (| v := shared |) end\n"
+        )
+        dot = program_graph_dot(prog)
+        assert '"env" -> "A"' in dot and "dotted" in dot
+
+
+class TestClockGraph:
+    def test_master_and_subset_edges(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := a when c |) end"
+        )
+        analysis = analyze_clocks(comp)
+        dot = clock_graph_dot(comp, analysis)
+        assert "penwidth=2" in dot or "->" in dot
+
+    def test_free_clock_marked(self):
+        comp = parse_component(
+            "process Cell = (? integer msgin; ! integer msgout;)"
+            "(| data := msgin default (pre 0 data)"
+            " | msgout := data when ^msgout |)"
+            " where integer data; end"
+        )
+        dot = clock_graph_dot(comp)
+        assert "color=red" in dot
+
+    def test_dead_clock_dotted(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a when false |) end"
+        )
+        dot = clock_graph_dot(comp)
+        assert "style=dotted" in dot
+
+
+class TestCLIGraph:
+    def test_graph_views(self, tmp_path, capsys):
+        path = tmp_path / "pc.sig"
+        path.write_text(
+            "process P = (? event p_act; ! integer x;)"
+            "(| x := (pre 0 x) + 1 | x ^= p_act |) end\n"
+            "process Q = (? integer x; ! integer y;) (| y := x * 2 |) end\n"
+        )
+        for view in ("program", "signals", "clocks"):
+            assert main(["graph", str(path), "--view", view]) == 0
+            out = capsys.readouterr().out
+            assert out.startswith("digraph")

@@ -1,0 +1,197 @@
+"""Tests for the optimization passes and empty-clock detection."""
+
+from repro.clocks import analyze_clocks
+from repro.lang import check_component, parse_component, parse_expression
+from repro.lang.optimize import (
+    eliminate_dead_code,
+    fold_component,
+    fold_constants,
+    inline_aliases,
+    optimize_component,
+)
+from repro.lang.ast import App, Const, Default, Var, When
+from repro.sim import Reactor, simulate, stimuli
+
+
+def expr(text):
+    return parse_expression(text)
+
+
+class TestFoldConstants:
+    def test_arithmetic(self):
+        assert fold_constants(expr("1 + 2 * 3")) == Const(7)
+
+    def test_comparison_and_boolean(self):
+        assert fold_constants(expr("2 < 3")) == Const(True)
+        assert fold_constants(expr("true and false")) == Const(False)
+
+    def test_division_by_zero_left_alone(self):
+        e = expr("1 / 0")
+        assert fold_constants(e) == e
+
+    def test_double_negation(self):
+        assert fold_constants(expr("not (not a)")) == Var("a")
+
+    def test_boolean_identities(self):
+        assert fold_constants(expr("a and true")) == Var("a")
+        assert fold_constants(expr("true and a")) == Var("a")
+        assert fold_constants(expr("a or false")) == Var("a")
+
+    def test_no_clock_changing_folds(self):
+        # x * 0 must NOT become 0 (it would change the clock)
+        e = expr("x * 0")
+        assert fold_constants(e) == e
+        # a and false must not become false
+        e = expr("a and false")
+        assert fold_constants(e) == e
+
+    def test_when_true_identity(self):
+        assert fold_constants(expr("a when true")) == Var("a")
+
+    def test_constant_default_shadows(self):
+        assert fold_constants(expr("1 default a")) == Const(1)
+
+    def test_folds_nested(self):
+        e = fold_constants(expr("(1 + 1) when c default (b when true)"))
+        assert e == Default(When(Const(2), Var("c")), Var("b"))
+
+
+class TestInlineAliases:
+    def test_local_alias_removed(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;)"
+            "(| t := a | y := t + 1 |) where integer t; end"
+        )
+        out = inline_aliases(comp)
+        assert "t" not in out.locals
+        assert out.equations()[0] == parse_component(
+            "process D = (? integer a; ! integer y;) (| y := a + 1 |) end"
+        ).equations()[0]
+
+    def test_alias_chain(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;)"
+            "(| t := a | u := t | y := u |) where integer t, u; end"
+        )
+        out = inline_aliases(comp)
+        assert set(out.locals) == set()
+        assert out.equations()[0].expr == Var("a")
+
+    def test_output_alias_kept(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a |) end"
+        )
+        assert len(inline_aliases(comp).equations()) == 1
+
+    def test_sync_constraints_rewritten(self):
+        comp = parse_component(
+            "process C = (? integer a; ? integer b; ! integer y;)"
+            "(| t := a | y := b | y ^= t |) where integer t; end"
+        )
+        out = inline_aliases(comp)
+        assert out.sync_constraints()[0].names == ("y", "a")
+
+    def test_trivial_constraint_dropped(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;)"
+            "(| t := a | y := t | y ^= a |) where integer t; end"
+        )
+        out = inline_aliases(comp)
+        # y := a remains; t gone; y ^= a kept (not trivial)
+        assert len(out.sync_constraints()) == 1
+
+
+class TestDeadCodeElimination:
+    def test_unused_local_removed(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;)"
+            "(| junk := a * 99 | y := a + 1 |) where integer junk; end"
+        )
+        out = eliminate_dead_code(comp)
+        assert "junk" not in out.locals
+        assert len(out.equations()) == 1
+
+    def test_transitively_used_kept(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;)"
+            "(| m := a * 2 | n := m + 1 | y := n |)"
+            " where integer m, n; end"
+        )
+        out = eliminate_dead_code(comp)
+        assert set(out.locals) == {"m", "n"}
+
+    def test_sync_constraint_roots_liveness(self):
+        comp = parse_component(
+            "process C = (? integer a; ? event t; ! integer y;)"
+            "(| m := (pre 0 m) + 1 | m ^= t | y := a |)"
+            " where integer m; end"
+        )
+        out = eliminate_dead_code(comp)
+        assert "m" in out.locals  # kept: the constraint mentions it
+
+
+class TestOptimizePipeline:
+    def test_behavior_preserved(self):
+        src = (
+            "process C = (? integer a; ? boolean c; ! integer y;)"
+            "(| t := a | u := (1 + 1) | dead := a * 7"
+            " | y := (t when (c and true)) default (u when c) default t |)"
+            " where integer t, u, dead; end"
+        )
+        comp = parse_component(src)
+        opt = optimize_component(comp)
+        check_component(opt)
+        assert len(opt.equations()) < len(comp.equations())
+        stim = stimuli.merge(
+            stimuli.periodic("a", 1, values=stimuli.counter()),
+            stimuli.periodic("c", 2, values=iter([True, False] * 10)),
+        )
+        t1 = simulate(comp, stim, n=10)
+        stim = stimuli.merge(
+            stimuli.periodic("a", 1, values=stimuli.counter()),
+            stimuli.periodic("c", 2, values=iter([True, False] * 10)),
+        )
+        t2 = simulate(opt, stim, n=10)
+        assert t1.values("y") == t2.values("y")
+
+    def test_fixpoint_terminates(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a |) end"
+        )
+        assert optimize_component(comp).equations() == comp.equations()
+
+
+class TestEmptyClockDetection:
+    def test_when_false_is_dead(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a when false |) end"
+        )
+        an = analyze_clocks(comp)
+        assert an.rep["y"] in an.dead
+        assert "never present" in an.render()
+
+    def test_contradictory_sampling_is_dead(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer y;)"
+            "(| y := (a when c) when (not c) |) end"
+        )
+        # (a when c) when not c: the fresh local u := a when c has clock
+        # ^a*[c]; y := u when (not c)... sampling by `not c` uses the
+        # *value* of c, [c]*[not c] = 0 requires recognizing the negation;
+        # conservative analysis may miss it, so only assert no crash.
+        an = analyze_clocks(comp)
+        assert an is not None
+
+    def test_dead_matches_simulation(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a when false |) end"
+        )
+        r = Reactor(comp)
+        outs = [r.react({"a": 1}), r.react({"a": 2})]
+        assert all("y" not in o for o in outs)
+
+    def test_live_signals_not_flagged(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a + 1 |) end"
+        )
+        assert analyze_clocks(comp).dead == frozenset()

@@ -1,0 +1,230 @@
+"""Tests for the lexer, parser and pretty printer (round-trip property)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SignalSyntaxError
+from repro.lang import (
+    App,
+    ClockOf,
+    Const,
+    Default,
+    Pre,
+    Var,
+    When,
+    format_component,
+    format_expression,
+    format_program,
+    parse_component,
+    parse_expression,
+    parse_program,
+)
+from repro.lang.lexer import tokenize
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        kinds = [t.kind for t in tokenize("when whenx")]
+        assert kinds == ["when", "IDENT", "EOF"]
+
+    def test_composite_operators(self):
+        kinds = [t.kind for t in tokenize("(| |) := ^= == /= <= >=")]
+        assert kinds == ["(|", "|)", ":=", "^=", "==", "/=", "<=", ">=", "EOF"]
+
+    def test_comments_ignored(self):
+        kinds = [t.kind for t in tokenize("x % comment\ny # other\nz")]
+        assert kinds == ["IDENT", "IDENT", "IDENT", "EOF"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(SignalSyntaxError):
+            tokenize("a @ b")
+
+
+class TestExpressionParsing:
+    def test_precedence_default_lowest(self):
+        e = parse_expression("a when c default b")
+        assert e == Default(When(Var("a"), Var("c")), Var("b"))
+
+    def test_when_binds_looser_than_or(self):
+        e = parse_expression("a or b when c")
+        assert e == When(App("or", (Var("a"), Var("b"))), Var("c"))
+
+    def test_arithmetic_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e == App("+", (Const(1), App("*", (Const(2), Const(3)))))
+
+    def test_comparison(self):
+        assert parse_expression("a = b") == App("==", (Var("a"), Var("b")))
+        assert parse_expression("a == b") == App("==", (Var("a"), Var("b")))
+        assert parse_expression("a /= b") == App("/=", (Var("a"), Var("b")))
+
+    def test_not_and_or_chain(self):
+        e = parse_expression("not a and b or c")
+        assert e == App(
+            "or", (App("and", (App("not", (Var("a"),)), Var("b"))), Var("c"))
+        )
+
+    def test_pre_with_literal(self):
+        assert parse_expression("pre 0 data") == Pre(0, Var("data"))
+        assert parse_expression("pre false full") == Pre(False, Var("full"))
+        assert parse_expression("pre - 3 x") == Pre(-3, Var("x"))
+
+    def test_clock_shorthand(self):
+        assert parse_expression("^msgin") == ClockOf(Var("msgin"))
+
+    def test_paper_example_equation(self):
+        # From Example 1 of the paper.
+        e = parse_expression("(msgin when (not full)) default (pre 0 data)")
+        assert e == Default(
+            When(Var("msgin"), App("not", (Var("full"),))), Pre(0, Var("data"))
+        )
+
+    def test_function_call(self):
+        e = parse_expression("max(a, b)")
+        assert e == App("max", (Var("a"), Var("b")))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_expression("frob(a)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_expression("(a default b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_expression("a b")
+
+
+ONE_PLACE_BUFFER = """
+% Example 1 of the paper, executable dialect.
+process Cell =
+  ( ? integer msgin;
+    ? event rq;
+    ! integer msgout;
+  )
+(| data := msgin default (pre 0 data)
+ | msgout := data when rq
+ |)
+where
+  integer data;
+end
+"""
+
+
+class TestComponentParsing:
+    def test_parse_cell(self):
+        comp = parse_component(ONE_PLACE_BUFFER)
+        assert comp.name == "Cell"
+        assert set(comp.inputs) == {"msgin", "rq"}
+        assert set(comp.outputs) == {"msgout"}
+        assert set(comp.locals) == {"data"}
+        assert len(comp.equations()) == 2
+
+    def test_sync_constraint_statement(self):
+        comp = parse_component(
+            "process S = (? boolean a; ? boolean b; ! boolean x;)"
+            "(| x := a | a ^= b |) end"
+        )
+        assert comp.sync_constraints()[0].names == ("a", "b")
+
+    def test_duplicate_signal_rejected(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_component(
+                "process S = (? boolean a; ! boolean a;) (| a := a |) end"
+            )
+
+    def test_undeclared_signal_rejected(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_component("process S = (! boolean x;) (| x := ghost |) end")
+
+    def test_program_with_two_components(self):
+        text = (
+            "process P = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+            "process Q = (? integer x; ! integer y;) (| y := x * 2 |) end\n"
+        )
+        prog = parse_program(text)
+        assert [c.name for c in prog.components] == ["P", "Q"]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SignalSyntaxError):
+            parse_program("")
+
+
+class TestPrinterRoundTrip:
+    CASES = [
+        "a when c default b",
+        "(a default b) when c",
+        "pre 0 data",
+        "^msgin",
+        "not (a and b) or c",
+        "a + b * c - 1",
+        "max(a, b + 1)",
+        "-a * 3",
+        "(msgin when (not full)) default (pre 0 data)",
+        "a = b default true",
+        "a mod 2 when c",
+        "pre false (a when c)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_expression_roundtrip(self, text):
+        ast = parse_expression(text)
+        assert parse_expression(format_expression(ast)) == ast
+
+    def test_component_roundtrip(self):
+        comp = parse_component(ONE_PLACE_BUFFER)
+        text = format_component(comp)
+        again = parse_component(text)
+        assert again.name == comp.name
+        assert again.inputs == comp.inputs
+        assert again.outputs == comp.outputs
+        assert again.locals == comp.locals
+        assert list(again.statements) == list(comp.statements)
+
+    def test_program_roundtrip(self):
+        text = (
+            "process P = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+            "process Q = (? integer x; ! integer y;) (| y := x * 2 | x ^= y |) end\n"
+        )
+        prog = parse_program(text)
+        again = parse_program(format_program(prog))
+        for c1, c2 in zip(prog.components, again.components):
+            assert list(c1.statements) == list(c2.statements)
+
+
+# -- property-based round-trip over random expressions ------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            _names.map(Var),
+            st.integers(0, 9).map(Const),
+            st.booleans().map(Const),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, sub).map(lambda p: Default(p[0], p[1])),
+        st.tuples(sub, sub).map(lambda p: When(p[0], p[1])),
+        st.tuples(st.integers(0, 3), sub).map(lambda p: Pre(p[0], p[1])),
+        sub.map(ClockOf),
+        st.tuples(sub, sub).map(lambda p: App("+", p)),
+        st.tuples(sub, sub).map(lambda p: App("and", p)),
+        st.tuples(sub, sub).map(lambda p: App("==", p)),
+        sub.map(lambda e: App("not", (e,))),
+        st.tuples(sub, sub).map(lambda p: App("max", p)),
+    )
+
+
+@given(_exprs(3))
+def test_prop_print_parse_roundtrip(expr):
+    assert parse_expression(format_expression(expr)) == expr

@@ -1,0 +1,109 @@
+"""Tests for JSON serialization of Signal designs."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.designs import producer_consumer, request_response, token_ring
+from repro.lang import parse_component
+from repro.lang.serializer import (
+    SerializationError,
+    component_from_dict,
+    component_to_dict,
+    dumps,
+    expr_from_dict,
+    expr_to_dict,
+    loads,
+)
+
+from tests.test_property_random_programs import random_component
+
+
+CELL = parse_component(
+    "process Cell = (? integer msgin; ? event rq; ! integer msgout;)"
+    "(| tick := (^msgin) default rq"
+    " | data := msgin default (pre 0 data)"
+    " | data ^= tick"
+    " | msgout := data when rq |)"
+    " where event tick; integer data; end"
+)
+
+
+class TestRoundTrip:
+    def test_component_roundtrip(self):
+        again = loads(dumps(CELL))
+        assert again.name == CELL.name
+        assert again.inputs == CELL.inputs
+        assert again.outputs == CELL.outputs
+        assert again.locals == CELL.locals
+        assert list(again.statements) == list(CELL.statements)
+
+    @pytest.mark.parametrize(
+        "prog", [producer_consumer(), request_response(), token_ring(2)],
+        ids=lambda p: p.name,
+    )
+    def test_program_roundtrip(self, prog):
+        again = loads(dumps(prog))
+        assert again.name == prog.name
+        for c1, c2 in zip(prog.components, again.components):
+            assert list(c1.statements) == list(c2.statements)
+            assert c1.signals() == c2.signals()
+
+    def test_bool_int_constants_distinguished(self):
+        e = parse_component(
+            "process C = (? boolean c; ! boolean x; ! integer y;)"
+            "(| x := true when c | y := 1 when c |) end"
+        )
+        again = loads(dumps(e))
+        assert list(again.statements) == list(e.statements)
+
+    def test_output_is_stable_json(self):
+        doc = json.loads(dumps(CELL))
+        assert doc["kind"] == "component"
+        assert doc["name"] == "Cell"
+        assert "statements" in doc
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads("{nope")
+
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            loads(json.dumps({"kind": "schematic"}))
+
+    def test_unknown_expr_op(self):
+        with pytest.raises(SerializationError):
+            expr_from_dict({"op": "teleport"})
+
+    def test_missing_op(self):
+        with pytest.raises(SerializationError):
+            expr_from_dict({"name": "x"})
+
+    def test_unknown_type(self):
+        with pytest.raises(SerializationError):
+            component_from_dict(
+                {"name": "C", "inputs": {"a": "quaternion"}, "outputs": {},
+                 "locals": {}, "statements": []}
+            )
+
+    def test_malformed_component(self):
+        with pytest.raises(SerializationError):
+            component_from_dict({"inputs": {}})
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_component())
+def test_prop_serializer_roundtrip(comp):
+    again = loads(dumps(comp))
+    assert list(again.statements) == list(comp.statements)
+    assert again.signals() == comp.signals()
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_component())
+def test_prop_expr_dict_roundtrip(comp):
+    for eq in comp.equations():
+        assert expr_from_dict(expr_to_dict(eq.expr)) == eq.expr

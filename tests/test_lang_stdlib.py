@@ -1,0 +1,170 @@
+"""Tests for the Signal standard library (repro.lang.stdlib)."""
+
+import pytest
+
+from repro.lang import check_component
+from repro.lang.stdlib import (
+    cell,
+    clock_divider,
+    counter,
+    delay_line,
+    falling_edge,
+    latch,
+    modular_counter,
+    moving_sum,
+    rising_edge,
+    toggle,
+    watchdog,
+)
+from repro.lang.types import BOOL
+from repro.sim import Reactor
+
+
+def run(comp, rows):
+    r = Reactor(comp)
+    return [r.react(row) for row in rows]
+
+
+class TestCounters:
+    def test_counter(self):
+        comp = counter()
+        check_component(comp)
+        outs = run(comp, [{"tick": True}, {}, {"tick": True}])
+        assert [o.get("count") for o in outs] == [1, None, 2]
+
+    def test_counter_init_step(self):
+        comp = counter(init=10, step=5)
+        outs = run(comp, [{"tick": True}] * 3)
+        assert [o["count"] for o in outs] == [15, 20, 25]
+
+    def test_modular_counter_wraps(self):
+        comp = modular_counter(modulus=3)
+        check_component(comp)
+        outs = run(comp, [{"tick": True}] * 5)
+        assert [o["count"] for o in outs] == [1, 2, 0, 1, 2]
+
+    def test_modular_counter_validation(self):
+        with pytest.raises(ValueError):
+            modular_counter(modulus=0)
+
+
+class TestCell:
+    def test_holds_last_value_at_clock(self):
+        comp = cell("x", "held", clk="probe", init=99)
+        check_component(comp)
+        outs = run(
+            comp,
+            [{"probe": True}, {"x": 5}, {"probe": True}, {}, {"x": 7, "probe": True}],
+        )
+        assert [o.get("held") for o in outs] == [99, 5, 5, None, 7]
+
+    def test_pure_follower_without_clock(self):
+        comp = cell("x", "held")
+        outs = run(comp, [{"x": 1}, {}, {"x": 2}])
+        assert [o.get("held") for o in outs] == [1, None, 2]
+
+
+class TestEdges:
+    def test_rising_edge(self):
+        comp = rising_edge("b", "up")
+        check_component(comp)
+        outs = run(comp, [{"b": False}, {"b": True}, {"b": True}, {"b": False}, {"b": True}])
+        assert [("up" in o) for o in outs] == [False, True, False, False, True]
+
+    def test_falling_edge(self):
+        comp = falling_edge("b", "down")
+        outs = run(comp, [{"b": True}, {"b": False}, {"b": False}, {"b": True}, {"b": False}])
+        assert [("down" in o) for o in outs] == [False, True, False, False, True]
+
+    def test_edges_ignore_absence(self):
+        comp = rising_edge("b", "up")
+        outs = run(comp, [{"b": False}, {}, {"b": True}])
+        assert "up" in outs[2]
+
+
+class TestClockDivider:
+    def test_divides(self):
+        comp = clock_divider("fast", "slow", ratio=3)
+        check_component(comp)
+        outs = run(comp, [{"fast": True}] * 7)
+        assert [("slow" in o) for o in outs] == [
+            False, False, True, False, False, True, False,
+        ]
+
+    def test_ratio_one_passes_through(self):
+        comp = clock_divider("fast", "slow", ratio=1)
+        outs = run(comp, [{"fast": True}] * 3)
+        assert all("slow" in o for o in outs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clock_divider("a", "b", ratio=0)
+
+
+class TestDelayAndSum:
+    def test_delay_line(self):
+        comp = delay_line("x", "d", depth=2, init=0)
+        check_component(comp)
+        outs = run(comp, [{"x": v} for v in (1, 2, 3, 4)])
+        assert [o["d"] for o in outs] == [0, 0, 1, 2]
+
+    def test_delay_line_sparse_clock(self):
+        comp = delay_line("x", "d", depth=1)
+        outs = run(comp, [{"x": 1}, {}, {"x": 2}])
+        assert [o.get("d") for o in outs] == [0, None, 1]
+
+    def test_moving_sum(self):
+        comp = moving_sum("x", "s", taps=3)
+        check_component(comp)
+        outs = run(comp, [{"x": v} for v in (1, 2, 3, 4)])
+        assert [o["s"] for o in outs] == [1, 3, 6, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delay_line("x", "d", depth=0)
+        with pytest.raises(ValueError):
+            moving_sum("x", "s", taps=0)
+
+
+class TestToggleLatchWatchdog:
+    def test_toggle(self):
+        comp = toggle()
+        outs = run(comp, [{"tick": True}] * 3)
+        assert [o["state"] for o in outs] == [True, False, True]
+
+    def test_latch_set_reset(self):
+        comp = latch("s", "r", "q", clk="probe")
+        check_component(comp)
+        outs = run(
+            comp,
+            [
+                {"probe": True},
+                {"s": True},
+                {"probe": True},
+                {"r": True},
+                {"probe": True},
+                {"s": True, "r": True},  # set wins
+            ],
+        )
+        assert [o.get("q") for o in outs] == [False, True, True, False, False, True]
+
+    def test_watchdog_barks_and_resets(self):
+        comp = watchdog(limit=2)
+        check_component(comp)
+        rows = []
+        for t in range(8):
+            row = {"tick": True}
+            if t == 4:
+                row["kick"] = True
+            rows.append(row)
+        outs = run(comp, rows)
+        barks = [t for t, o in enumerate(outs) if "bark" in o]
+        # n: 1,2,3(bark),4(bark),0(kick+tick? kick resets),1,2,3(bark)
+        assert 2 in barks or 3 in barks
+        assert barks and min(barks) >= 2
+        # a kick defers the next bark
+        assert all(t not in barks for t in (4, 5))
+
+    def test_watchdog_validation(self):
+        with pytest.raises(ValueError):
+            watchdog(limit=0)

@@ -1,0 +1,205 @@
+"""Tests for the ROBDD package."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.bdd import BDD, FALSE, TRUE
+
+
+@pytest.fixture
+def bdd():
+    return BDD()
+
+
+class TestBasics:
+    def test_terminals(self, bdd):
+        assert bdd.AND() == TRUE
+        assert bdd.OR() == FALSE
+        assert bdd.NOT(TRUE) == FALSE
+        assert bdd.NOT(FALSE) == TRUE
+
+    def test_variable_idempotent(self, bdd):
+        a1 = bdd.variable("a")
+        a2 = bdd.variable("a")
+        assert a1 == a2
+
+    def test_hash_consing(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f1 = bdd.AND(a, b)
+        f2 = bdd.AND(b, a)
+        assert f1 == f2  # canonical form
+
+    def test_boolean_identities(self, bdd):
+        a = bdd.variable("a")
+        assert bdd.AND(a, bdd.NOT(a)) == FALSE
+        assert bdd.OR(a, bdd.NOT(a)) == TRUE
+        assert bdd.XOR(a, a) == FALSE
+        assert bdd.IFF(a, a) == TRUE
+        assert bdd.IMPLIES(FALSE, a) == TRUE
+        assert bdd.NOT(bdd.NOT(a)) == a
+
+    def test_ite(self, bdd):
+        a, b, c = (bdd.variable(n) for n in "abc")
+        f = bdd.ite(a, b, c)
+        assert bdd.restrict({"a": True}, f) == b
+        assert bdd.restrict({"a": False}, f) == c
+
+
+def _truth_table(bdd, f, names):
+    rows = {}
+    for values in itertools.product([False, True], repeat=len(names)):
+        assignment = dict(zip(names, values))
+        rows[values] = bdd.restrict(assignment, f) == TRUE
+    return rows
+
+
+class TestSemantics:
+    def test_matches_python_eval(self, bdd):
+        a, b, c = (bdd.variable(n) for n in "abc")
+        f = bdd.OR(bdd.AND(a, bdd.NOT(b)), bdd.XOR(b, c))
+        table = _truth_table(bdd, f, ["a", "b", "c"])
+        for (va, vb, vc), res in table.items():
+            assert res == ((va and not vb) or (vb != vc))
+
+    def test_exists(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f = bdd.AND(a, b)
+        assert bdd.exists(["a"], f) == b
+        assert bdd.exists(["a", "b"], f) == TRUE
+        assert bdd.exists(["a"], FALSE) == FALSE
+
+    def test_exists_or_decomposition(self, bdd):
+        a, b, c = (bdd.variable(n) for n in "abc")
+        f = bdd.ite(a, b, c)
+        # ∃a. f = b | c
+        assert bdd.exists(["a"], f) == bdd.OR(b, c)
+
+    def test_rename(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        nxt = bdd.variable("a'")
+        f = bdd.AND(a, b)
+        g = bdd.rename({"a": "a'"}, f)
+        assert g == bdd.AND(nxt, b)
+
+    def test_rename_swap_levels(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f = bdd.AND(a, bdd.NOT(b))
+        g = bdd.rename({"a": "b", "b": "a"}, f)
+        assert g == bdd.AND(b, bdd.NOT(a))
+
+    def test_restrict(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f = bdd.XOR(a, b)
+        assert bdd.restrict({"a": True}, f) == bdd.NOT(b)
+        assert bdd.restrict({"a": True, "b": False}, f) == TRUE
+
+
+class TestInspection:
+    def test_any_sat(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f = bdd.AND(a, bdd.NOT(b))
+        sat = bdd.any_sat(f)
+        assert sat["a"] is True and sat["b"] is False
+        assert bdd.any_sat(FALSE) is None
+        assert bdd.any_sat(TRUE) == {}
+
+    def test_sat_count(self, bdd):
+        a, b, c = (bdd.variable(n) for n in "abc")
+        assert bdd.sat_count(TRUE) == 8
+        assert bdd.sat_count(FALSE) == 0
+        assert bdd.sat_count(a) == 4
+        assert bdd.sat_count(bdd.AND(a, b)) == 2
+        assert bdd.sat_count(bdd.OR(a, b, c)) == 7
+
+    def test_support(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        bdd.variable("c")
+        f = bdd.AND(a, b)
+        assert bdd.support(f) == {"a", "b"}
+        assert bdd.support(TRUE) == frozenset()
+
+
+# -- property tests against a brute-force evaluator ---------------------------
+
+NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from(NAMES + ["0", "1"]))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(formulas(depth=0))
+    if kind == 1:
+        return ("not", draw(formulas(depth=depth - 1)))
+    op = draw(st.sampled_from(["and", "or", "xor"]))
+    return (op, draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+
+
+def build(bdd, f):
+    if isinstance(f, str):
+        if f == "0":
+            return FALSE
+        if f == "1":
+            return TRUE
+        return bdd.variable(f)
+    if f[0] == "not":
+        return bdd.NOT(build(bdd, f[1]))
+    l, r = build(bdd, f[1]), build(bdd, f[2])
+    return {"and": bdd.AND, "or": bdd.OR, "xor": bdd.XOR}[f[0]](l, r)
+
+
+def brute(f, env):
+    if isinstance(f, str):
+        if f == "0":
+            return False
+        if f == "1":
+            return True
+        return env[f]
+    if f[0] == "not":
+        return not brute(f[1], env)
+    l, r = brute(f[1], env), brute(f[2], env)
+    return {"and": l and r, "or": l or r, "xor": l != r}[f[0]]
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_prop_bdd_matches_brute_force(f):
+    bdd = BDD()
+    for n in NAMES:
+        bdd.variable(n)
+    node = build(bdd, f)
+    for values in itertools.product([False, True], repeat=len(NAMES)):
+        env = dict(zip(NAMES, values))
+        assert (bdd.restrict(env, node) == TRUE) == brute(f, env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas(), st.sampled_from(NAMES))
+def test_prop_exists_is_or_of_cofactors(f, var):
+    bdd = BDD()
+    for n in NAMES:
+        bdd.variable(n)
+    node = build(bdd, f)
+    ex = bdd.exists([var], node)
+    manual = bdd.OR(
+        bdd.restrict({var: False}, node), bdd.restrict({var: True}, node)
+    )
+    assert ex == manual
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas())
+def test_prop_sat_count_matches_enumeration(f):
+    bdd = BDD()
+    for n in NAMES:
+        bdd.variable(n)
+    node = build(bdd, f)
+    expected = sum(
+        brute(f, dict(zip(NAMES, values)))
+        for values in itertools.product([False, True], repeat=len(NAMES))
+    )
+    assert bdd.sat_count(node, n_vars=len(NAMES)) == expected

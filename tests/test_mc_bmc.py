@@ -1,0 +1,98 @@
+"""Tests for bounded model checking (repro.mc.bmc)."""
+
+import pytest
+
+from repro.designs import producer_consumer
+from repro.desync import desynchronize
+from repro.errors import VerificationError
+from repro.lang import parse_component
+from repro.mc import bounded_check, bounded_never_present, check_never_present, compile_lts
+from repro.sim import simulate
+
+FREE = [{}, {"p_act": True}, {"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+
+
+class TestBoundedCheck:
+    def test_refutes_overflow_on_infinite_state_design(self):
+        # the UNBOUNDED producer (infinite state space: compile_lts cannot
+        # handle it) still yields a finite-depth refutation
+        res = desynchronize(producer_consumer(), capacities=1)
+        result = bounded_never_present(
+            res.program, res.channels[0].alarm, depth=4, alphabet=FREE
+        )
+        assert not result.safe_up_to_bound
+        assert len(result.counterexample) == 2  # shortest: write, write
+
+    def test_counterexample_replays(self):
+        res = desynchronize(producer_consumer(), capacities=2)
+        result = bounded_never_present(
+            res.program, res.channels[0].alarm, depth=5, alphabet=FREE
+        )
+        ce = result.counterexample
+        assert ce is not None and len(ce) == 3
+        trace = simulate(
+            desynchronize(producer_consumer(), capacities=2).program,
+            ce.as_stimulus(),
+        )
+        assert trace.presence_count(res.channels[0].alarm) == 1
+
+    def test_safe_up_to_bound(self):
+        res = desynchronize(producer_consumer(), capacities=8)
+        result = bounded_never_present(
+            res.program, res.channels[0].alarm, depth=6, alphabet=FREE
+        )
+        assert result.safe_up_to_bound  # needs 9 writes to overflow
+        assert result.explored > 0
+
+    def test_agrees_with_full_model_checking(self):
+        from repro.designs import modular_producer_consumer
+
+        prog = desynchronize(modular_producer_consumer(modulus=2), capacities=2)
+        lts = compile_lts(prog.program, alphabet=FREE)
+        full_ce = check_never_present(lts, prog.channels[0].alarm)
+        bounded = bounded_never_present(
+            prog.program, prog.channels[0].alarm, depth=len(full_ce), alphabet=FREE
+        )
+        assert bounded.counterexample is not None
+        assert len(bounded.counterexample) == len(full_ce)
+
+    def test_custom_predicate(self):
+        comp = parse_component(
+            "process C = (? event tick; ! integer x;)"
+            "(| x := (pre 0 x) + 1 | x ^= tick |) end"
+        )
+        result = bounded_check(
+            comp,
+            lambda out: out.get("x", 0) < 3,
+            depth=5,
+            alphabet=[{}, {"tick": True}],
+            name="x stays under 3",
+        )
+        assert not result.safe_up_to_bound
+        assert len(result.counterexample) == 3  # three ticks reach x=3
+
+    def test_reaction_budget_enforced(self):
+        res = desynchronize(producer_consumer(), capacities=16)  # no shallow CE
+        with pytest.raises(VerificationError):
+            bounded_never_present(
+                res.program,
+                res.channels[0].alarm,
+                depth=6,
+                alphabet=FREE,
+                prune_states=False,
+                max_reactions=2000,
+            )
+
+    def test_pruning_reduces_work(self):
+        from repro.designs import modular_producer_consumer
+
+        prog = desynchronize(modular_producer_consumer(modulus=2), capacities=4)
+        slow = bounded_never_present(
+            prog.program, prog.channels[0].alarm, depth=5,
+            alphabet=FREE, prune_states=False,
+        )
+        fast = bounded_never_present(
+            prog.program, prog.channels[0].alarm, depth=5, alphabet=FREE,
+        )
+        assert fast.explored < slow.explored
+        assert fast.safe_up_to_bound == slow.safe_up_to_bound

@@ -1,0 +1,121 @@
+"""Tests for temporal queries and bisimulation quotients."""
+
+from repro.designs import modular_producer_consumer
+from repro.desync import desynchronize
+from repro.lang import parse_component
+from repro.mc import (
+    check_never_present,
+    check_response,
+    compile_lts,
+    find_lasso,
+    inevitable,
+    quotient,
+    trace_equivalent,
+)
+
+TOGGLER = (
+    "process T = (? event tick; ! boolean b;)"
+    "(| b := not (pre false b) | b ^= tick |) end"
+)
+
+FREE = [{}, {"p_act": True}, {"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+BUSY = [{"p_act": True}, {"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+
+
+def desync_lts(capacity=1, alphabet=FREE):
+    res = desynchronize(modular_producer_consumer(modulus=2), capacities=capacity)
+    return compile_lts(res.program, alphabet=alphabet), res.channels[0]
+
+
+class TestFindLasso:
+    def test_idle_lasso_exists_in_free_environment(self):
+        lts, ch = desync_lts()
+        lasso = find_lasso(lts, cycle_pred=lambda out: not out)
+        assert lasso is not None
+        assert lasso.cycle == [{}]  # the empty letter loops in place
+
+    def test_starvation_lasso_without_reads(self):
+        # run forever with writes only: the consumer never sees data
+        lts, ch = desync_lts(capacity=1)
+        lasso = find_lasso(
+            lts,
+            cycle_pred=lambda out: ch.read_port not in out and "p_act" in out,
+        )
+        assert lasso is not None
+        assert all("p_act" in row for row in lasso.cycle)
+
+    def test_no_lasso_when_predicate_unsatisfiable(self):
+        lts, ch = desync_lts()
+        lasso = find_lasso(lts, cycle_pred=lambda out: "unicorn" in out)
+        assert lasso is None
+
+    def test_lasso_render(self):
+        lts, _ = desync_lts()
+        lasso = find_lasso(lts, cycle_pred=lambda out: True)
+        assert "cycle" in lasso.render()
+
+
+class TestCheckResponse:
+    def test_delivery_always_reachable(self):
+        lts, ch = desync_lts(capacity=1)
+        verdict = check_response(lts, lambda out: ch.read_port in out)
+        assert verdict.holds
+
+    def test_bounded_response(self):
+        lts, ch = desync_lts(capacity=1)
+        # a delivery needs at most: one write then one read
+        verdict = check_response(lts, lambda out: ch.read_port in out, within=2)
+        assert verdict.holds
+        # but not always within one step (from the empty buffer)
+        verdict = check_response(lts, lambda out: ch.read_port in out, within=1)
+        assert not verdict.holds
+        assert verdict.witness_path is not None
+
+    def test_unreachable_goal_fails_immediately(self):
+        lts, _ = desync_lts()
+        verdict = check_response(lts, lambda out: "unicorn" in out)
+        assert not verdict.holds
+        assert verdict.witness_path == []  # the initial state already fails
+
+
+class TestInevitable:
+    def test_free_environment_can_starve(self):
+        lts, ch = desync_lts()
+        lasso = inevitable(lts, lambda out: ch.read_port in out)
+        assert lasso is not None  # idling forever never delivers
+
+    def test_forced_reads_make_delivery_inevitable(self):
+        # environment: every letter includes a read request, and writes
+        # keep coming -> after a write, delivery cannot be dodged forever
+        alphabet = [{"p_act": True, "x_rreq": True}]
+        lts, ch = desync_lts(capacity=1, alphabet=alphabet)
+        lasso = inevitable(lts, lambda out: ch.read_port in out)
+        assert lasso is None
+
+
+class TestQuotient:
+    def test_quotient_of_toggler_is_itself(self):
+        lts = compile_lts(parse_component(TOGGLER))
+        q = quotient(lts)
+        assert q.num_states() == 2
+        assert trace_equivalent(lts, q) is None
+
+    def test_masked_quotient_collapses_payload_states(self):
+        lts, ch = desync_lts(capacity=2)
+
+        def control_only(out):
+            return {k: v for k, v in out.items()
+                    if k in (ch.alarm, ch.ok, "p_act", "x_rreq")}
+
+        q = quotient(lts, view=control_only)
+        assert q.num_states() < lts.num_states()
+        # the control-level language is preserved
+        assert trace_equivalent(lts, q, view=control_only) is None
+
+    def test_quotient_preserves_safety(self):
+        lts, ch = desync_lts(capacity=1)
+        q = quotient(lts)
+        ce_full = check_never_present(lts, ch.alarm)
+        ce_quot = check_never_present(q, ch.alarm)
+        assert (ce_full is None) == (ce_quot is None)
+        assert len(ce_full) == len(ce_quot)

@@ -1,0 +1,66 @@
+"""Fuzzing the frontend: junk input must fail cleanly, never crash.
+
+Contract: :func:`tokenize` / :func:`parse_*` raise
+:class:`~repro.errors.SignalSyntaxError` (or succeed) on arbitrary input —
+no other exception type may escape.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalSyntaxError
+from repro.lang import parse_component, parse_expression, parse_program
+from repro.lang.lexer import tokenize
+
+# token soup: words, keywords, operators, digits, punctuation, unicode junk
+_fragments = st.sampled_from(
+    [
+        "process", "end", "where", "when", "default", "pre", "not", "and",
+        "or", "xor", "true", "false", "integer", "boolean", "event",
+        "x", "y", "foo", "msgin", "0", "42", "-7",
+        "(|", "|)", "|", ":=", "^=", "^", "(", ")", ";", ",", "?", "!",
+        "=", "==", "/=", "<", "<=", ">", ">=", "+", "-", "*", "/",
+        "%comment\n", "\n", " ",
+    ]
+)
+token_soup = st.lists(_fragments, min_size=0, max_size=40).map(" ".join)
+raw_text = st.text(max_size=120)
+
+
+@settings(max_examples=200, deadline=None)
+@given(token_soup)
+def test_prop_parser_total_on_token_soup(text):
+    for parse in (parse_expression, parse_component, parse_program):
+        try:
+            parse(text)
+        except SignalSyntaxError:
+            pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(raw_text)
+def test_prop_lexer_total_on_arbitrary_text(text):
+    try:
+        tokens = tokenize(text)
+    except SignalSyntaxError:
+        return
+    assert tokens[-1].kind == "EOF"
+
+
+@settings(max_examples=150, deadline=None)
+@given(raw_text)
+def test_prop_parser_total_on_arbitrary_text(text):
+    try:
+        parse_program(text)
+    except SignalSyntaxError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(token_soup)
+def test_prop_lexer_positions_monotone(text):
+    try:
+        tokens = tokenize(text)
+    except SignalSyntaxError:
+        return
+    positions = [(t.line, t.column) for t in tokens[:-1]]
+    assert positions == sorted(positions)

@@ -1,0 +1,259 @@
+"""Tests for the reaction engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.errors import NonDeterministicClockError, SimulationError
+from repro.lang import parse_component
+from repro.sim import ABSENT, Reactor
+
+
+def react_rows(comp, rows, oracle=None):
+    r = Reactor(comp, oracle=oracle)
+    return [r.react(row) for row in rows]
+
+
+class TestFunctionalEquations:
+    def test_pointwise_function(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x;) (| x := a + 1 |) end"
+        )
+        outs = react_rows(comp, [{"a": 1}, {}, {"a": 41}])
+        assert outs[0]["x"] == 2
+        assert "x" not in outs[1]  # absent input -> absent output
+        assert outs[2]["x"] == 42
+
+    def test_explicit_absent_marker(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x;) (| x := a * 2 |) end"
+        )
+        outs = react_rows(comp, [{"a": ABSENT}])
+        assert outs == [{}]
+
+    def test_unknown_input_rejected(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x;) (| x := a |) end"
+        )
+        r = Reactor(comp)
+        with pytest.raises(SimulationError):
+            r.react({"bogus": 1})
+
+    def test_asynchronous_operands_rejected(self):
+        comp = parse_component(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := a + b |) end"
+        )
+        r = Reactor(comp)
+        with pytest.raises(SimulationError):
+            r.react({"a": 1})  # b absent while a present
+
+    def test_boolean_chain(self):
+        comp = parse_component(
+            "process C = (? boolean p; ? boolean q; ! boolean x;)"
+            "(| x := not p or q |) end"
+        )
+        outs = react_rows(comp, [{"p": True, "q": False}, {"p": False, "q": False}])
+        assert outs[0]["x"] is False
+        assert outs[1]["x"] is True
+
+
+class TestWhenDefault:
+    def test_when_samples(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := a when c |) end"
+        )
+        outs = react_rows(
+            comp,
+            [
+                {"a": 1, "c": True},
+                {"a": 2, "c": False},
+                {"a": 3},
+                {"c": True},
+            ],
+        )
+        assert outs[0].get("x") == 1
+        assert "x" not in outs[1]
+        assert "x" not in outs[2]
+        assert "x" not in outs[3]
+
+    def test_default_merges(self):
+        comp = parse_component(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := a default b |) end"
+        )
+        outs = react_rows(comp, [{"a": 1, "b": 2}, {"b": 3}, {"a": 4}, {}])
+        assert [o.get("x") for o in outs] == [1, 3, 4, None]
+
+    def test_clock_of(self):
+        comp = parse_component(
+            "process C = (? integer a; ! event e;) (| e := ^a |) end"
+        )
+        outs = react_rows(comp, [{"a": 5}, {}])
+        assert outs[0]["e"] is True
+        assert "e" not in outs[1]
+
+    def test_constant_rhs_is_never_present_without_constraint(self):
+        # x := 1 has a free clock; the least-clock completion keeps it silent.
+        comp = parse_component(
+            "process C = (? integer a; ! integer x;) (| x := 1 |) end"
+        )
+        outs = react_rows(comp, [{"a": 1}, {}])
+        assert all("x" not in o for o in outs)
+
+    def test_constant_rhs_with_sync_constraint(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x;) (| x := 1 | x ^= a |) end"
+        )
+        outs = react_rows(comp, [{"a": 9}, {}])
+        assert outs[0]["x"] == 1
+        assert "x" not in outs[1]
+
+
+class TestPre:
+    def test_counter_driven_by_sync(self):
+        comp = parse_component(
+            "process C = (? event tick; ! integer x;)"
+            "(| x := (pre 0 x) + 1 | x ^= tick |) end"
+        )
+        outs = react_rows(comp, [{"tick": True}, {}, {"tick": True}, {"tick": True}])
+        assert [o.get("x") for o in outs] == [1, None, 2, 3]
+
+    def test_pre_holds_last_value(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer prev;)"
+            "(| prev := pre 99 a |) end"
+        )
+        outs = react_rows(comp, [{"a": 1}, {}, {"a": 2}, {"a": 3}])
+        assert [o.get("prev") for o in outs] == [99, None, 1, 2]
+
+    def test_memory_cell_example1(self):
+        # The memory cell of Example 1: independent read/write clocks.
+        # `data` lives at the union clock of both accesses (tick); the
+        # constraint `data ^= tick` anchors the state's clock, which the
+        # paper leaves implicit.
+        comp = parse_component(
+            "process Cell = (? integer msgin; ? event rq; ! integer msgout;)"
+            "(| tick := (^msgin) default rq"
+            " | data := msgin default (pre 0 data)"
+            " | data ^= tick"
+            " | msgout := data when rq |)"
+            " where event tick; integer data; end"
+        )
+        outs = react_rows(
+            comp,
+            [
+                {"msgin": 7},            # write 7
+                {"rq": True},            # read -> 7
+                {"rq": True},            # read again -> 7 (kept)
+                {"msgin": 9, "rq": True},  # simultaneous: read sees new value
+                {"rq": True},            # read -> 9
+                {},                       # silence
+            ],
+        )
+        assert [o.get("msgout") for o in outs] == [None, 7, 7, 9, 9, None]
+
+    def test_reset_restores_initial_state(self):
+        comp = parse_component(
+            "process C = (? event tick; ! integer x;)"
+            "(| x := (pre 0 x) + 1 | x ^= tick |) end"
+        )
+        r = Reactor(comp)
+        assert r.react({"tick": True})["x"] == 1
+        assert r.react({"tick": True})["x"] == 2
+        r.reset()
+        assert r.react({"tick": True})["x"] == 1
+
+    def test_state_roundtrip(self):
+        comp = parse_component(
+            "process C = (? event tick; ! integer x;)"
+            "(| x := (pre 0 x) + 1 | x ^= tick |) end"
+        )
+        r = Reactor(comp)
+        r.react({"tick": True})
+        saved = r.state()
+        r.react({"tick": True})
+        r.set_state(saved)
+        assert r.react({"tick": True})["x"] == 2
+
+    def test_pre_of_constant_rejected(self):
+        comp = parse_component(
+            "process C = (? event t; ! integer x;)"
+            "(| x := pre 0 1 | x ^= t |) end"
+        )
+        with pytest.raises(SimulationError):
+            Reactor(comp)
+
+
+class TestOracleAndFreeClocks:
+    CELL = (
+        "process Cell = (? integer msgin; ! integer msgout;)"
+        "(| data := msgin default (pre 0 data)"
+        " | msgout := data when ^msgout |)"
+        " where integer data; end"
+    )
+
+    def test_free_clock_defaults_to_silence(self):
+        comp = parse_component(self.CELL)
+        outs = react_rows(comp, [{"msgin": 3}, {}])
+        assert all("msgout" not in o for o in outs)
+
+    def test_oracle_drives_free_clock(self):
+        comp = parse_component(self.CELL)
+
+        def oracle(t, undetermined):
+            return {"msgout": t % 2 == 1}
+
+        outs = react_rows(comp, [{"msgin": 3}, {}, {"msgin": 8}, {}], oracle=oracle)
+        assert [o.get("msgout") for o in outs] == [None, 3, None, 8]
+
+    def test_inconsistent_least_clock_raises(self):
+        # x and a are forced synchronous, but x's definition also requires
+        # the (absent-able) b: with a present and b absent the reaction has
+        # no consistent completion.
+        comp = parse_component(
+            "process C = (? integer a; ? integer b; ! integer x;)"
+            "(| x := b | x ^= a |) end"
+        )
+        r = Reactor(comp)
+        with pytest.raises(SimulationError):
+            r.react({"a": 1})
+
+    def test_sync_constraint_propagates_presence(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer x; ! integer y;)"
+            "(| x := a | y := (pre 0 y) + 1 | y ^= x |) end"
+        )
+        outs = react_rows(comp, [{"a": 5}, {}, {"a": 5}])
+        assert [o.get("y") for o in outs] == [1, None, 2]
+
+
+class TestStatefulPrograms:
+    def test_toggler(self):
+        comp = parse_component(
+            "process T = (? event tick; ! boolean b;)"
+            "(| b := not (pre false b) | b ^= tick |) end"
+        )
+        outs = react_rows(comp, [{"tick": True}] * 4)
+        assert [o["b"] for o in outs] == [True, False, True, False]
+
+    def test_accumulator_with_enable(self):
+        comp = parse_component(
+            "process A = (? integer add; ! integer total;)"
+            "(| total := (pre 0 total) + add |) end"
+        )
+        outs = react_rows(comp, [{"add": 5}, {}, {"add": 7}])
+        assert [o.get("total") for o in outs] == [5, None, 12]
+
+    def test_two_independent_clock_domains(self):
+        # Polychrony: x and y tick on unrelated input clocks.
+        comp = parse_component(
+            "process D = (? integer a; ? integer b; ! integer x; ! integer y;)"
+            "(| x := a * 2 | y := b + 1 |) end"
+        )
+        outs = react_rows(comp, [{"a": 1}, {"b": 1}, {"a": 2, "b": 2}, {}])
+        assert [("x" in o, "y" in o) for o in outs] == [
+            (True, False),
+            (False, True),
+            (True, True),
+            (False, False),
+        ]

@@ -1,0 +1,125 @@
+"""Tests for SimTrace, stimuli and the simulate() driver."""
+
+import pytest
+
+from repro.lang import parse_component, parse_program
+from repro.sim import SimTrace, simulate, stimuli
+from repro.tags.behavior import Behavior
+
+
+class TestStimuli:
+    def test_periodic(self):
+        rows = stimuli.take(stimuli.periodic("t", 3), 7)
+        assert [bool(r) for r in rows] == [True, False, False, True, False, False, True]
+
+    def test_periodic_with_phase_and_values(self):
+        rows = stimuli.take(stimuli.periodic("a", 2, values=stimuli.counter(), phase=1), 5)
+        assert rows == [{}, {"a": 0}, {}, {"a": 1}, {}]
+
+    def test_periodic_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            next(stimuli.periodic("a", 0))
+
+    def test_bursty(self):
+        rows = stimuli.take(stimuli.bursty("a", burst=2, gap=3), 10)
+        pattern = [bool(r) for r in rows]
+        assert pattern == [True, True, False, False, False, True, True, False, False, False]
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            next(stimuli.bursty("a", burst=0, gap=1))
+
+    def test_bernoulli_deterministic_with_seed(self):
+        a = stimuli.take(stimuli.bernoulli("a", 0.5, seed=7), 20)
+        b = stimuli.take(stimuli.bernoulli("a", 0.5, seed=7), 20)
+        assert a == b
+
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ValueError):
+            next(stimuli.bernoulli("a", 1.5))
+
+    def test_merge(self):
+        rows = stimuli.take(
+            stimuli.merge(stimuli.periodic("a", 2), stimuli.periodic("b", 3)), 6
+        )
+        assert rows[0] == {"a": True, "b": True}
+        assert rows[2] == {"a": True}
+        assert rows[3] == {"b": True}
+
+    def test_merge_collision_rejected(self):
+        with pytest.raises(ValueError):
+            stimuli.take(
+                stimuli.merge(stimuli.periodic("a", 1), stimuli.periodic("a", 1)), 1
+            )
+
+    def test_rows_and_silence(self):
+        assert stimuli.take(stimuli.rows([{"a": 1}]), 1) == [{"a": 1}]
+        assert stimuli.take(stimuli.silence(), 3) == [{}, {}, {}]
+
+
+class TestSimTrace:
+    def make(self):
+        t = SimTrace()
+        t.append({"a": 1, "x": 2})
+        t.append({})
+        t.append({"x": 5})
+        return t
+
+    def test_signals_and_values(self):
+        t = self.make()
+        assert t.signals() == ["a", "x"]
+        assert t.values("x") == [2, 5]
+        assert t.presence_count("a") == 1
+
+    def test_indexing(self):
+        assert self.make()[0] == {"a": 1, "x": 2}
+        assert len(self.make()) == 3
+
+    def test_behavior_conversion(self):
+        b = self.make().behavior()
+        assert isinstance(b, Behavior)
+        assert b["x"].tags() == (0, 2)
+        assert b["a"].values() == (1,)
+
+    def test_behavior_projection(self):
+        b = self.make().behavior(["x"])
+        assert b.vars() == {"x"}
+
+    def test_render(self):
+        text = self.make().render()
+        assert "x" in text and "a" in text
+
+
+class TestSimulate:
+    COUNTER = (
+        "process C = (? event tick; ! integer x;)"
+        "(| x := (pre 0 x) + 1 | x ^= tick |) end"
+    )
+
+    def test_component_run(self):
+        comp = parse_component(self.COUNTER)
+        trace = simulate(comp, stimuli.periodic("tick", 2), n=6)
+        assert trace.values("x") == [1, 2, 3]
+
+    def test_program_run_flattens(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+            "process Q = (? integer x; ! integer y;) (| y := x * 10 |) end\n"
+        )
+        trace = simulate(prog, stimuli.periodic("a", 1, values=stimuli.counter()), n=3)
+        assert trace.values("y") == [10, 20, 30]
+
+    def test_finite_stimulus_without_n(self):
+        comp = parse_component(self.COUNTER)
+        trace = simulate(comp, stimuli.rows([{"tick": True}, {}]))
+        assert len(trace) == 2
+
+    def test_continuation_with_reactor(self):
+        from repro.sim import Reactor
+
+        comp = parse_component(self.COUNTER)
+        r = Reactor(comp)
+        t1 = simulate(comp, stimuli.periodic("tick", 1), n=2, reactor=r)
+        t2 = simulate(comp, stimuli.periodic("tick", 1), n=2, reactor=r)
+        assert t1.values("x") == [1, 2]
+        assert t2.values("x") == [3, 4]  # state carried over

@@ -1,0 +1,146 @@
+"""Unit tests for repro.tags.behavior (Definitions 1 and 5)."""
+
+import pytest
+
+from repro.tags.behavior import ABSENT, Behavior
+from repro.tags.trace import SignalTrace
+
+
+def sample():
+    return Behavior(
+        {
+            "x": SignalTrace([(0, 1), (2, 2)]),
+            "y": SignalTrace([(1, True), (2, False)]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_traces(self):
+        b = sample()
+        assert b.vars() == {"x", "y"}
+        assert b["x"].values() == (1, 2)
+
+    def test_rejects_non_trace(self):
+        with pytest.raises(TypeError):
+            Behavior({"x": [1, 2, 3]})
+
+    def test_from_table(self):
+        b = Behavior.from_table(
+            ["a", "b"],
+            [
+                [1, ABSENT],
+                [ABSENT, True],
+                [2, False],
+            ],
+        )
+        assert b["a"].tags() == (0, 2)
+        assert b["b"].tags() == (1, 2)
+        assert b["b"].values() == (True, False)
+
+    def test_from_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            Behavior.from_table(["a", "b"], [[1]])
+
+    def test_from_values(self):
+        b = Behavior.from_values(x=[1, 2], y=[3, 4])
+        assert b["x"].tags() == (0, 1)
+        assert b["y"].values() == (3, 4)
+
+    def test_empty(self):
+        b = Behavior.empty(["p", "q"])
+        assert b.vars() == {"p", "q"}
+        assert len(b["p"]) == 0
+
+    def test_table_roundtrip(self):
+        b = sample()
+        cols, rows = b.to_table()
+        assert Behavior.from_table(cols, rows) == b
+
+
+class TestAccess:
+    def test_contains_get(self):
+        b = sample()
+        assert "x" in b
+        assert "z" not in b
+        assert b.get("z") is None
+
+    def test_iter_sorted(self):
+        assert list(sample()) == ["x", "y"]
+
+    def test_len(self):
+        assert len(sample()) == 2
+
+
+class TestProjectionHidingRenaming:
+    def test_project(self):
+        b = sample().project({"x"})
+        assert b.vars() == {"x"}
+
+    def test_project_ignores_missing(self):
+        assert sample().project({"x", "nope"}).vars() == {"x"}
+
+    def test_hide(self):
+        assert sample().hide({"x"}).vars() == {"y"}
+
+    def test_rename(self):
+        b = sample().rename({"x": "xp"})
+        assert b.vars() == {"xp", "y"}
+        assert b["xp"].values() == (1, 2)
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(ValueError):
+            sample().rename({"x": "y"})
+
+    def test_merge_disjoint(self):
+        other = Behavior({"z": SignalTrace([(0, 9)])})
+        merged = sample().merge(other)
+        assert merged.vars() == {"x", "y", "z"}
+
+    def test_merge_agreeing(self):
+        other = Behavior({"x": SignalTrace([(0, 1), (2, 2)])})
+        assert sample().merge(other) == sample()
+
+    def test_merge_disagreeing_rejected(self):
+        other = Behavior({"x": SignalTrace([(0, 999)])})
+        with pytest.raises(ValueError):
+            sample().merge(other)
+
+
+class TestTagsAndRetiming:
+    def test_all_tags(self):
+        assert sample().all_tags() == (0, 1, 2)
+
+    def test_retimed(self):
+        b = sample().retimed(lambda t: t + 10)
+        assert b.all_tags() == (10, 11, 12)
+        assert b["x"].values() == (1, 2)
+
+    def test_up_to(self):
+        b = sample().up_to(1)
+        assert b["x"].tags() == (0,)
+        assert b["y"].tags() == (1,)
+
+
+class TestRendering:
+    def test_render_contains_signals_and_values(self):
+        text = sample().render()
+        assert "x" in text and "y" in text
+        assert "T" in text  # True rendered as T, like Figure 2
+        assert "." in text  # absence marker
+
+    def test_render_respects_column_order(self):
+        text = sample().render(columns=["y", "x"])
+        y_line = [ln for ln in text.splitlines() if ln.strip().startswith("y")][0]
+        x_line = [ln for ln in text.splitlines() if ln.strip().startswith("x")][0]
+        assert text.index(y_line) < text.index(x_line)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert sample() == sample()
+        assert hash(sample()) == hash(sample())
+        assert sample() != sample().rename({"x": "w"})
+
+    def test_repr(self):
+        assert "Behavior" in repr(sample())

@@ -1,0 +1,231 @@
+"""Tests for Table 1 denotations and the FIFO channel semantics (Defs 8, 9)."""
+
+import operator
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tags.behavior import Behavior
+from repro.tags.channels import (
+    afifo_behavior,
+    in_afifo,
+    in_bounded_fifo,
+    lemma2_condition,
+    minimal_fifo_bound,
+    occupancy_profile,
+)
+from repro.tags.denotation import (
+    default_semantics,
+    func_semantics,
+    in_default,
+    in_func,
+    in_pre,
+    in_when,
+    pre_semantics,
+    when_semantics,
+)
+from repro.tags.trace import SignalTrace
+
+
+def tr(*pairs):
+    return SignalTrace(pairs)
+
+
+class TestPreSemantics:
+    def test_shifts_values_keeps_tags(self):
+        y = tr((0, 10), (3, 20), (7, 30))
+        x = pre_semantics(y, 99)
+        assert x.tags() == y.tags()
+        assert x.values() == (99, 10, 20)
+
+    def test_empty_operand(self):
+        assert len(pre_semantics(SignalTrace(), 0)) == 0
+
+    def test_membership(self):
+        y = tr((0, 1), (1, 2))
+        b = Behavior({"y": y, "x": pre_semantics(y, 0)})
+        assert in_pre(b, "x", "y", 0)
+        assert not in_pre(b, "x", "y", 5)
+
+
+class TestWhenSemantics:
+    def test_samples_on_true(self):
+        y = tr((0, "a"), (1, "b"), (2, "c"))
+        z = tr((0, True), (2, False), (3, True))
+        x = when_semantics(y, z)
+        assert x.tags() == (0,)
+        assert x.values() == ("a",)
+
+    def test_absent_condition_means_absent(self):
+        y = tr((5, 1))
+        z = SignalTrace()
+        assert len(when_semantics(y, z)) == 0
+
+    def test_condition_without_operand_gives_nothing(self):
+        y = SignalTrace()
+        z = tr((0, True))
+        assert len(when_semantics(y, z)) == 0
+
+    def test_membership(self):
+        y, z = tr((0, 7), (4, 8)), tr((4, True))
+        b = Behavior({"y": y, "z": z, "x": when_semantics(y, z)})
+        assert in_when(b, "x", "y", "z")
+
+
+class TestDefaultSemantics:
+    def test_priority_merge(self):
+        y = tr((0, "y0"), (2, "y2"))
+        z = tr((0, "z0"), (1, "z1"), (3, "z3"))
+        x = default_semantics(y, z)
+        assert x.tags() == (0, 1, 2, 3)
+        assert x.values() == ("y0", "z1", "y2", "z3")
+
+    def test_union_of_clocks(self):
+        assert default_semantics(tr((0, 1)), SignalTrace()).tags() == (0,)
+        assert default_semantics(SignalTrace(), tr((1, 2))).tags() == (1,)
+
+    def test_membership(self):
+        y, z = tr((0, 1)), tr((1, 2))
+        b = Behavior({"y": y, "z": z, "x": default_semantics(y, z)})
+        assert in_default(b, "x", "y", "z")
+
+
+class TestFuncSemantics:
+    def test_pointwise_application(self):
+        y = tr((0, 1), (5, 2))
+        z = tr((0, 10), (5, 20))
+        x = func_semantics(operator.add, [y, z])
+        assert x.tags() == (0, 5)
+        assert x.values() == (11, 22)
+
+    def test_rejects_asynchronous_operands(self):
+        with pytest.raises(ValueError):
+            func_semantics(operator.add, [tr((0, 1)), tr((1, 1))])
+
+    def test_rejects_empty_operand_list(self):
+        with pytest.raises(ValueError):
+            func_semantics(operator.add, [])
+
+    def test_membership_false_on_async_operands(self):
+        b = Behavior({"y": tr((0, 1)), "z": tr((1, 1)), "x": tr((0, 2))})
+        assert not in_func(b, "x", ["y", "z"], operator.add)
+
+
+class TestAFifo:
+    def test_basic_membership(self):
+        b = Behavior({"x": tr((0, 1), (1, 2)), "y": tr((2, 1), (3, 2))})
+        assert in_afifo(b)
+
+    def test_pending_writes_allowed(self):
+        b = Behavior({"x": tr((0, 1), (1, 2)), "y": tr((2, 1))})
+        assert in_afifo(b)
+        assert not in_afifo(b, allow_pending=False)
+
+    def test_reorder_rejected(self):
+        b = Behavior({"x": tr((0, 1), (1, 2)), "y": tr((2, 2), (3, 1))})
+        assert not in_afifo(b)
+
+    def test_read_before_write_rejected(self):
+        b = Behavior({"x": tr((5, 1)), "y": tr((0, 1))})
+        assert not in_afifo(b)
+
+    def test_more_reads_than_writes_rejected(self):
+        b = Behavior({"x": tr((0, 1)), "y": tr((1, 1), (2, 1))})
+        assert not in_afifo(b)
+
+    def test_wrong_vars_rejected(self):
+        assert not in_afifo(Behavior({"x": tr((0, 1))}))
+
+    def test_afifo_behavior_constructor_eager_reader(self):
+        b = afifo_behavior(tr((0, "a"), (1, "b")), latency=2)
+        assert in_afifo(b)
+        assert b["y"].values() == ("a", "b")
+
+    def test_afifo_behavior_with_schedule(self):
+        b = afifo_behavior(tr((0, "a"), (1, "b")), read_tags=[4, 9])
+        assert b["y"].tags() == (4, 9)
+
+    def test_afifo_behavior_rejects_causality_violation(self):
+        with pytest.raises(ValueError):
+            afifo_behavior(tr((5, "a")), read_tags=[0])
+
+
+class TestBoundedFifo:
+    def test_occupancy_profile(self):
+        b = Behavior({"x": tr((0, 1), (1, 2)), "y": tr((2, 1), (3, 2))})
+        assert list(occupancy_profile(b)) == [(0, 1), (1, 2), (2, 1), (3, 0)]
+
+    def test_bound_respected(self):
+        b = Behavior({"x": tr((0, 1), (1, 2)), "y": tr((2, 1), (3, 2))})
+        assert in_bounded_fifo(b, 2)
+        assert not in_bounded_fifo(b, 1)
+
+    def test_minimal_bound(self):
+        b = Behavior({"x": tr((0, 1), (1, 2), (2, 3)), "y": tr((5, 1), (6, 2), (7, 3))})
+        assert minimal_fifo_bound(b) == 3
+
+    def test_minimal_bound_rejects_non_fifo(self):
+        with pytest.raises(ValueError):
+            minimal_fifo_bound(Behavior({"x": tr((0, 1)), "y": tr((0, 9))}))
+
+    def test_lemma2_condition_holds_within_bound(self):
+        writes = tr((0, 1), (1, 2), (2, 3), (3, 4))
+        reads = tr((1, 1), (2, 2), (3, 3), (4, 4))
+        assert lemma2_condition(writes, reads, 2)
+        # Reads lag: read 0 happens after write 2 would need n >= ... still
+        # fine here since read_0 at 1 <= write_2 at 2.
+        assert lemma2_condition(writes, reads, 1)
+
+    def test_lemma2_condition_violated(self):
+        writes = tr((0, 1), (1, 2), (2, 3))
+        reads = tr((5, 1), (6, 2), (7, 3))  # all reads after all writes
+        assert not lemma2_condition(writes, reads, 1)
+        assert lemma2_condition(writes, reads, 3)
+
+    def test_lemma2_matches_minimal_bound(self):
+        writes = tr((0, 1), (1, 2), (2, 3))
+        reads = tr((5, 1), (6, 2), (7, 3))
+        b = Behavior({"x": writes, "y": reads})
+        n = minimal_fifo_bound(b)
+        assert lemma2_condition(writes, reads, n)
+        assert not lemma2_condition(writes, reads, n - 1)
+
+
+# -- property tests -----------------------------------------------------------
+
+
+@st.composite
+def write_traces(draw):
+    tags = draw(st.lists(st.integers(0, 30), min_size=1, max_size=8, unique=True))
+    tags = sorted(tags)
+    vals = draw(st.lists(st.integers(0, 5), min_size=len(tags), max_size=len(tags)))
+    return SignalTrace(zip(tags, vals))
+
+
+@given(write_traces(), st.integers(1, 4))
+def test_prop_eager_reader_is_afifo(writes, latency):
+    b = afifo_behavior(writes, latency=latency)
+    assert in_afifo(b)
+    assert in_bounded_fifo(b, minimal_fifo_bound(b))
+
+
+@given(write_traces(), st.integers(1, 4))
+def test_prop_minimal_bound_is_tight(writes, latency):
+    b = afifo_behavior(writes, latency=latency)
+    n = minimal_fifo_bound(b)
+    assert n >= 1
+    assert not in_bounded_fifo(b, n - 1)
+
+
+@given(write_traces())
+def test_prop_table1_pre_then_values_shift(y):
+    x = pre_semantics(y, -1)
+    assert len(x) == len(y)
+    if len(y) >= 2:
+        assert x.values()[1:] == y.values()[:-1]
+
+
+@given(write_traces(), write_traces())
+def test_prop_default_clock_is_union(y, z):
+    x = default_semantics(y, z)
+    assert set(x.tags()) == set(y.tags()) | set(z.tags())

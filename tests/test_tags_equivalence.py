@@ -1,0 +1,212 @@
+"""Unit + property tests for stretching/relaxation equivalences (Defs 2, 4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.tags.behavior import Behavior
+from repro.tags.equivalence import (
+    canonicalize,
+    common_relaxation,
+    flow_equivalent,
+    flow_values,
+    is_relaxation,
+    is_stretching,
+    stretch_equivalent,
+)
+from repro.tags.trace import SignalTrace
+
+import pytest
+
+
+def beh(**signals):
+    return Behavior({k: SignalTrace(v) for k, v in signals.items()})
+
+
+class TestIsStretching:
+    def test_identity_is_stretching(self):
+        b = beh(x=[(0, 1), (2, 2)])
+        assert is_stretching(b, b)
+
+    def test_uniform_delay_is_stretching(self):
+        b = beh(x=[(0, 1), (2, 2)], y=[(1, True)])
+        c = b.retimed(lambda t: t * 2 + 1)
+        assert is_stretching(b, c)
+
+    def test_stretching_is_directional(self):
+        b = beh(x=[(0, 1)])
+        c = beh(x=[(5, 1)])
+        assert is_stretching(b, c)
+        assert not is_stretching(c, b)  # f(5) = 0 violates t <= f(t)
+
+    def test_value_change_is_not_stretching(self):
+        assert not is_stretching(beh(x=[(0, 1)]), beh(x=[(0, 2)]))
+
+    def test_desynchronizing_signals_is_not_stretching(self):
+        # b has x and y synchronous; c separates them: the global bijection
+        # cannot map one tag to two.
+        b = beh(x=[(0, 1)], y=[(0, 2)])
+        c = beh(x=[(0, 1)], y=[(1, 2)])
+        assert not is_stretching(b, c)
+
+    def test_different_vars_is_not_stretching(self):
+        assert not is_stretching(beh(x=[(0, 1)]), beh(y=[(0, 1)]))
+
+    def test_different_lengths_not_stretching(self):
+        assert not is_stretching(beh(x=[(0, 1)]), beh(x=[(0, 1), (1, 2)]))
+
+
+class TestStretchEquivalence:
+    def test_reflexive(self):
+        b = beh(x=[(0, 1), (3, 2)], y=[(3, True)])
+        assert stretch_equivalent(b, b)
+
+    def test_retiming_preserving_sync_is_equivalent(self):
+        b = beh(x=[(0, 1), (3, 2)], y=[(3, True)])
+        c = b.retimed({0: 10, 3: 30})
+        assert stretch_equivalent(b, c)
+        assert stretch_equivalent(c, b)  # symmetric even though tags moved right
+
+    def test_sync_breaking_not_equivalent(self):
+        b = beh(x=[(0, 1)], y=[(0, 2)])
+        c = beh(x=[(0, 1)], y=[(1, 2)])
+        assert not stretch_equivalent(b, c)
+
+    def test_canonical_form_is_rank_numbered(self):
+        b = beh(x=[(5, 1), (9, 2)], y=[(7, True)])
+        d = canonicalize(b)
+        assert d.all_tags() == (0, 1, 2)
+        assert d["x"].tags() == (0, 2)
+        assert d["y"].tags() == (1,)
+
+    def test_canonicalize_idempotent(self):
+        b = beh(x=[(5, 1), (9, 2)], y=[(7, True)])
+        assert canonicalize(canonicalize(b)) == canonicalize(b)
+
+    def test_canonical_stretches_to_original(self):
+        # Lemma 1 machinery: the canonical form is below the original.
+        b = beh(x=[(5, 1), (9, 2)], y=[(7, True)])
+        assert is_stretching(canonicalize(b), b)
+
+
+class TestRelaxation:
+    def test_per_signal_independent_retiming(self):
+        b = beh(x=[(0, 1), (1, 2)], y=[(0, "a")])
+        c = beh(x=[(0, 1), (5, 2)], y=[(3, "a")])
+        assert is_relaxation(b, c)
+        assert not is_stretching(b, c)  # sync between x0 and y0 is broken
+
+    def test_relaxation_requires_forward_motion(self):
+        b = beh(x=[(2, 1)])
+        c = beh(x=[(1, 1)])
+        assert not is_relaxation(b, c)
+
+    def test_relaxation_preserves_flows(self):
+        b = beh(x=[(0, 1)])
+        c = beh(x=[(0, 2)])
+        assert not is_relaxation(b, c)
+
+    def test_stretching_implies_relaxation(self):
+        b = beh(x=[(0, 1)], y=[(0, 2)])
+        c = b.retimed(lambda t: t + 4)
+        assert is_stretching(b, c)
+        assert is_relaxation(b, c)
+
+
+class TestFlowEquivalence:
+    def test_flow_ignores_all_timing(self):
+        b = beh(x=[(0, 1), (1, 2)], y=[(0, "a")])
+        c = beh(x=[(10, 1), (40, 2)], y=[(2, "a")])
+        assert flow_equivalent(b, c)
+
+    def test_flow_sensitive_to_values(self):
+        assert not flow_equivalent(beh(x=[(0, 1)]), beh(x=[(0, 2)]))
+
+    def test_flow_sensitive_to_counts(self):
+        assert not flow_equivalent(beh(x=[(0, 1)]), beh(x=[(0, 1), (1, 1)]))
+
+    def test_flow_values(self):
+        assert flow_values(beh(x=[(3, 1), (7, 2)])) == {"x": (1, 2)}
+
+    def test_common_relaxation_witness(self):
+        b = beh(x=[(0, 1), (1, 2)], y=[(5, "a")])
+        c = beh(x=[(2, 1), (3, 2)], y=[(0, "a")])
+        d = common_relaxation(b, c)
+        assert is_relaxation(b, d)
+        assert is_relaxation(c, d)
+
+    def test_common_relaxation_rejects_non_equivalent(self):
+        with pytest.raises(ValueError):
+            common_relaxation(beh(x=[(0, 1)]), beh(x=[(0, 2)]))
+
+
+# -- property tests -------------------------------------------------------
+
+tag_lists = st.lists(st.integers(0, 40), min_size=0, max_size=8, unique=True).map(sorted)
+
+
+@st.composite
+def behaviors(draw, names=("x", "y")):
+    sigs = {}
+    for name in names:
+        tags = draw(tag_lists)
+        values = draw(
+            st.lists(st.integers(0, 3), min_size=len(tags), max_size=len(tags))
+        )
+        sigs[name] = SignalTrace(zip(tags, values))
+    return Behavior(sigs)
+
+
+@given(behaviors())
+def test_prop_stretch_equiv_reflexive(b):
+    assert stretch_equivalent(b, b)
+
+
+@given(behaviors())
+def test_prop_canonicalize_minimal(b):
+    d = canonicalize(b)
+    assert is_stretching(d, b)
+    assert stretch_equivalent(d, b)
+
+
+@given(behaviors(), st.integers(0, 10), st.integers(1, 3))
+def test_prop_affine_retiming_is_stretching(b, shift, scale):
+    c = b.retimed(lambda t: t * scale + shift)
+    assert is_stretching(b, c)
+    assert stretch_equivalent(b, c)
+    assert is_relaxation(b, c)
+    assert flow_equivalent(b, c)
+
+
+@given(behaviors(), behaviors())
+def test_prop_stretch_equivalence_symmetric(b, c):
+    assert stretch_equivalent(b, c) == stretch_equivalent(c, b)
+
+
+@given(behaviors(), behaviors(), behaviors())
+def test_prop_stretch_equivalence_transitive(a, b, c):
+    if stretch_equivalent(a, b) and stretch_equivalent(b, c):
+        assert stretch_equivalent(a, c)
+
+
+@given(behaviors(), behaviors())
+def test_prop_stretching_implies_equivalence_and_flow(b, c):
+    if is_stretching(b, c):
+        assert stretch_equivalent(b, c)
+        assert is_relaxation(b, c)
+        assert flow_equivalent(b, c)
+
+
+@given(behaviors(), behaviors())
+def test_prop_relaxation_implies_flow_equivalence(b, c):
+    if is_relaxation(b, c):
+        assert flow_equivalent(b, c)
+
+
+@given(behaviors(), behaviors(), behaviors())
+def test_prop_relaxation_is_transitive(a, b, c):
+    if is_relaxation(a, b) and is_relaxation(b, c):
+        assert is_relaxation(a, c)
+
+
+@given(behaviors())
+def test_prop_relaxation_reflexive(b):
+    assert is_relaxation(b, b)

@@ -1,0 +1,165 @@
+"""Tests for processes and the composition operators (Defs 3, 6, 7)."""
+
+import pytest
+
+from repro.tags.behavior import Behavior
+from repro.tags.composition import (
+    check_witnessed_membership,
+    in_async_causal_composition,
+    in_asynchronous_composition,
+    synchronous_compose,
+)
+from repro.tags.process import Process
+from repro.tags.trace import SignalTrace
+
+
+def beh(**signals):
+    return Behavior({k: SignalTrace(v) for k, v in signals.items()})
+
+
+class TestProcess:
+    def test_common_vars_enforced(self):
+        with pytest.raises(ValueError):
+            Process([beh(x=[(0, 1)]), beh(y=[(0, 1)])])
+
+    def test_membership_and_len(self):
+        b = beh(x=[(0, 1)])
+        p = Process([b])
+        assert b in p
+        assert len(p) == 1
+
+    def test_project_hide_rename(self):
+        p = Process([beh(x=[(0, 1)], y=[(1, 2)])])
+        assert p.project({"x"}).vars() == {"x"}
+        assert p.hide({"x"}).vars() == {"y"}
+        assert p.rename({"x": "z"}).vars() == {"z", "y"}
+
+    def test_stretch_closure_membership(self):
+        b = beh(x=[(0, 1)], y=[(1, 2)])
+        p = Process([b])
+        stretched = b.retimed(lambda t: 3 * t + 2)
+        assert stretched not in p
+        assert p.contains_up_to_stretching(stretched)
+
+    def test_equal_up_to_stretching(self):
+        b = beh(x=[(0, 1)], y=[(1, 2)])
+        p = Process([b])
+        q = Process([b.retimed(lambda t: t + 7)])
+        assert p != q
+        assert p.equal_up_to_stretching(q)
+
+    def test_equal_up_to_flow(self):
+        b = beh(x=[(0, 1)], y=[(1, 2)])
+        c = beh(x=[(5, 1)], y=[(1, 2)])  # desynchronized, same flows
+        assert not Process([b]).equal_up_to_stretching(Process([c]))
+        assert Process([b]).equal_up_to_flow(Process([c]))
+
+    def test_union(self):
+        b, c = beh(x=[(0, 1)]), beh(x=[(0, 2)])
+        assert len(Process([b]).union(Process([c]))) == 2
+
+    def test_canonical_dedupes_equivalent_members(self):
+        b = beh(x=[(0, 1)])
+        p = Process([b, b.retimed(lambda t: t + 1)])
+        assert len(p) == 2
+        assert len(p.canonical()) == 1
+
+
+class TestSynchronousCompose:
+    def test_disjoint_vars_full_product(self):
+        p = Process([beh(x=[(0, 1)]), beh(x=[(0, 2)])])
+        q = Process([beh(y=[(0, 5)])])
+        r = synchronous_compose(p, q)
+        assert len(r) == 2
+        assert r.vars() == {"x", "y"}
+
+    def test_shared_var_must_agree(self):
+        p = Process([beh(x=[(0, 1)], s=[(0, True)])])
+        q_match = Process([beh(y=[(1, 9)], s=[(0, True)])])
+        q_clash = Process([beh(y=[(1, 9)], s=[(0, False)])])
+        assert len(synchronous_compose(p, q_match)) == 1
+        assert len(synchronous_compose(p, q_clash)) == 0
+
+    def test_projections_belong_to_components(self):
+        p = Process([beh(x=[(0, 1)], s=[(1, 2)])])
+        q = Process([beh(y=[(2, 3)], s=[(1, 2)])])
+        r = synchronous_compose(p, q)
+        for d in r:
+            assert d.project(p.vars()) in p
+            assert d.project(q.vars()) in q
+
+
+class TestAsynchronousComposition:
+    """Definition 6 membership with witness search."""
+
+    def setup_method(self):
+        # P produces x alongside a private signal a; Q consumes x with
+        # private signal b.
+        self.b = beh(a=[(0, "pa")], x=[(0, 1), (1, 2)])
+        self.c = beh(b=[(0, "qb")], x=[(0, 1), (1, 2)])
+        self.p = Process([self.b])
+        self.q = Process([self.c])
+
+    def test_exact_join_is_member(self):
+        d = self.b.merge(self.c)
+        assert in_asynchronous_composition(d, self.p, self.q) is not None
+
+    def test_relaxed_shared_signal_is_member(self):
+        # Shared x retimed independently of the private parts.
+        d = beh(a=[(0, "pa")], b=[(0, "qb")], x=[(3, 1), (9, 2)])
+        assert in_asynchronous_composition(d, self.p, self.q) is not None
+
+    def test_earlier_shared_events_rejected(self):
+        # x must move right (relaxation), never left of both witnesses.
+        d = beh(a=[(5, "pa")], b=[(5, "qb")], x=[(0, 1), (1, 2)])
+        witness = in_asynchronous_composition(d, self.p, self.q)
+        # witness x at tags (0,1); relaxation requires d tags >= witness tags;
+        # tags (0,1) equal witness -> allowed. Private parts stretched right.
+        assert witness is not None
+
+    def test_wrong_flow_rejected(self):
+        d = beh(a=[(0, "pa")], b=[(0, "qb")], x=[(0, 9), (1, 2)])
+        assert in_asynchronous_composition(d, self.p, self.q) is None
+
+    def test_wrong_vars_rejected(self):
+        assert in_asynchronous_composition(self.b, self.p, self.q) is None
+
+    def test_disjoint_vars_reduces_to_stretchings(self):
+        # Corollary 1 direction: with no shared variables, members are just
+        # pairs of independently stretched component behaviors.
+        p = Process([beh(a=[(0, 1)])])
+        q = Process([beh(b=[(0, 2)])])
+        d = beh(a=[(4, 1)], b=[(7, 2)])
+        assert in_asynchronous_composition(d, p, q) is not None
+
+
+class TestAsyncCausalComposition:
+    """Definition 7 adds producer-before-consumer causality."""
+
+    def test_read_after_write_is_member(self):
+        b = beh(x=[(0, 1), (2, 2)])          # P writes x at 0 and 2
+        c = beh(x=[(1, 1), (5, 2)], y=[(5, "done")])  # Q reads later
+        p, q = Process([b]), Process([c])
+        d = beh(x=[(1, 1), (5, 2)], y=[(5, "done")])
+        assert (
+            in_async_causal_composition(d, p, q, produced_by_p=["x"]) is not None
+        )
+
+    def test_read_before_write_rejected(self):
+        b = beh(x=[(3, 1)])                  # P writes at 3
+        c = beh(x=[(0, 1)], y=[(0, "done")])  # Q claims to read at 0
+        p, q = Process([b]), Process([c])
+        d = beh(x=[(3, 1)], y=[(3, "done")])
+        assert in_async_causal_composition(d, p, q, produced_by_p=["x"]) is None
+
+    def test_witnessed_membership_fast_path(self):
+        b = beh(a=[(0, 0)], x=[(0, 1)])
+        c = beh(b=[(1, 0)], x=[(2, 1)])
+        d = beh(a=[(0, 0)], b=[(1, 0)], x=[(2, 1)])
+        assert check_witnessed_membership(d, b, c, produced_by_p={"x": True})
+
+    def test_witnessed_membership_rejects_causality_violation(self):
+        b = beh(x=[(5, 1)])
+        c = beh(x=[(0, 1)], y=[(0, 2)])
+        d = beh(x=[(5, 1)], y=[(5, 2)])
+        assert not check_witnessed_membership(d, b, c, produced_by_p={"x": True})

@@ -1,0 +1,147 @@
+"""Unit tests for repro.tags.trace (signal chains, Definition 1)."""
+
+import pytest
+
+from repro.tags.trace import Event, SignalTrace
+
+
+class TestEvent:
+    def test_fields(self):
+        e = Event(3, True)
+        assert e.tag == 3
+        assert e.value is True
+
+    def test_equality_and_hash(self):
+        assert Event(1, "a") == Event(1, "a")
+        assert Event(1, "a") != Event(2, "a")
+        assert Event(1, "a") != Event(1, "b")
+        assert hash(Event(1, "a")) == hash(Event(1, "a"))
+
+    def test_repr(self):
+        assert "Event" in repr(Event(0, 5))
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = SignalTrace()
+        assert len(s) == 0
+        assert not s
+        assert s.tags() == ()
+        assert s.values() == ()
+
+    def test_from_pairs(self):
+        s = SignalTrace([(0, 1), (2, 3), (5, 4)])
+        assert s.tags() == (0, 2, 5)
+        assert s.values() == (1, 3, 4)
+
+    def test_from_events(self):
+        s = SignalTrace([Event(0, "a"), Event(1, "b")])
+        assert s.values() == ("a", "b")
+
+    def test_rejects_non_increasing_tags(self):
+        with pytest.raises(ValueError):
+            SignalTrace([(0, 1), (0, 2)])
+        with pytest.raises(ValueError):
+            SignalTrace([(3, 1), (2, 2)])
+
+    def test_from_values(self):
+        s = SignalTrace.from_values([10, 20, 30])
+        assert s.tags() == (0, 1, 2)
+        assert s.values() == (10, 20, 30)
+
+    def test_from_values_with_start_step(self):
+        s = SignalTrace.from_values(["a", "b"], start=5, step=3)
+        assert s.tags() == (5, 8)
+
+
+class TestAccess:
+    def setup_method(self):
+        self.s = SignalTrace([(0, "a"), (2, "b"), (4, "c")])
+
+    def test_rank_indexing(self):
+        assert self.s[0] == Event(0, "a")
+        assert self.s[2] == Event(4, "c")
+        assert self.s[-1] == Event(4, "c")
+
+    def test_slice_returns_trace(self):
+        sub = self.s[1:]
+        assert isinstance(sub, SignalTrace)
+        assert sub.values() == ("b", "c")
+
+    def test_value_at(self):
+        assert self.s.value_at(2) == "b"
+
+    def test_value_at_absent_raises(self):
+        with pytest.raises(KeyError):
+            self.s.value_at(1)
+
+    def test_present_at(self):
+        assert self.s.present_at(0)
+        assert not self.s.present_at(3)
+
+    def test_iteration(self):
+        assert [e.value for e in self.s] == ["a", "b", "c"]
+
+
+class TestChainOperations:
+    def setup_method(self):
+        self.s = SignalTrace([(1, 10), (3, 20), (6, 30), (7, 40)])
+
+    def test_up_to(self):
+        assert self.s.up_to(3).values() == (10, 20)
+        assert self.s.up_to(0).values() == ()
+        assert self.s.up_to(100).values() == (10, 20, 30, 40)
+
+    def test_count_up_to(self):
+        assert self.s.count_up_to(0) == 0
+        assert self.s.count_up_to(3) == 2
+        assert self.s.count_up_to(6) == 3
+
+    def test_subchain(self):
+        # s_{1..1+2}: length 3 starting at rank 1.
+        sub = self.s.subchain(1, 2)
+        assert sub.values() == (20, 30, 40)
+
+    def test_retimed_with_callable(self):
+        r = self.s.retimed(lambda t: t * 10)
+        assert r.tags() == (10, 30, 60, 70)
+        assert r.values() == self.s.values()
+
+    def test_retimed_with_dict(self):
+        r = self.s.retimed({1: 2, 3: 4, 6: 8, 7: 9})
+        assert r.tags() == (2, 4, 8, 9)
+
+    def test_retimed_must_stay_increasing(self):
+        with pytest.raises(ValueError):
+            self.s.retimed(lambda t: 0)
+
+    def test_shifted(self):
+        assert self.s.shifted(5).tags() == (6, 8, 11, 12)
+
+    def test_concat(self):
+        s2 = SignalTrace([(10, 50)])
+        joined = self.s.concat(s2)
+        assert joined.values() == (10, 20, 30, 40, 50)
+
+    def test_concat_must_keep_increasing(self):
+        with pytest.raises(ValueError):
+            self.s.concat(SignalTrace([(0, 99)]))
+
+    def test_is_prefix_of(self):
+        assert self.s[:2].is_prefix_of(self.s)
+        assert self.s.is_prefix_of(self.s)
+        assert not self.s.is_prefix_of(self.s[:2])
+        other = SignalTrace([(1, 10), (3, 99)])
+        assert not other.is_prefix_of(self.s)
+
+
+class TestDunder:
+    def test_equality(self):
+        assert SignalTrace([(0, 1)]) == SignalTrace([(0, 1)])
+        assert SignalTrace([(0, 1)]) != SignalTrace([(1, 1)])
+
+    def test_hashable(self):
+        assert len({SignalTrace([(0, 1)]), SignalTrace([(0, 1)])}) == 1
+
+    def test_repr(self):
+        assert "SignalTrace" in repr(SignalTrace([(0, 1)]))

@@ -1,0 +1,168 @@
+"""Tests for VCD export and the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.lang import parse_component
+from repro.sim import simulate, stimuli
+from repro.sim.vcd import to_vcd, write_vcd
+
+COUNTER_SRC = (
+    "process C = (? event tick; ! integer x; ! boolean odd;)"
+    "(| x := (pre 0 x) + 1 | x ^= tick | odd := (x mod 2) = 1 |) end"
+)
+
+
+def counter_trace(n=4):
+    comp = parse_component(COUNTER_SRC)
+    return comp, simulate(comp, stimuli.periodic("tick", 2), n=n)
+
+
+class TestVCD:
+    def test_header_and_vars(self):
+        comp, trace = counter_trace()
+        vcd = to_vcd(trace, component=comp)
+        assert "$timescale" in vcd
+        assert "$var event 1" in vcd        # tick
+        assert "$var wire 32" in vcd        # x
+        assert "$var wire 1" in vcd         # odd
+        assert "$enddefinitions $end" in vcd
+
+    def test_values_and_absence(self):
+        comp, trace = counter_trace(4)
+        vcd = to_vcd(trace, component=comp)
+        lines = vcd.splitlines()
+        # instant 0: x=1 -> binary 1; instant 1: absent -> bx
+        i0 = lines.index("#0")
+        i1 = lines.index("#1")
+        block0 = "\n".join(lines[i0:i1])
+        assert "b1 " in block0
+        block1 = "\n".join(lines[i1:])
+        assert "bx " in block1
+
+    def test_event_refires(self):
+        comp, trace = counter_trace(4)
+        vcd = to_vcd(trace, component=comp)
+        # tick fires at instants 0 and 2
+        tick_code = None
+        for line in vcd.splitlines():
+            if line.startswith("$var event") and line.endswith("tick $end"):
+                tick_code = line.split()[3]
+        assert tick_code
+        fires = [l for l in vcd.splitlines() if l == "1" + tick_code]
+        # once in $dumpvars-free body per presence (instants 0 and 2)
+        assert len(fires) == 2
+
+    def test_signal_selection_and_order(self):
+        comp, trace = counter_trace()
+        vcd = to_vcd(trace, component=comp, signals=["x"])
+        assert " x $end" in vcd
+        assert " odd $end" not in vcd
+
+    def test_inferred_kinds_without_component(self):
+        comp, trace = counter_trace()
+        vcd = to_vcd(trace)
+        assert "$var" in vcd  # still renders
+
+    def test_write_vcd(self, tmp_path):
+        comp, trace = counter_trace()
+        path = str(tmp_path / "out.vcd")
+        write_vcd(path, trace, component=comp)
+        assert os.path.getsize(path) > 0
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "design.sig"
+    path.write_text(COUNTER_SRC)
+    return str(path)
+
+
+@pytest.fixture
+def prodcons_file(tmp_path):
+    path = tmp_path / "pc.sig"
+    path.write_text(
+        "process P = (? event p_act; ! integer x;)"
+        "(| x := ((pre 0 x) + 1) mod 2 | x ^= p_act |) end\n"
+        "process Q = (? integer x; ! integer y;) (| y := x * 2 |) end\n"
+    )
+    return str(path)
+
+
+class TestCLI:
+    def test_check_ok(self, design_file, capsys):
+        assert main(["check", design_file]) == 0
+        out = capsys.readouterr().out
+        assert "types OK" in out and "no instantaneous cycles" in out
+
+    def test_check_reports_cycles(self, tmp_path, capsys):
+        path = tmp_path / "bad.sig"
+        path.write_text("process B = (! integer x;) (| x := x + 1 |) end")
+        assert main(["check", str(path)]) == 1
+        assert "CAUSALITY" in capsys.readouterr().out
+
+    def test_check_type_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.sig"
+        path.write_text("process B = (? boolean b; ! integer x;) (| x := b + 1 |) end")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_format_roundtrip(self, design_file, capsys):
+        assert main(["format", design_file]) == 0
+        out = capsys.readouterr().out
+        from repro.lang import parse_program
+
+        assert parse_program(out).components[0].name == "C"
+
+    def test_clocks(self, design_file, capsys):
+        assert main(["clocks", design_file]) == 0
+        assert "clock classes" in capsys.readouterr().out
+
+    def test_simulate_with_vcd(self, design_file, tmp_path, capsys):
+        vcd_path = str(tmp_path / "wave.vcd")
+        rc = main(
+            ["simulate", design_file, "--stim", "tick:2", "-n", "6",
+             "--signals", "tick,x", "--vcd", vcd_path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x" in out
+        assert os.path.exists(vcd_path)
+
+    def test_desync_prints_channels(self, prodcons_file, capsys):
+        assert main(["desync", prodcons_file, "--capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "channel x" in out
+        assert "x__w" in out
+
+    def test_estimate(self, prodcons_file, capsys):
+        rc = main(
+            ["estimate", prodcons_file, "--stim", "p_act:2",
+             "--stim", "x_rreq:2:1", "-n", "40"]
+        )
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_verify_proven_and_refuted(self, prodcons_file, tmp_path, capsys):
+        # desynchronize to a file, then verify the alarm
+        from repro.desync import desynchronize
+        from repro.lang import format_program, parse_program
+
+        prog = parse_program(open(prodcons_file).read())
+        res = desynchronize(prog, capacities=1)
+        dfile = tmp_path / "d.sig"
+        dfile.write_text(format_program(res.program))
+        rc = main(
+            ["verify", str(dfile), "--never", res.channels[0].alarm,
+             "--always", "x_rreq"]
+        )
+        assert rc == 0
+        assert "PROVEN" in capsys.readouterr().out
+        rc = main(["verify", str(dfile), "--never", res.channels[0].alarm])
+        assert rc == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_missing_file_error(self, capsys):
+        assert main(["check", "/nonexistent.sig"]) == 2

@@ -1,0 +1,71 @@
+"""Tests for workload scenarios."""
+
+import itertools
+
+from repro.designs import producer_consumer
+from repro.desync import desynchronize
+from repro.gals import AsyncNetwork
+from repro.sim import simulate
+from repro.workloads import (
+    adversarial,
+    burst_sweep,
+    bursty_producer,
+    rate_mismatch_sweep,
+    steady,
+)
+
+
+def head(it, n):
+    return list(itertools.islice(it, n))
+
+
+class TestScenarios:
+    def test_steady_stimulus_names(self):
+        w = steady(1, 2)
+        rows = head(w.stimulus(), 4)
+        assert all("p_act" in r for r in rows)
+        assert [("x_rreq" in r) for r in rows] == [True, False, True, False]
+
+    def test_steady_schedules_keys(self):
+        scheds = steady().gals_schedules()
+        assert set(scheds) == {"P", "Q"}
+        assert head(scheds["P"], 2) == [0.0, 1.0]
+
+    def test_bursty_average_rates_match(self):
+        w = bursty_producer(burst=3, gap=3, reader_period=2)
+        rows = head(w.stimulus(), 60)
+        writes = sum("p_act" in r for r in rows)
+        reads = sum("x_rreq" in r for r in rows)
+        assert writes == 30 and reads == 30
+
+    def test_adversarial_reproducible(self):
+        a = head(adversarial(seed=3).stimulus(), 30)
+        b = head(adversarial(seed=3).stimulus(), 30)
+        assert a == b
+
+    def test_rate_sweep_param_coverage(self):
+        ws = rate_mismatch_sweep(reader_periods=(1, 2, 3))
+        assert [w.params["reader_period"] for w in ws] == [1, 2, 3]
+        assert all("steady" in w.name for w in ws)
+
+    def test_burst_sweep_backlog_grows(self):
+        """Bigger bursts need bigger buffers (the F4 regime)."""
+        from repro.desync import minimal_bound
+
+        minima = []
+        for w in burst_sweep(bursts=(1, 3, 5)):
+            res = desynchronize(producer_consumer(), capacities=16)
+            trace = simulate(res.program, w.stimulus(), n=80)
+            ch = res.channels[0]
+            assert trace.presence_count(ch.alarm) == 0
+            minima.append(minimal_bound(trace, ch.write_port, ch.read_port))
+        assert minima == sorted(minima)
+        assert minima[-1] > minima[0]
+
+    def test_workloads_drive_gals_backend_too(self):
+        w = steady(1, 1)
+        net = AsyncNetwork.from_program(
+            producer_consumer(), schedules=w.gals_schedules()
+        )
+        trace = net.run(horizon=8.0)
+        assert len(trace.values("y")) > 0
