@@ -1,0 +1,19 @@
+PYTHON ?= python
+
+.PHONY: test test-fast bench bench-quick
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest tests -q
+
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests -q -m "not slow"
+
+bench:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest . -q -s
+
+# reduced-parameter smoke sweep of the two parameterized experiments
+# (A3 state-space scaling, F4 buffer estimation); artifacts land in
+# benchmarks/out/ including machine-readable BENCH_*.json
+bench-quick:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a3_mc_scaling.py bench_fig4_estimation.py -q -s

@@ -3,22 +3,48 @@
 Every bench regenerates one table/figure of the paper.  ``emit`` prints
 the regenerated rows (visible with ``pytest -s``) and also writes them to
 ``benchmarks/out/<experiment>.txt`` so the artifacts survive output
-capture; EXPERIMENTS.md indexes those files.
+capture; EXPERIMENTS.md indexes those files.  When structured rows are
+passed via ``data=`` a machine-readable companion,
+``benchmarks/out/BENCH_<experiment>.json``, is written as well — that is
+the file to diff when comparing runs before/after a performance change.
+
+Set ``BENCH_QUICK=1`` to make the parameter-sweep benches (A3, F4) use
+small parameters — a smoke-test sweep for ``make bench-quick``.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, Sequence
+import platform
+import time
+from typing import Iterable, Optional, Sequence
 
 OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
 
 
-def emit(experiment: str, text: str) -> None:
+def quick() -> bool:
+    """Whether the harness runs in the reduced-parameter smoke mode."""
+    return os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def emit(experiment: str, text: str, data: Optional[object] = None) -> None:
     os.makedirs(OUT_DIR, exist_ok=True)
     path = os.path.join(OUT_DIR, experiment + ".txt")
     with open(path, "w") as f:
         f.write(text.rstrip() + "\n")
+    if data is not None:
+        payload = {
+            "experiment": experiment,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "quick": quick(),
+            "data": data,
+        }
+        json_path = os.path.join(OUT_DIR, "BENCH_{}.json".format(experiment))
+        with open(json_path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
     print("\n[{}]".format(experiment))
     print(text)
 

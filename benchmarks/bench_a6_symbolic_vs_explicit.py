@@ -82,6 +82,7 @@ def test_a6_symbolic_vs_explicit(benchmark):
              "explicit time (s)", "symbolic time (s)"],
             rows,
         ),
+        data=results,
     )
     for r in results:
         # both backends agree on the verdict and the distance to failure

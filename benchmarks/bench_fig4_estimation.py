@@ -16,15 +16,16 @@ from repro.desync import desynchronize, estimate_buffer_sizes, minimal_bound
 from repro.sim import simulate
 from repro.workloads import burst_sweep
 
-from _report import emit, table
+from _report import emit, quick, table
 
-HORIZON = 120
+HORIZON = 60 if quick() else 120
+BURSTS = (1, 2, 3) if quick() else (1, 2, 3, 5, 8)
 
 
 def run_sweep():
     rows = []
     series = []
-    for workload in burst_sweep(bursts=(1, 2, 3, 5, 8), slack=1):
+    for workload in burst_sweep(bursts=BURSTS, slack=1):
         report = estimate_buffer_sizes(
             producer_consumer(),
             workload.stimulus_factory,
@@ -72,6 +73,17 @@ def test_fig4_estimation_convergence(benchmark):
             ],
             rows,
         ),
+        data=[
+            {
+                "burst": burst,
+                "iterations": row[1],
+                "trajectory": row[2],
+                "final_size": final,
+                "peak_occupancy": peak,
+                "alarms": row[5],
+            }
+            for row, (burst, final, peak, _) in zip(rows, series)
+        ],
     )
     # shape: final size grows with the burst and covers the real peak
     finals = [final for _, final, _, _ in series]

@@ -56,6 +56,16 @@ def test_v1_verification(benchmark):
             ["capacity", "environment", "states", "transitions", "verdict"],
             rows,
         ),
+        data=[
+            {
+                "capacity": capacity,
+                "environment": env,
+                "states": states,
+                "transitions": transitions,
+                "verdict": verdict,
+            }
+            for capacity, env, states, transitions, verdict in rows
+        ],
     )
     for capacity in (1, 2, 3, 4):
         # polled environment: every capacity is safe (reads keep up)

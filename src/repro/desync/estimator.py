@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Union
 
+from repro.lang.analysis import flatten_program
 from repro.lang.ast import Program
+from repro.perf import PERF
+from repro.sim.engine import Reactor
 from repro.sim.runner import simulate
 from repro.desync.transform import DesyncResult, desynchronize
 
@@ -55,6 +58,58 @@ def _fmt(d: Dict[str, int]) -> str:
 StimulusFactory = Callable[[], Iterable[Dict[str, object]]]
 
 
+class DesignCache:
+    """Compiled artifacts of the estimation loop, keyed per capacity
+    assignment.
+
+    Desynchronizing, flattening, type-checking, and plan-compiling the
+    instrumented network is pure in the capacities, so the grow-and-reverify
+    loop can keep one :class:`~repro.sim.engine.Reactor` (and its compiled
+    reaction plan) per sizes vector and replay it with
+    :meth:`~repro.sim.engine.Reactor.reset` instead of rebuilding.  A cache
+    may be shared across :func:`estimate_buffer_sizes` calls — the
+    verification loop of Section 5.2 does exactly that — but never across
+    *different* source programs.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self):
+        self._entries: Dict[tuple, list] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def seed(self, key: tuple, result: DesyncResult) -> None:
+        self._entries.setdefault(key, [result, None])
+
+    def prepared(self, key: tuple, build: Callable[[], DesyncResult], oracle):
+        """The (DesyncResult, ready Reactor) pair for ``key``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            PERF.incr("desync.cache_misses")
+            entry = self._entries[key] = [build(), None]
+        else:
+            self.hits += 1
+            PERF.incr("desync.cache_hits")
+        result = entry[0]
+        reactor = entry[1]
+        if reactor is None:
+            reactor = Reactor(flatten_program(result.program), oracle=oracle)
+            entry[1] = reactor
+        else:
+            reactor.reset()
+            reactor.oracle = oracle
+        return result, reactor
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _sizes_key(kind: str, sizes: Dict[str, int]) -> tuple:
+    return (kind, tuple(sorted(sizes.items())))
+
+
 def estimate_buffer_sizes(
     program: Program,
     stimulus_factory: StimulusFactory,
@@ -65,6 +120,7 @@ def estimate_buffer_sizes(
     read_requests: Optional[Dict[str, str]] = None,
     signals: Optional[List[str]] = None,
     oracle=None,
+    cache: Optional[DesignCache] = None,
 ) -> EstimationReport:
     """Run the Section 5.2 estimation loop.
 
@@ -77,7 +133,15 @@ def estimate_buffer_sizes(
     ``sizes`` then satisfy the Lemma 2 condition *for the simulated
     behaviors* — the verification phase (model checking, experiment V1)
     extends the claim to all behaviors.
+
+    ``cache`` (a :class:`DesignCache`) memoizes the instrumented network
+    and its compiled reaction plan per capacity assignment; pass the same
+    cache across calls on the same ``program`` so the grow-and-reverify
+    loop of :func:`repro.desync.verification.verified_buffer_sizes` does
+    not recompile when it revisits a sizes vector.
     """
+    if cache is None:
+        cache = DesignCache()
     # initial sizes need the channel list; build once to discover channels
     probe: DesyncResult = desynchronize(
         program, capacities=1 if isinstance(initial, dict) else initial,
@@ -87,20 +151,28 @@ def estimate_buffer_sizes(
         sizes = {ch.signal: int(initial.get(ch.signal, 1)) for ch in probe.channels}
     else:
         sizes = {ch.signal: int(initial) for ch in probe.channels}
+        # a uniform probe IS the first iteration's network — seed the cache
+        cache.seed(_sizes_key(kind, sizes), probe)
 
     history: List[EstimationStep] = []
     converged = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        result = desynchronize(
-            program,
-            capacities=sizes,
-            kind=kind,
-            instrument=True,
-            read_requests=read_requests,
-            signals=signals,
+        result, reactor = cache.prepared(
+            _sizes_key(kind, sizes),
+            lambda: desynchronize(
+                program,
+                capacities=dict(sizes),
+                kind=kind,
+                instrument=True,
+                read_requests=read_requests,
+                signals=signals,
+            ),
+            oracle,
         )
-        trace = simulate(result.program, stimulus_factory(), n=horizon, oracle=oracle)
+        trace = simulate(
+            result.program, stimulus_factory(), n=horizon, reactor=reactor
+        )
         misses: Dict[str, int] = {}
         alarms: Dict[str, int] = {}
         for ch in result.channels:

@@ -25,7 +25,12 @@ from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Union
 from repro.lang.ast import Program
 from repro.mc.compile import compile_lts
 from repro.mc.safety import CounterExample, check_never_present
-from repro.desync.estimator import EstimationReport, estimate_buffer_sizes
+from repro.desync.estimator import (
+    DesignCache,
+    EstimationReport,
+    _sizes_key,
+    estimate_buffer_sizes,
+)
 from repro.desync.transform import desynchronize
 
 
@@ -91,6 +96,12 @@ def verified_buffer_sizes(
     stim_factory = stimulus_factory
     sizes: Dict[str, int] = {}
     last_ce: Optional[CounterExample] = None
+    # one simulation cache for every estimation round, one compiled LTS per
+    # sizes vector: re-entering a round with capacities already explored
+    # (the estimator converging back to a previous answer) replays the
+    # stored artifacts instead of recompiling them
+    sim_cache = DesignCache()
+    lts_cache: Dict[tuple, object] = {}
     for rnd in range(1, max_rounds + 1):
         estimation = estimate_buffer_sizes(
             program,
@@ -100,12 +111,19 @@ def verified_buffer_sizes(
             max_iterations=max_estimation_iterations,
             kind=kind,
             read_requests=read_requests,
+            cache=sim_cache,
         )
         sizes = dict(estimation.sizes)
         sized = desynchronize(
             program, capacities=sizes, kind=kind, read_requests=read_requests
         )
-        lts = compile_lts(sized.program, alphabet=alphabet, max_states=max_states)
+        key = _sizes_key(kind, sizes)
+        lts = lts_cache.get(key)
+        if lts is None:
+            lts = compile_lts(
+                sized.program, alphabet=alphabet, max_states=max_states
+            )
+            lts_cache[key] = lts
         ce: Optional[CounterExample] = None
         for ch in sized.channels:
             ce = check_never_present(lts, ch.alarm)

@@ -26,6 +26,15 @@ class Type:
     def __str__(self) -> str:
         return self.name
 
+    def __reduce__(self):
+        # identity comparison must survive pickling (components cross
+        # process boundaries for parallel state-space exploration)
+        return (_canonical_type, (self.name,))
+
+
+def _canonical_type(name: str) -> "Type":
+    return TYPES_BY_NAME.get(name) or Type(name)
+
 
 EVENT = Type("event")
 BOOL = Type("boolean")

@@ -14,7 +14,12 @@ signal is raised" (Section 5.2).  This package rebuilds that capability:
 """
 
 from repro.mc.lts import LTS, Transition
-from repro.mc.compile import boolean_alphabet, compile_lts, input_alphabet
+from repro.mc.compile import (
+    ReactionMemo,
+    boolean_alphabet,
+    compile_lts,
+    input_alphabet,
+)
 from repro.mc.safety import (
     CounterExample,
     check_invariant,
@@ -38,6 +43,7 @@ from repro.mc.symbolic import SymbolicChecker
 __all__ = [
     "LTS",
     "Transition",
+    "ReactionMemo",
     "boolean_alphabet",
     "compile_lts",
     "input_alphabet",

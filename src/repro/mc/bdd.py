@@ -17,20 +17,72 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.perf import PERF
+
 FALSE = 0
 TRUE = 1
 
+#: default bound on the operation cache; at ~100 bytes/entry this caps the
+#: cache near 100 MB before a flush
+DEFAULT_APPLY_CACHE_LIMIT = 1 << 20
+
 
 class BDD:
-    """A BDD manager (node table + caches + variable registry)."""
+    """A BDD manager (node table + caches + variable registry).
 
-    def __init__(self):
+    The operation cache (memoized ``ite``/``exists`` results) is bounded:
+    once it holds ``apply_cache_limit`` entries it is flushed wholesale —
+    the classic BDD-package policy; flushing only costs recomputation,
+    never correctness, because the cache is a pure memo over hash-consed
+    nodes.  ``apply_cache_limit=None`` disables the bound.  Hit/miss/flush
+    counts are kept per manager (see :meth:`cache_stats`) and folded into
+    :data:`repro.perf.PERF` under the ``bdd.`` prefix.
+    """
+
+    def __init__(self, apply_cache_limit: Optional[int] = DEFAULT_APPLY_CACHE_LIMIT):
         # node id -> (level, low, high); ids 0/1 are terminals
         self._nodes: List[Tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._apply_cache: Dict[Tuple, int] = {}
         self._names: List[str] = []          # level -> name
         self._level_of: Dict[str, int] = {}
+        self.apply_cache_limit = apply_cache_limit
+        self.apply_hits = 0
+        self.apply_misses = 0
+        self.cache_clears = 0
+        self._perf_base: Dict[str, int] = {}
+
+    # -- operation cache ----------------------------------------------------
+
+    def _cache_store(self, key: Tuple, out: int) -> None:
+        cache = self._apply_cache
+        limit = self.apply_cache_limit
+        if limit is not None and len(cache) >= limit:
+            cache.clear()
+            self.cache_clears += 1
+        cache[key] = out
+
+    def clear_apply_cache(self) -> None:
+        """Drop every memoized operation result (node table is kept)."""
+        self._apply_cache.clear()
+        self.cache_clears += 1
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Operation-cache statistics; also folds the counts accumulated
+        since the previous call into the global perf registry."""
+        stats = {
+            "apply_hits": self.apply_hits,
+            "apply_misses": self.apply_misses,
+            "cache_clears": self.cache_clears,
+            "apply_cache_size": len(self._apply_cache),
+        }
+        delta = {
+            name: stats[name] - self._perf_base.get(name, 0)
+            for name in ("apply_hits", "apply_misses", "cache_clears")
+        }
+        PERF.merge(delta, prefix="bdd")
+        self._perf_base = {name: stats[name] for name in delta}
+        return stats
 
     # -- variables ----------------------------------------------------------
 
@@ -86,7 +138,9 @@ class BDD:
         key = ("ite", f, g, h)
         hit = self._apply_cache.get(key)
         if hit is not None:
+            self.apply_hits += 1
             return hit
+        self.apply_misses += 1
         lf, _, _ = self._triple(f)
         lg = self._triple(g)[0] if g > 1 else 1 << 30
         lh = self._triple(h)[0] if h > 1 else 1 << 30
@@ -103,7 +157,7 @@ class BDD:
         low = self.ite(cof(f, 0), cof(g, 0), cof(h, 0))
         high = self.ite(cof(f, 1), cof(g, 1), cof(h, 1))
         out = self._mk(top, low, high)
-        self._apply_cache[key] = out
+        self._cache_store(key, out)
         return out
 
     def NOT(self, f: int) -> int:
@@ -147,7 +201,9 @@ class BDD:
         key = ("ex", levels, f)
         hit = self._apply_cache.get(key)
         if hit is not None:
+            self.apply_hits += 1
             return hit
+        self.apply_misses += 1
         level, low, high = self._triple(f)
         remaining = tuple(l for l in levels if l >= level)
         if not remaining:
@@ -161,7 +217,7 @@ class BDD:
                 self._exists(remaining, low),
                 self._exists(remaining, high),
             )
-        self._apply_cache[key] = out
+        self._cache_store(key, out)
         return out
 
     def rename(self, mapping: Dict[str, str], f: int) -> int:

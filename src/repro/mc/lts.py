@@ -49,6 +49,9 @@ class LTS:
         self._id_of: Dict[object, int] = {}
         self._succ: Dict[int, Dict[Letter, Transition]] = {}
         self.invalid: Dict[int, List[Letter]] = {}
+        #: exploration statistics filled in by the compiler (reactions
+        #: executed, memo hits/misses, elapsed seconds, workers used, ...)
+        self.stats: Dict[str, object] = {}
         self.initial = self.intern(initial_state_data)
 
     # -- construction -------------------------------------------------------
@@ -77,8 +80,25 @@ class LTS:
         )
         return target
 
+    def add_transition_frozen(
+        self,
+        source: int,
+        letter: Letter,
+        outputs: Outputs,
+        target_data,
+    ) -> int:
+        """Like :meth:`add_transition` for pre-frozen letters/outputs —
+        the compiler's hot path (letters freeze once per alphabet, not
+        once per reaction)."""
+        target = self.intern(target_data)
+        self._succ[source][letter] = Transition(source, letter, outputs, target)
+        return target
+
     def mark_invalid(self, source: int, letter: Mapping[str, object]) -> None:
         self.invalid[source].append(freeze_letter(letter))
+
+    def mark_invalid_frozen(self, source: int, letter: Letter) -> None:
+        self.invalid[source].append(letter)
 
     # -- access ---------------------------------------------------------------
 

@@ -7,6 +7,8 @@ present, absent, constant), mirroring how the Polychrony compiler's clock
 calculus resolves instants.  See :mod:`repro.sim.engine`.
 
 - :class:`~repro.sim.engine.Reactor` — compiled component + reaction solver
+- :class:`~repro.sim.plan.ReactionPlan` — the pre-compiled evaluation
+  schedule behind the reactor's fast path (see docs/performance.md)
 - :class:`~repro.sim.trace.SimTrace` — recorded run, convertible to a
   tagged :class:`~repro.tags.behavior.Behavior`
 - :mod:`repro.sim.stimuli` — stimulus constructors (periodic, bursty, ...)
@@ -14,8 +16,9 @@ calculus resolves instants.  See :mod:`repro.sim.engine`.
 """
 
 from repro.sim.engine import ABSENT, Reactor
+from repro.sim.plan import ReactionPlan
 from repro.sim.trace import SimTrace
 from repro.sim.runner import simulate
 from repro.sim import stimuli
 
-__all__ = ["ABSENT", "Reactor", "SimTrace", "simulate", "stimuli"]
+__all__ = ["ABSENT", "ReactionPlan", "Reactor", "SimTrace", "simulate", "stimuli"]

@@ -127,6 +127,15 @@ class Reactor:
     check:
         Set to ``False`` to skip the static type check (e.g. for
         generated components already checked).
+    compiled:
+        When ``True`` (the default) reactions execute through a
+        :class:`~repro.sim.plan.ReactionPlan` — a slot-indexed schedule
+        compiled once from the component — instead of re-interpreting the
+        AST per instant.  Results are observationally identical; pass
+        ``False`` to force the reference interpreter.
+    plan:
+        A pre-compiled :class:`~repro.sim.plan.ReactionPlan` for this
+        component, to share compilation across reactors.
     """
 
     def __init__(
@@ -134,6 +143,8 @@ class Reactor:
         component: Component,
         oracle: Optional[Oracle] = None,
         check: bool = True,
+        compiled: bool = True,
+        plan=None,
     ):
         if check:
             check_component(component)
@@ -143,20 +154,40 @@ class Reactor:
         self._sync: List[SyncConstraint] = component.sync_constraints()
         self._names = list(component.signals())
         self._inputs = set(component.inputs)
-        # one state slot per pre occurrence (keyed by object identity)
-        self._pre_nodes: List[Pre] = []
-        self._slot_of: Dict[int, int] = {}
-        for eq in self._equations:
-            for node in eq.expr.walk():
-                if isinstance(node, Pre) and id(node) not in self._slot_of:
-                    if isinstance(node.expr, Const):
-                        raise SimulationError(
-                            "pre of a constant has no clock: {!r}".format(node)
-                        )
-                    self._slot_of[id(node)] = len(self._pre_nodes)
-                    self._pre_nodes.append(node)
+        self._plan = None
+        if plan is not None:
+            if plan.component is not component:
+                raise SimulationError("plan was compiled for another component")
+            self._plan = plan
+        elif compiled:
+            from repro.sim.plan import ReactionPlan
+
+            self._plan = ReactionPlan(component)
+        if self._plan is not None:
+            # the plan discovers pre registers with the same traversal, so
+            # state slots line up with the interpreter's
+            self._pre_nodes = self._plan.pre_nodes
+            self._slot_of = self._plan.pre_slot_of
+        else:
+            # one state slot per pre occurrence (keyed by object identity)
+            self._pre_nodes = []
+            self._slot_of = {}
+            for eq in self._equations:
+                for node in eq.expr.walk():
+                    if isinstance(node, Pre) and id(node) not in self._slot_of:
+                        if isinstance(node.expr, Const):
+                            raise SimulationError(
+                                "pre of a constant has no clock: {!r}".format(node)
+                            )
+                        self._slot_of[id(node)] = len(self._pre_nodes)
+                        self._pre_nodes.append(node)
         self._state: List[object] = [n.init for n in self._pre_nodes]
         self.instant_index = 0
+
+    @property
+    def plan(self):
+        """The compiled :class:`~repro.sim.plan.ReactionPlan` (or ``None``)."""
+        return self._plan
 
     # -- public API --------------------------------------------------------
 
@@ -184,6 +215,13 @@ class Reactor:
         values of every *present* signal this instant (absent signals are
         simply missing from the dict).
         """
+        if self._plan is not None:
+            outputs, new_state = self._plan.react(
+                inputs, self._state, self.oracle, self.instant_index, ABSENT
+            )
+            self._state = new_state
+            self.instant_index += 1
+            return outputs
         inst = _Instant(self._names)
         for name, v in inputs.items():
             if name not in self._inputs:

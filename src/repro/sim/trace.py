@@ -22,6 +22,10 @@ class SimTrace:
         self.instants: List[Dict[str, object]] = [
             dict(row) for row in (instants or [])
         ]
+        #: execution statistics filled in by :func:`repro.sim.runner.simulate`
+        #: (instants, elapsed seconds, and — on the compiled fast path —
+        #: reactions / sweeps / residual_passes of the reaction plan)
+        self.stats: Dict[str, object] = {}
 
     def append(self, row: Dict[str, object]) -> None:
         self.instants.append(dict(row))

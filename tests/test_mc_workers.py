@@ -1,0 +1,99 @@
+"""Parallel frontier expansion produces an LTS isomorphic to sequential.
+
+``compile_lts(..., workers=N)`` explores the state space with a process
+pool; the result must be the *same* automaton as the sequential
+exploration up to state numbering: equal state count, a bijection on the
+underlying state data that preserves every transition (letter, outputs,
+target) and every invalid-letter set.  Checked on the paper's two
+families: the desynchronized producer/consumer of Figure 3 and the
+``nFifo`` chain of Section 5.1.
+"""
+
+import pytest
+
+from repro.designs import modular_producer_consumer
+from repro.desync import desynchronize, n_fifo_chain
+from repro.lang.types import BOOL
+from repro.mc import ReactionMemo, compile_lts
+
+FREE = [{}, {"p_act": True}, {"x_rreq": True}, {"p_act": True, "x_rreq": True}]
+
+CHAIN_ALPHABET = [
+    {"tick": True},
+    {"tick": True, "msgin": True},
+    {"tick": True, "rreq": True},
+    {"tick": True, "msgin": True, "rreq": True},
+]
+
+
+def assert_isomorphic(seq, par):
+    assert par.num_states() == seq.num_states()
+    assert par.num_transitions() == seq.num_transitions()
+    par_id_of = {par.state_data(i): i for i in range(par.num_states())}
+    assert len(par_id_of) == par.num_states(), "state data must be unique"
+    mapping = {
+        sid: par_id_of[seq.state_data(sid)] for sid in range(seq.num_states())
+    }
+    assert mapping[seq.initial] == par.initial
+    for t in seq.transitions():
+        pt = par.step(mapping[t.source], dict(t.letter))
+        assert pt is not None
+        assert pt.outputs == t.outputs
+        assert pt.target == mapping[t.target]
+    for sid, letters in seq.invalid.items():
+        assert sorted(par.invalid[mapping[sid]]) == sorted(letters)
+
+
+@pytest.mark.slow
+def test_fig3_desync_parallel_isomorphic():
+    res = desynchronize(modular_producer_consumer(modulus=2), capacities=3)
+    seq = compile_lts(res.program, alphabet=FREE, max_states=500000)
+    par = compile_lts(res.program, alphabet=FREE, max_states=500000, workers=2)
+    assert seq.num_states() == 192
+    assert par.stats["workers"] == 2
+    assert_isomorphic(seq, par)
+
+
+@pytest.mark.slow
+def test_nfifo_chain_parallel_isomorphic():
+    comp, ports = n_fifo_chain(3, dtype=BOOL)
+    seq = compile_lts(comp, alphabet=CHAIN_ALPHABET)
+    par = compile_lts(comp, alphabet=CHAIN_ALPHABET, workers=3)
+    assert_isomorphic(seq, par)
+
+
+@pytest.mark.slow
+def test_parallel_fills_a_reusable_memo():
+    """A memo filled by a parallel run replays sequentially (and back)."""
+    res = desynchronize(modular_producer_consumer(modulus=2), capacities=2)
+    memo = ReactionMemo()
+    par = compile_lts(res.program, alphabet=FREE, memo=memo, workers=2)
+    assert memo.stats()["entries"] == par.num_states() * len(FREE)
+    seq = compile_lts(res.program, alphabet=FREE, memo=memo)
+    assert seq.stats["reactions"] == 0  # every pair served from the memo
+    assert seq.stats["memo_hits"] == seq.num_states() * len(FREE)
+    assert_isomorphic(seq, par)
+
+
+def test_memo_makes_second_sequential_run_free():
+    res = desynchronize(modular_producer_consumer(modulus=2), capacities=2)
+    memo = ReactionMemo()
+    first = compile_lts(res.program, alphabet=FREE, memo=memo)
+    assert memo.stats()["hits"] == 0
+    second = compile_lts(res.program, alphabet=FREE, memo=memo)
+    assert second.stats["reactions"] == 0
+    assert memo.stats()["hits"] == second.num_states() * len(FREE)
+    assert_isomorphic(first, second)
+
+
+def test_workers_reject_oracle():
+    from repro.errors import VerificationError
+
+    res = desynchronize(modular_producer_consumer(modulus=2), capacities=1)
+    with pytest.raises(VerificationError):
+        compile_lts(
+            res.program,
+            alphabet=FREE,
+            workers=2,
+            oracle=lambda t, undetermined: {},
+        )
