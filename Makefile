@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick
+.PHONY: test test-fast bench bench-quick soak-quick
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
@@ -17,3 +17,9 @@ bench:
 bench-quick:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
 		bench_a3_mc_scaling.py bench_fig4_estimation.py -q -s
+
+# reduced-horizon fault-injection soak (experiment A7); writes
+# benchmarks/out/A7_fault_soak.txt and BENCH_A7_fault_soak.json
+soak-quick:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a7_fault_soak.py -q -s

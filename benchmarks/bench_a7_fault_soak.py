@@ -1,0 +1,171 @@
+"""Experiment A7 — fault-injection soak of the GALS network.
+
+The paper's flow-equivalence results (Definition 4, Theorem 1) say what a
+*correct* desynchronization preserves.  This bench probes the converse:
+inject the classic clock-domain-crossing faults (drop, duplicate,
+reorder, latency jitter, value corruption, node stalls) into the
+event-driven deployment and classify, per signal, how the observed flows
+diverge from the zero-fault reference.
+
+Three sub-experiments:
+
+- fault-kind matrix: one scenario per fault kind at a fixed rate and
+  seed; each kind must land in its expected divergence class, and pure
+  latency jitter must remain flow-equivalent (jitter is a stretching);
+- drop sweep: divergence onset as the drop rate rises from 0;
+- capacity inflation: re-run the Section 5.2 buffer-size estimation
+  under consumer-side read jitter and report how much capacity the
+  jitter costs.
+
+``BENCH_QUICK=1`` shrinks horizons and the sweep (``make soak-quick``).
+"""
+
+from repro.designs import producer_consumer
+from repro.faults import EstimateConfig, capacity_inflation
+from repro.gals import schedules
+from repro.workloads import scenarios
+from repro.workloads.scenarios import Workload
+
+from _report import emit, quick, table
+
+HORIZON = 20.0 if quick() else 60.0
+BURST_HORIZON = 40.0 if quick() else 120.0
+
+EXPECTED_CLASS = {
+    "clean": None,
+    "drop": "lost",
+    "duplicate": "duplicated",
+    "reorder": "order-divergent",
+    "jitter": None,
+    "corrupt": "value-divergent",
+    "stall": "lost",
+}
+
+
+def burst_workload():
+    """A single backlog-building burst with full drain slack: duplication
+    and reordering have queued items to act on, and every item still lands
+    inside the horizon."""
+    return Workload(
+        "burst",
+        lambda: iter(()),
+        lambda: {
+            "P": schedules.bursty(burst=10, intra=0.1, gap=1000.0),
+            "Q": schedules.periodic(1.0, phase=0.5),
+        },
+        {},
+    )
+
+
+def soak_matrix():
+    program = producer_consumer()
+    rows = []
+    for scenario in scenarios.fault_kind_matrix(seed=2):
+        # dup/reorder need backlog and drain slack to classify cleanly
+        needs_burst = scenario.name in ("duplicate", "reorder", "jitter")
+        if needs_burst:
+            scenario = scenario._replace(workload=burst_workload())
+        horizon = BURST_HORIZON if needs_burst else HORIZON
+        report = scenario.soak(program, horizon=horizon)
+        worst = None
+        for signal in sorted(report.classification):
+            verdict = report.classification[signal]
+            if verdict != "flow-equivalent":
+                worst = verdict
+                break
+        rows.append({
+            "scenario": scenario.name,
+            "flow_equivalent": report.flow_equivalent,
+            "class": worst,
+            "faults": report.fault_counts,
+        })
+    return rows
+
+
+def sweep_drops():
+    program = producer_consumer()
+    rates = (0.0, 0.1, 0.4) if quick() else (0.0, 0.05, 0.1, 0.2, 0.4)
+    rows = []
+    for scenario in scenarios.drop_sweep(rates=rates, seed=11):
+        report = scenario.soak(program, horizon=HORIZON)
+        rate = scenario.plan.for_channel("*", "*").drop if scenario.plan.active else 0.0
+        divergent = sum(
+            1 for v in report.classification.values() if v != "flow-equivalent"
+        )
+        rows.append({
+            "rate": rate,
+            "drops": report.fault_counts.get("drops", 0),
+            "divergent_signals": divergent,
+        })
+    return rows
+
+
+def measure_inflation():
+    config = EstimateConfig(
+        horizon=40 if quick() else 100, hold=0.4, max_iterations=16
+    )
+    inflation = capacity_inflation(
+        producer_consumer(), scenarios.steady(), config, seed=3
+    )
+    return {
+        "base": inflation.base,
+        "jittered": inflation.jittered,
+        "ratio": {s: inflation.ratio(s) for s in inflation.base},
+        "base_converged": inflation.base_converged,
+        "jittered_converged": inflation.jittered_converged,
+    }
+
+
+def run_experiment():
+    return soak_matrix(), sweep_drops(), measure_inflation()
+
+
+def test_a7_fault_soak(benchmark):
+    matrix, sweep, inflation = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    lines = [
+        table(
+            ["scenario", "flow-equivalent", "divergence class", "injected"],
+            [
+                (r["scenario"], r["flow_equivalent"], r["class"] or "-",
+                 r["faults"].get("injected", 0) + r["faults"].get("stalls", 0))
+                for r in matrix
+            ],
+        ),
+        "",
+        table(
+            ["drop rate", "drops", "divergent signals"],
+            [(r["rate"], r["drops"], r["divergent_signals"]) for r in sweep],
+        ),
+        "",
+        "capacity inflation under read jitter (hold=0.4): "
+        + ", ".join(
+            "{}: {} -> {} ({:.1f}x)".format(
+                s, inflation["base"][s], inflation["jittered"][s],
+                inflation["ratio"][s],
+            )
+            for s in sorted(inflation["base"])
+        ),
+    ]
+    emit(
+        "A7_fault_soak",
+        "\n".join(lines),
+        data={"matrix": matrix, "drop_sweep": sweep, "inflation": inflation},
+    )
+
+    by_name = {r["scenario"]: r for r in matrix}
+    # every fault kind lands in its expected class; clean + jitter stay
+    # flow-equivalent (jitter is a stretching, Definition 3)
+    for name, expected in EXPECTED_CLASS.items():
+        row = by_name[name]
+        if expected is None:
+            assert row["flow_equivalent"], name
+        else:
+            assert row["class"] == expected, (name, row["class"])
+    # divergence is monotone-ish in the drop rate: endpoints behave
+    assert sweep[0]["divergent_signals"] == 0
+    assert sweep[-1]["divergent_signals"] > 0
+    # read jitter never shrinks the required capacity
+    assert all(r >= 1.0 for r in inflation["ratio"].values())

@@ -10,6 +10,8 @@ Commands
 - ``desync FILE``     desynchronize and print the transformed program
 - ``estimate FILE``   Section 5.2 buffer-size estimation loop
 - ``verify FILE``     model-check an invariant ("signal never present")
+- ``faults soak``     fault-injection soak of a built-in GALS design
+- ``faults plan``     dump the explicit per-channel fault schedule
 
 Stimulus specs (``--stim``) are ``name:period[:phase[:value]]`` —
 e.g. ``--stim tick:1 --stim data:3:1:42`` gives an event every instant
@@ -210,6 +212,66 @@ def cmd_verify(args) -> int:
     return 1
 
 
+_FAULT_DESIGNS = {
+    "prodcons": "producer_consumer",
+    "prodacc": "producer_accumulator",
+    "pipeline": "pipeline",
+    "fanout": "fan_out",
+}
+
+
+def cmd_faults(args) -> int:
+    from repro import designs
+    from repro.faults import EstimateConfig, soak, uniform_plan, weave_faults
+    from repro.gals import AsyncNetwork
+    from repro.workloads import scenarios
+
+    program = getattr(designs, _FAULT_DESIGNS[args.design])()
+    plan = uniform_plan(
+        seed=args.seed,
+        drop=args.drop,
+        duplicate=args.dup,
+        reorder=args.reorder,
+        window=args.window,
+        jitter=args.jitter,
+        corrupt=args.corrupt,
+        stall=args.stall,
+        stall_period=args.stall_period,
+    )
+    workload = scenarios.steady(
+        producer_period=args.period, reader_period=args.reader_period
+    )
+    if args.action == "plan":
+        # materialize the explicit schedule for every channel of the
+        # deployed network (no simulation)
+        net = AsyncNetwork.from_program(program, workload.gals_schedules())
+        schedule = plan.compile()
+        for (signal, _consumer), ch in sorted(net.channels.items()):
+            print("channel {}:".format(ch.name))
+            for i, d in enumerate(schedule.channel(ch.name, signal).prefix(args.n)):
+                print(
+                    "  push {:>3}: drop={} dup={} shift={} jitter={:.4f} "
+                    "corrupt={}".format(
+                        i, int(d.drop), d.duplicates, d.shift, d.jitter,
+                        int(d.corrupt),
+                    )
+                )
+        return 0
+    estimate = None
+    if args.estimate:
+        if args.design != "prodcons":
+            raise SystemExit(
+                "--estimate drives p_act/x_rreq stimuli; only --design "
+                "prodcons supports it"
+            )
+        estimate = EstimateConfig(horizon=args.n, hold=args.hold)
+    report = soak(
+        program, workload, plan, horizon=args.horizon, estimate=estimate
+    )
+    print(report.render())
+    return 0 if report.flow_equivalent else 1
+
+
 def cmd_coverage(args) -> int:
     from repro.sim.coverage import measure_coverage
 
@@ -285,6 +347,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--never-input", action="append", help="tie an input off")
     p.add_argument("--max-states", type=int, default=200000)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection soak of a GALS deployment"
+    )
+    p.add_argument(
+        "action", choices=("soak", "plan"),
+        help="soak: faulted vs reference co-simulation; plan: dump the "
+        "explicit fault schedule",
+    )
+    p.add_argument(
+        "--design", choices=sorted(_FAULT_DESIGNS), default="prodcons"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--drop", type=float, default=0.0, help="P(drop) per push")
+    p.add_argument("--dup", type=float, default=0.0, help="P(duplicate)")
+    p.add_argument("--reorder", type=float, default=0.0, help="P(reorder)")
+    p.add_argument("--window", type=int, default=2, help="reorder window")
+    p.add_argument("--jitter", type=float, default=0.0, help="max extra latency")
+    p.add_argument("--corrupt", type=float, default=0.0, help="P(value flip)")
+    p.add_argument("--stall", type=float, default=0.0, help="P(node stall window)")
+    p.add_argument("--stall-period", type=float, default=2.0)
+    p.add_argument("--horizon", type=float, default=50.0)
+    p.add_argument("--period", type=int, default=1, help="producer period")
+    p.add_argument("--reader-period", type=int, default=1)
+    p.add_argument(
+        "--estimate", action="store_true",
+        help="also report buffer-capacity inflation under read jitter",
+    )
+    p.add_argument("--hold", type=float, default=0.25, help="P(read deferred)")
+    p.add_argument("-n", type=int, default=20, help="plan prefix / estimate horizon")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("coverage", help="measure stimulus coverage")
     p.add_argument("file")

@@ -121,6 +121,7 @@ def estimate_buffer_sizes(
     signals: Optional[List[str]] = None,
     oracle=None,
     cache: Optional[DesignCache] = None,
+    max_capacity: Optional[int] = None,
 ) -> EstimationReport:
     """Run the Section 5.2 estimation loop.
 
@@ -139,6 +140,15 @@ def estimate_buffer_sizes(
     cache across calls on the same ``program`` so the grow-and-reverify
     loop of :func:`repro.desync.verification.verified_buffer_sizes` does
     not recompile when it revisits a sizes vector.
+
+    ``max_capacity`` clamps per-signal growth.  Growth can stall before
+    the alarms clear — with ``kind="chain"`` the ripple conservatism may
+    keep raising alarms no matter the depth, and the clamp bounds the
+    otherwise-divergent growth.  Either way, once the sizes vector stops
+    changing while alarms remain, every further iteration would re-simulate
+    the *identical* (cached) network and observe the identical counters;
+    the loop detects that fixed point and returns ``converged=False``
+    immediately instead of burning the remaining ``max_iterations``.
     """
     if cache is None:
         cache = DesignCache()
@@ -186,7 +196,19 @@ def estimate_buffer_sizes(
         if all(v == 0 for v in misses.values()):
             converged = True
             break
+        grew = False
         for signal, miss in misses.items():
-            if miss > 0:
-                sizes[signal] += miss
+            if miss <= 0:
+                continue
+            bumped = sizes[signal] + miss
+            if max_capacity is not None:
+                bumped = min(bumped, max_capacity)
+            if bumped != sizes[signal]:
+                sizes[signal] = bumped
+                grew = True
+        if not grew:
+            # sizes fixed point with alarms still raised: the next
+            # simulation would replay the identical cached network and
+            # yield the identical misses — the loop cannot converge.
+            break
     return EstimationReport(converged, iteration, dict(sizes), history)

@@ -1,0 +1,116 @@
+"""Weaving a compiled fault schedule into a live GALS network.
+
+:func:`weave_faults` attaches one :class:`ChannelInjector` per channel
+whose spec is *active* (all-zero specs attach nothing, so a zero-fault
+woven network runs the exact unfaulted code path and produces a
+byte-identical trace) and hands the schedule to
+:meth:`~repro.gals.network.AsyncNetwork.run` for node stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.gals.network import AsyncChannel, AsyncNetwork
+from repro.faults.schedule import ChannelSchedule, FaultSchedule
+from repro.faults.spec import FaultPlan
+
+
+def corrupt_value(value, replacement=0):
+    """The metastability flip at a CDC crossing.
+
+    Booleans resolve to the wrong rail; integers flip their low bit (one
+    metastable data line); anything else becomes ``replacement``.
+    """
+    if value is True or value is False:
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    return replacement
+
+
+class ChannelInjector:
+    """Per-channel push hook applying the compiled decisions in order."""
+
+    __slots__ = ("schedule", "index", "drops", "duplicates", "reorders",
+                 "corrupts", "jittered", "jitter_total")
+
+    def __init__(self, schedule: ChannelSchedule):
+        self.schedule = schedule
+        self.index = 0
+        self.drops = 0
+        self.duplicates = 0
+        self.reorders = 0
+        self.corrupts = 0
+        self.jittered = 0
+        self.jitter_total = 0.0
+
+    def push(self, channel: AsyncChannel, value, time: float) -> bool:
+        decision = self.schedule.decision(self.index)
+        self.index += 1
+        if decision.benign:
+            return channel.enqueue(value, time)
+        if decision.drop:
+            self.drops += 1
+            return False
+        if decision.corrupt:
+            self.corrupts += 1
+            value = corrupt_value(value, self.schedule.spec.corrupt_with)
+        latency = None
+        if decision.jitter:
+            self.jittered += 1
+            self.jitter_total += decision.jitter
+            latency = channel.latency + decision.jitter
+        position = 0
+        if decision.shift:
+            position = min(decision.shift, len(channel.items))
+            if position:
+                self.reorders += 1
+        accepted = channel.enqueue(
+            value, time, latency=latency, position=position, soft=True
+        )
+        for _ in range(decision.duplicates if accepted else 0):
+            if channel.enqueue(value, time, latency=latency, soft=True):
+                self.duplicates += 1
+        return accepted
+
+    def counts(self) -> Dict[str, object]:
+        return {
+            "injected": self.index,
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "reorders": self.reorders,
+            "corrupts": self.corrupts,
+            "jittered": self.jittered,
+            "jitter_total": round(self.jitter_total, 9),
+        }
+
+
+def weave_faults(
+    network: AsyncNetwork,
+    plan: FaultPlan,
+    seed: Optional[int] = None,
+) -> FaultSchedule:
+    """Attach a compiled fault schedule to ``network`` (in place).
+
+    Returns the schedule so callers can inspect the explicit decision
+    streams.  Channels and nodes whose specs are inactive get no hook at
+    all — the zero-fault plan leaves the network bit-for-bit unchanged.
+    """
+    schedule = plan.compile(seed)
+    for (signal, _consumer), channel in network.channels.items():
+        spec = plan.for_channel(channel.name, signal)
+        if spec.active:
+            channel.injector = ChannelInjector(
+                schedule.channel(channel.name, signal)
+            )
+    if any(plan.for_node(n.name).active for n in network.nodes):
+        network._fault_schedule = schedule
+    return schedule
+
+
+def unweave_faults(network: AsyncNetwork) -> None:
+    """Detach every injector and the stall schedule from ``network``."""
+    for channel in network.channels.values():
+        channel.injector = None
+    network._fault_schedule = None

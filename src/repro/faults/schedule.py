@@ -1,0 +1,153 @@
+"""Compiling a :class:`~repro.faults.spec.FaultPlan` into an explicit
+deterministic fault schedule.
+
+Every channel (and node) gets its *own* random stream, seeded from the
+master seed and the channel's stable name — so the decision taken for the
+``k``-th push on channel ``c`` depends only on ``(seed, c, k)``, never on
+how pushes interleave across channels.  Decisions are materialized into
+per-channel lists (extended on demand), which is what makes the schedule
+*explicit*: tests and tools can enumerate it without running a network,
+and the same seed always reproduces it byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from bisect import bisect_right
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.faults.spec import ChannelFaults, FaultPlan, NodeFaults
+
+
+def _stream(seed: int, label: str) -> random.Random:
+    """An independent deterministic stream for one schedule entity."""
+    return random.Random((seed & 0xFFFFFFFF) ^ zlib.crc32(label.encode("utf-8")))
+
+
+class FaultDecision(NamedTuple):
+    """What happens to one pushed item."""
+
+    drop: bool = False
+    duplicates: int = 0     # extra copies enqueued after the original
+    shift: int = 0          # queue positions the item jumps ahead
+    jitter: float = 0.0     # extra transport latency
+    corrupt: bool = False
+
+    @property
+    def benign(self) -> bool:
+        return self == _BENIGN
+
+
+_BENIGN = FaultDecision()
+
+
+class ChannelSchedule:
+    """The explicit per-push decision sequence of one channel."""
+
+    __slots__ = ("name", "spec", "_rng", "_decisions")
+
+    def __init__(self, name: str, spec: ChannelFaults, seed: int):
+        self.name = name
+        self.spec = spec
+        self._rng = _stream(seed, "channel:" + name)
+        self._decisions: List[FaultDecision] = []
+
+    def _draw(self) -> FaultDecision:
+        spec, rng = self.spec, self._rng
+        # One draw per fault dimension, in a fixed order, so the stream
+        # is identical regardless of which faults end up firing.
+        u_drop = rng.random()
+        u_dup = rng.random()
+        u_reorder = rng.random()
+        u_jitter = rng.random()
+        u_corrupt = rng.random()
+        shift = 0
+        if spec.reorder and u_reorder < spec.reorder:
+            shift = 1 + int(u_reorder / spec.reorder * spec.window) % spec.window
+        return FaultDecision(
+            drop=bool(spec.drop and u_drop < spec.drop),
+            duplicates=1 if spec.duplicate and u_dup < spec.duplicate else 0,
+            shift=shift,
+            jitter=spec.jitter * u_jitter if spec.jitter else 0.0,
+            corrupt=bool(spec.corrupt and u_corrupt < spec.corrupt),
+        )
+
+    def decision(self, index: int) -> FaultDecision:
+        """The decision for the ``index``-th push (0-based)."""
+        while len(self._decisions) <= index:
+            self._decisions.append(self._draw())
+        return self._decisions[index]
+
+    def prefix(self, n: int) -> Tuple[FaultDecision, ...]:
+        """The first ``n`` decisions (forcing materialization)."""
+        if n > 0:
+            self.decision(n - 1)
+        return tuple(self._decisions[:n])
+
+
+class NodeSchedule:
+    """Explicit stall windows of one node.
+
+    Window ``k`` covers ``[k * period, (k + 1) * period)``; its stall
+    decision is drawn once and memoized, so repeated queries at the same
+    time are stable.
+    """
+
+    __slots__ = ("name", "spec", "_rng", "_windows", "_intervals")
+
+    def __init__(self, name: str, spec: NodeFaults, seed: int):
+        self.name = name
+        self.spec = spec
+        self._rng = _stream(seed, "node:" + name)
+        self._windows: List[bool] = []
+        self._intervals = sorted(spec.intervals)
+
+    def stalled(self, time: float) -> bool:
+        if self._intervals:
+            i = bisect_right(self._intervals, (time, float("inf"))) - 1
+            if i >= 0 and self._intervals[i][0] <= time < self._intervals[i][1]:
+                return True
+        if not self.spec.stall:
+            return False
+        k = int(time // self.spec.period)
+        if k < 0:
+            return False
+        while len(self._windows) <= k:
+            self._windows.append(self._rng.random() < self.spec.stall)
+        return self._windows[k]
+
+
+class FaultSchedule:
+    """The compiled, explicit, deterministic form of a plan.
+
+    Channel and node schedules are created lazily per name but each is a
+    pure function of ``(plan, seed, name)`` — first use does not perturb
+    any other entity's stream.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int):
+        self.plan = plan
+        self.seed = seed
+        self._channels: Dict[str, ChannelSchedule] = {}
+        self._nodes: Dict[str, NodeSchedule] = {}
+
+    def channel(self, name: str, signal: str = "") -> ChannelSchedule:
+        if name not in self._channels:
+            spec = self.plan.for_channel(name, signal)
+            self._channels[name] = ChannelSchedule(name, spec, self.seed)
+        return self._channels[name]
+
+    def node(self, name: str) -> NodeSchedule:
+        if name not in self._nodes:
+            self._nodes[name] = NodeSchedule(
+                name, self.plan.for_node(name), self.seed
+            )
+        return self._nodes[name]
+
+    def stalled(self, node: str, time: float) -> bool:
+        """Hook used by :meth:`repro.gals.network.AsyncNetwork.run`."""
+        sched = self.node(node)
+        if not sched.spec.active:
+            return False
+        return sched.stalled(time)

@@ -1,0 +1,246 @@
+"""Fault-injection soak harness.
+
+Co-simulates a faulted GALS network against the zero-fault reference
+deployment of the same program under the same workload, classifies every
+signal's divergence (via the flow machinery of :mod:`repro.tags.equivalence`
+and :func:`repro.sim.cosim.compare_flows`), optionally re-runs the
+Section 5.2 buffer-size estimation under read jitter to report capacity
+inflation, and exports fault/divergence counters through
+:data:`repro.perf.PERF`.
+
+The whole pipeline is deterministic: the fault plan compiles from its
+seed into an explicit schedule, so two soaks with the same arguments
+produce byte-identical :class:`~repro.gals.network.NetworkTrace`\\ s.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.gals.network import AsyncNetwork, NetworkTrace
+from repro.lang.ast import Program
+from repro.perf import PERF
+from repro.sim.cosim import FLOW_EQUIVALENT, compare_flows
+from repro.tags import equivalence
+from repro.faults.inject import weave_faults
+from repro.faults.spec import FaultPlan
+
+
+class EstimateConfig(NamedTuple):
+    """How to re-run :func:`repro.desync.estimator.estimate_buffer_sizes`
+    under jitter for the capacity-inflation report."""
+
+    horizon: int = 100
+    hold: float = 0.25          # P(a read request is deferred one instant)
+    initial: int = 1
+    kind: str = "direct"
+    max_iterations: int = 16
+
+
+class CapacityInflation(NamedTuple):
+    """Buffer sizes without and with read jitter."""
+
+    base: Dict[str, int]
+    jittered: Dict[str, int]
+    base_converged: bool
+    jittered_converged: bool
+
+    def ratio(self, signal: str) -> float:
+        base = self.base.get(signal, 1) or 1
+        return self.jittered.get(signal, base) / base
+
+    def render(self) -> str:
+        lines = ["capacity inflation under read jitter:"]
+        for signal in sorted(set(self.base) | set(self.jittered)):
+            lines.append(
+                "  {}: {} -> {} ({:.2f}x){}".format(
+                    signal,
+                    self.base.get(signal, "?"),
+                    self.jittered.get(signal, "?"),
+                    self.ratio(signal),
+                    "" if self.jittered_converged else "  [NOT converged]",
+                )
+            )
+        return "\n".join(lines)
+
+
+class SoakReport(NamedTuple):
+    """Everything one soak run learned."""
+
+    plan: FaultPlan
+    horizon: float
+    reference: NetworkTrace
+    faulted: NetworkTrace
+    classification: Dict[str, str]   # per recorded signal
+    flow_equivalent: bool            # Definition 4, over the shared domain
+    fault_counts: Dict[str, int]
+    inflation: Optional[CapacityInflation] = None
+
+    @property
+    def divergent(self) -> Dict[str, str]:
+        return {
+            s: c for s, c in self.classification.items()
+            if c != FLOW_EQUIVALENT
+        }
+
+    def render(self) -> str:
+        lines = [
+            "fault soak (seed {}, horizon {}): {}".format(
+                self.plan.seed,
+                self.horizon,
+                "FLOW EQUIVALENT" if self.flow_equivalent else "DIVERGENT",
+            ),
+            "  injected: " + (
+                ", ".join(
+                    "{}={}".format(k, v)
+                    for k, v in sorted(self.fault_counts.items()) if v
+                ) or "nothing"
+            ),
+        ]
+        for signal in sorted(self.classification):
+            lines.append(
+                "  {:<12} {}".format(signal, self.classification[signal])
+            )
+        if self.inflation is not None:
+            lines.append(self.inflation.render())
+        return "\n".join(lines)
+
+
+def _net_from(program, workload, net_kwargs) -> AsyncNetwork:
+    return AsyncNetwork.from_program(
+        program, workload.gals_schedules(), **net_kwargs
+    )
+
+
+def soak(
+    program: Program,
+    workload,
+    plan: FaultPlan,
+    horizon: float = 50.0,
+    signals: Optional[Iterable[str]] = None,
+    estimate: Optional[EstimateConfig] = None,
+    max_events: int = 100000,
+    **net_kwargs,
+) -> SoakReport:
+    """Run the faulted network against the zero-fault reference.
+
+    ``workload`` is a :class:`repro.workloads.scenarios.Workload` (or any
+    object with ``gals_schedules()`` and ``stimulus_factory``); fresh
+    schedules are drawn for each of the two deployments so both see the
+    same activations.  ``signals`` restricts the classification (default:
+    every signal recorded by the reference run).
+    """
+    reference_net = _net_from(program, workload, net_kwargs)
+    faulted_net = _net_from(program, workload, net_kwargs)
+    weave_faults(faulted_net, plan)
+
+    reference = reference_net.run(horizon, max_events=max_events)
+    faulted = faulted_net.run(horizon, max_events=max_events)
+
+    names = (
+        sorted(set(reference.behavior.vars()) | set(faulted.behavior.vars()))
+        if signals is None else list(signals)
+    )
+    classification = compare_flows(
+        reference.behavior, faulted.behavior, names
+    )
+    shared = [
+        n for n in names
+        if n in reference.behavior and n in faulted.behavior
+    ]
+    flow_ok = all(
+        c == FLOW_EQUIVALENT for c in classification.values()
+    ) and equivalence.flow_equivalent(
+        reference.behavior.project(shared), faulted.behavior.project(shared)
+    )
+
+    counts = faulted.fault_counts()
+    PERF.merge({k: v for k, v in counts.items() if isinstance(v, int)}, "faults")
+    PERF.incr("faults.soaks")
+    divergent = sum(
+        1 for c in classification.values() if c != FLOW_EQUIVALENT
+    )
+    PERF.incr("faults.divergent_signals", divergent)
+
+    inflation = None
+    if estimate is not None:
+        inflation = capacity_inflation(
+            program, workload, estimate, seed=plan.seed
+        )
+
+    return SoakReport(
+        plan=plan,
+        horizon=horizon,
+        reference=reference,
+        faulted=faulted,
+        classification=classification,
+        flow_equivalent=flow_ok,
+        fault_counts=counts,
+        inflation=inflation,
+    )
+
+
+# -- capacity inflation under jitter -----------------------------------------
+
+
+def jittered_stimulus(
+    stimulus: Iterable[Dict[str, object]],
+    hold: float,
+    seed: int,
+    suffix: str = "_rreq",
+) -> Iterator[Dict[str, object]]:
+    """Defer read requests at random, modeling consumer-side jitter.
+
+    Each instant, every present input named ``*_rreq`` (the channel read
+    requests of the desynchronized program) is independently deferred to
+    the next instant with probability ``hold`` — the synchronous-program
+    image of latency jitter at the crossing.  Deterministic in ``seed``.
+    """
+    rng = random.Random(seed ^ zlib.crc32(b"read-jitter"))
+    held: Dict[str, object] = {}
+    for row in stimulus:
+        out = dict(row)
+        for name, value in held.items():
+            out.setdefault(name, value)
+        held = {}
+        for name in [n for n in out if n.endswith(suffix)]:
+            if rng.random() < hold:
+                held[name] = out.pop(name)
+        yield out
+
+
+def capacity_inflation(
+    program: Program,
+    workload,
+    config: EstimateConfig = EstimateConfig(),
+    seed: int = 0,
+) -> CapacityInflation:
+    """Section 5.2 buffer estimation, with and without read jitter."""
+    from repro.desync.estimator import estimate_buffer_sizes
+
+    base = estimate_buffer_sizes(
+        program,
+        workload.stimulus_factory,
+        horizon=config.horizon,
+        initial=config.initial,
+        kind=config.kind,
+        max_iterations=config.max_iterations,
+    )
+    jittered = estimate_buffer_sizes(
+        program,
+        lambda: jittered_stimulus(
+            workload.stimulus_factory(), config.hold, seed
+        ),
+        horizon=config.horizon,
+        initial=config.initial,
+        kind=config.kind,
+        max_iterations=config.max_iterations,
+    )
+    return CapacityInflation(
+        base=dict(base.sizes),
+        jittered=dict(jittered.sizes),
+        base_converged=base.converged,
+        jittered_converged=jittered.converged,
+    )

@@ -1,0 +1,171 @@
+"""Fault plans: declarative per-channel / per-node fault specifications.
+
+A :class:`FaultPlan` says *what* can go wrong on each clock-domain
+crossing of a GALS network — message drops, duplication, reordering,
+per-item latency jitter, value corruption (the metastability flip of
+dynamic CDC models) — and on each node (stall windows).  It carries no
+randomness of its own: :meth:`FaultPlan.compile` expands it, from a seed,
+into an explicit deterministic :class:`~repro.faults.schedule.FaultSchedule`
+that the network hooks consume.  Same plan + same seed == same schedule,
+byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, NamedTuple, Optional, Tuple
+
+#: Wildcard key matching every channel (or node) without an explicit spec.
+ANY = "*"
+
+
+class ChannelFaults(NamedTuple):
+    """Fault rates for one channel (all probabilities are per push).
+
+    - ``drop``: the pushed item vanishes at the crossing;
+    - ``duplicate``: the item is enqueued twice (a re-sampled synchronizer);
+    - ``reorder``: the item overtakes up to ``window`` queued items;
+    - ``jitter``: extra transport latency, uniform in ``[0, jitter]``;
+    - ``corrupt``: the value is flipped at the crossing (metastability
+      resolving to the wrong rail): booleans negate, integers flip their
+      low bit, everything else is replaced by ``corrupt_with``.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    window: int = 2
+    jitter: float = 0.0
+    corrupt: float = 0.0
+    corrupt_with: object = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.drop or self.duplicate or self.reorder or self.jitter
+            or self.corrupt
+        )
+
+    def validate(self, name: str = "") -> "ChannelFaults":
+        label = " for {!r}".format(name) if name else ""
+        for field in ("drop", "duplicate", "reorder", "corrupt"):
+            p = getattr(self, field)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    "{}{} must be a probability in [0, 1], got {}".format(
+                        field, label, p
+                    )
+                )
+        if self.jitter < 0:
+            raise ValueError("jitter{} must be >= 0".format(label))
+        if self.window < 1:
+            raise ValueError("reorder window{} must be >= 1".format(label))
+        return self
+
+
+class NodeFaults(NamedTuple):
+    """Stall behaviour for one node.
+
+    Time is cut into windows of length ``period``; each window is
+    independently stalled with probability ``stall`` (every activation in
+    a stalled window is suppressed).  ``intervals`` adds explicit stall
+    windows ``(start, end)`` on top.
+    """
+
+    stall: float = 0.0
+    period: float = 1.0
+    intervals: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.stall or self.intervals)
+
+    def validate(self, name: str = "") -> "NodeFaults":
+        label = " for {!r}".format(name) if name else ""
+        if not 0.0 <= self.stall <= 1.0:
+            raise ValueError(
+                "stall{} must be a probability in [0, 1], got {}".format(
+                    label, self.stall
+                )
+            )
+        if self.period <= 0:
+            raise ValueError("stall period{} must be positive".format(label))
+        for lo, hi in self.intervals:
+            if hi <= lo:
+                raise ValueError(
+                    "stall interval{} ({}, {}) is empty".format(label, lo, hi)
+                )
+        return self
+
+
+class FaultPlan(NamedTuple):
+    """Per-channel and per-node fault specs plus the master seed.
+
+    Channel keys match, in priority order: the full channel name
+    (``"P->Q:x"``), the shared-signal name (``"x"``), then :data:`ANY`.
+    Node keys match the node name, then :data:`ANY`.
+    """
+
+    seed: int = 0
+    channels: Mapping[str, ChannelFaults] = {}
+    nodes: Mapping[str, NodeFaults] = {}
+
+    def validate(self) -> "FaultPlan":
+        for key, spec in self.channels.items():
+            spec.validate(key)
+        for key, spec in self.nodes.items():
+            spec.validate(key)
+        return self
+
+    def for_channel(self, name: str, signal: str = "") -> ChannelFaults:
+        for key in (name, signal, ANY):
+            if key and key in self.channels:
+                return self.channels[key]
+        return ChannelFaults()
+
+    def for_node(self, name: str) -> NodeFaults:
+        for key in (name, ANY):
+            if key in self.nodes:
+                return self.nodes[key]
+        return NodeFaults()
+
+    @property
+    def active(self) -> bool:
+        return any(s.active for s in self.channels.values()) or any(
+            s.active for s in self.nodes.values()
+        )
+
+    def compile(self, seed: Optional[int] = None):
+        """The explicit deterministic schedule for this plan.
+
+        Imported lazily to keep spec <- schedule dependency one-way.
+        """
+        from repro.faults.schedule import FaultSchedule
+
+        self.validate()
+        return FaultSchedule(self, self.seed if seed is None else seed)
+
+
+def uniform_plan(
+    seed: int = 0,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    reorder: float = 0.0,
+    window: int = 2,
+    jitter: float = 0.0,
+    corrupt: float = 0.0,
+    stall: float = 0.0,
+    stall_period: float = 1.0,
+) -> FaultPlan:
+    """A plan applying the same rates to every channel and node."""
+    channels: Dict[str, ChannelFaults] = {}
+    nodes: Dict[str, NodeFaults] = {}
+    spec = ChannelFaults(
+        drop=drop, duplicate=duplicate, reorder=reorder, window=window,
+        jitter=jitter, corrupt=corrupt,
+    )
+    if spec.active:
+        channels[ANY] = spec
+    node_spec = NodeFaults(stall=stall, period=stall_period)
+    if node_spec.active:
+        nodes[ANY] = node_spec
+    return FaultPlan(seed=seed, channels=channels, nodes=nodes).validate()

@@ -43,7 +43,17 @@ class AsyncChannel:
     ``latency`` models transport delay: an item pushed at time ``t``
     becomes visible to the consumer at ``t + latency`` (it counts against
     the capacity while in flight).
+
+    An optional ``injector`` (see :mod:`repro.faults.inject`) takes over
+    :meth:`push` to weave deterministic faults — drops, duplicates,
+    reordering, per-item latency jitter, value corruption — into the
+    queue; the plain path is untouched when no injector is attached.
     """
+
+    #: Retained loss-timestamp samples per channel.  The *count* of losses
+    #: is always exact; only the sample of timestamps is bounded so that
+    #: long lossy soaks keep O(1) state per channel.
+    LOSS_SAMPLES = 64
 
     def __init__(
         self,
@@ -62,40 +72,82 @@ class AsyncChannel:
         self.capacity = capacity if policy != "unbounded" else None
         self.policy = policy
         self.latency = latency
-        self.items: deque = deque()  # (visible_at, value)
+        self.items: deque = deque()  # (visible_at, value, pushed_at)
         self.losses = 0
         self.loss_times: List[float] = []
+        self._loss_rng = None  # lazily seeded reservoir sampler
         self.peak = 0
         self.total_wait = 0.0
         self.delivered = 0
+        self.injector = None  # repro.faults.inject.ChannelInjector, if woven
 
     def full(self) -> bool:
         return self.capacity is not None and len(self.items) >= self.capacity
 
-    def push(self, value, time: float) -> bool:
-        """Returns False when the item was dropped (lossy overflow)."""
+    def record_loss(self, time: float) -> None:
+        """Count a dropped item, keeping a bounded reservoir of timestamps."""
+        self.losses += 1
+        if len(self.loss_times) < self.LOSS_SAMPLES:
+            self.loss_times.append(time)
+            return
+        # Algorithm R, deterministically seeded per channel so traces stay
+        # byte-identical run to run.
+        if self._loss_rng is None:
+            import random
+            import zlib
+
+            self._loss_rng = random.Random(zlib.crc32(self.name.encode()))
+        slot = self._loss_rng.randrange(self.losses)
+        if slot < self.LOSS_SAMPLES:
+            self.loss_times[slot] = time
+
+    def enqueue(
+        self,
+        value,
+        time: float,
+        latency: Optional[float] = None,
+        position: Optional[int] = None,
+        soft: bool = False,
+    ) -> bool:
+        """Place one item, honouring capacity/policy.
+
+        ``latency`` overrides the channel latency (fault jitter);
+        ``position`` inserts that many places before the tail (fault
+        reordering); ``soft`` turns the blocking-policy overflow into a
+        counted drop (a fault-injected extra item must not crash a
+        masked producer).
+        """
         if self.full():
-            if self.policy == "lossy":
-                self.losses += 1
-                self.loss_times.append(time)
+            if self.policy == "lossy" or soft:
+                self.record_loss(time)
                 return False
             raise SimulationError(
                 "push on full blocking channel {!r} (the scheduler must "
                 "mask the producer)".format(self.name)
             )
-        self.items.append((time + self.latency, value))
+        entry = (time + (self.latency if latency is None else latency), value, time)
+        if position:
+            self.items.insert(max(0, len(self.items) - position), entry)
+        else:
+            self.items.append(entry)
         self.peak = max(self.peak, len(self.items))
         return True
+
+    def push(self, value, time: float) -> bool:
+        """Returns False when the item was dropped (lossy overflow)."""
+        if self.injector is not None:
+            return self.injector.push(self, value, time)
+        return self.enqueue(value, time)
 
     def available(self, time: float) -> bool:
         """Does the head item exist and has it arrived by ``time``?"""
         return bool(self.items) and self.items[0][0] <= time
 
     def pop(self, time: Optional[float] = None):
-        visible_at, value = self.items.popleft()
-        if time is not None:
-            self.total_wait += max(0.0, time - (visible_at - self.latency))
-            self.delivered += 1
+        visible_at, value, pushed_at = self.items.popleft()
+        delivered_at = visible_at if time is None else max(time, visible_at)
+        self.total_wait += max(0.0, delivered_at - pushed_at)
+        self.delivered += 1
         return value
 
     def mean_latency(self) -> float:
@@ -116,25 +168,41 @@ class Node(NamedTuple):
 
 
 class _Recorder:
+    """Event recorder with ``(time, seq)`` tie-breaking.
+
+    Many events can share one activation timestamp (bursts of data-driven
+    firings); traces need strictly increasing tags.  Each event therefore
+    carries its global sequence rank *within its raw timestamp*, and
+    :meth:`behavior` spreads rank ``k`` at raw time ``t`` to
+    ``t + k * eps(t)`` with ``eps(t)`` bounded by the gap to the next
+    distinct recorded timestamp (and by 1e-9) — so no burst, however
+    long, can accumulate nudges past the next real event, and causal
+    record order at one instant is preserved across signals.
+    """
+
     def __init__(self):
-        self.events: Dict[str, List[Tuple[float, object]]] = {}
+        self.events: Dict[str, List[Tuple[float, int, object]]] = {}
+        self._at: Dict[float, int] = {}  # raw time -> events recorded at it
 
     def record(self, signal: str, time: float, value) -> None:
-        self.events.setdefault(signal, []).append((time, value))
+        rank = self._at.get(time, 0)
+        self._at[time] = rank + 1
+        self.events.setdefault(signal, []).append((time, rank, value))
 
     def behavior(self, names: Optional[Iterable[str]] = None) -> Behavior:
         names = list(names) if names is not None else sorted(self.events)
+        times = sorted(self._at)
+        eps: Dict[float, float] = {}
+        for i, t in enumerate(times):
+            if self._at[t] <= 1:
+                eps[t] = 0.0
+                continue
+            gap = times[i + 1] - t if i + 1 < len(times) else float("inf")
+            eps[t] = min(1e-9, gap / (self._at[t] + 1))
         out = {}
         for name in names:
             evs = self.events.get(name, [])
-            fixed = []
-            last = None
-            for t, v in evs:
-                if last is not None and t <= last:
-                    t = last + 1e-9  # keep chains strictly increasing
-                fixed.append((t, v))
-                last = t
-            out[name] = SignalTrace(fixed)
+            out[name] = SignalTrace([(t + k * eps[t], v) for t, k, v in evs])
         return Behavior(out)
 
 
@@ -145,9 +213,20 @@ class NetworkTrace(NamedTuple):
     firings: Dict[str, int]               # reactions per node
     skipped: Dict[str, int]               # firings masked by backpressure
     channels: Dict[str, Dict[str, object]]  # per-channel stats
+    stalled: Dict[str, int] = {}          # firings suppressed by fault stalls
 
     def values(self, signal: str) -> Tuple:
         return self.behavior[signal].values() if signal in self.behavior else ()
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected-fault totals summed over every channel."""
+        totals: Dict[str, int] = {}
+        for stats in self.channels.values():
+            for key, n in (stats.get("faults") or {}).items():
+                totals[key] = totals.get(key, 0) + n
+        for n in self.stalled.values():
+            totals["stalls"] = totals.get("stalls", 0) + n
+        return totals
 
 
 class AsyncNetwork:
@@ -245,6 +324,7 @@ class AsyncNetwork:
         return net
 
     _data_driven: frozenset = frozenset()
+    _fault_schedule = None  # repro.faults.schedule.FaultSchedule, if woven
 
     # -- execution --------------------------------------------------------------
 
@@ -253,6 +333,8 @@ class AsyncNetwork:
         recorder = _Recorder()
         firings = {n.name: 0 for n in self.nodes}
         skipped = {n.name: 0 for n in self.nodes}
+        stalled = {n.name: 0 for n in self.nodes}
+        faults = self._fault_schedule
         counter = itertools.count()
         heap: List[Tuple[float, int, str]] = []
 
@@ -276,10 +358,19 @@ class AsyncNetwork:
             time, _, name = heapq.heappop(heap)
             push_next(name)
             node = next(n for n in self.nodes if n.name == name)
+            # fault injection: a stalled node misses this activation
+            if faults is not None and faults.stalled(name, time):
+                stalled[name] += 1
+                self._fire_data_driven(
+                    data_driven, time, recorder, firings, faults, stalled
+                )
+                continue
             # backpressure: masked while an outgoing channel is full
             if any(ch.full() and ch.policy == "block" for _, ch in self._out_links[name]):
                 skipped[name] += 1
-                self._fire_data_driven(data_driven, time, recorder, firings)
+                self._fire_data_driven(
+                    data_driven, time, recorder, firings, faults, stalled
+                )
                 continue
             inputs: Dict[str, object] = {}
             if node.activation:
@@ -293,10 +384,13 @@ class AsyncNetwork:
             firings[name] += 1
             self._dispatch(name, outputs, time, recorder)
             # data-driven nodes drain channels right after each event
-            self._fire_data_driven(data_driven, time, recorder, firings)
+            self._fire_data_driven(
+                data_driven, time, recorder, firings, faults, stalled
+            )
 
-        stats = {
-            ch.name: {
+        stats = {}
+        for ch in self.channels.values():
+            entry = {
                 "capacity": ch.capacity,
                 "peak": ch.peak,
                 "losses": ch.losses,
@@ -305,9 +399,10 @@ class AsyncNetwork:
                 "latency": ch.latency,
                 "mean_wait": ch.mean_latency(),
             }
-            for ch in self.channels.values()
-        }
-        return NetworkTrace(recorder.behavior(), firings, skipped, stats)
+            if ch.injector is not None:
+                entry["faults"] = ch.injector.counts()
+            stats[ch.name] = entry
+        return NetworkTrace(recorder.behavior(), firings, skipped, stats, stalled)
 
     def _dispatch(self, name: str, outputs: Dict[str, object], time: float,
                   recorder: _Recorder) -> None:
@@ -320,7 +415,9 @@ class AsyncNetwork:
             else:
                 recorder.record(sig, time, value)
 
-    def _fire_data_driven(self, data_driven, time, recorder, firings) -> None:
+    def _fire_data_driven(
+        self, data_driven, time, recorder, firings, faults=None, stalled=None
+    ) -> None:
         """Fire data-driven nodes (no schedule) while they have input."""
         progress = True
         guard = 0
@@ -331,6 +428,12 @@ class AsyncNetwork:
                 raise SimulationError("data-driven firing did not quiesce")
             for node in self.nodes:
                 if node.name not in data_driven:
+                    continue
+                if faults is not None and faults.stalled(node.name, time):
+                    if stalled is not None and guard == 1 and any(
+                        ch.available(time) for _, ch in self._in_links[node.name]
+                    ):
+                        stalled[node.name] += 1
                     continue
                 pending = [
                     (sig, ch)

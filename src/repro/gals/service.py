@@ -88,3 +88,39 @@ class RateController:
             self.observe(occupancy_of(), t)
             yield t
             t += self.current.period
+
+    def schedule_for(
+        self,
+        network,
+        signal: str,
+        consumer: Optional[str] = None,
+        phase: float = 0.0,
+        count_losses: bool = True,
+    ) -> Iterator[float]:
+        """An adaptive schedule bound to one channel of a built network.
+
+        Looks up the :class:`~repro.gals.network.AsyncChannel` carrying
+        ``signal`` (to ``consumer``, when the signal fans out) and feeds
+        its occupancy to :meth:`observe` before every activation.  With
+        ``count_losses`` the observed pressure also includes items lost
+        since the previous activation, so a lossy channel under fault
+        injection degrades the producer even when drops keep the queue
+        short — occupancy alone never sees a dropped item.
+        """
+        channel = None
+        for (sig, cons), ch in network.channels.items():
+            if sig == signal and (consumer is None or cons == consumer):
+                channel = ch
+                break
+        if channel is None:
+            raise KeyError((signal, consumer))
+        seen_losses = {"n": channel.losses}
+
+        def pressure() -> int:
+            occupancy = len(channel)
+            if count_losses:
+                occupancy += channel.losses - seen_losses["n"]
+                seen_losses["n"] = channel.losses
+            return occupancy
+
+        return self.schedule(pressure, phase=phase)

@@ -12,6 +12,11 @@ counters and wall-time phases so benchmark deltas are attributable:
   model-checker work and reaction-memo effectiveness;
 - ``bdd.apply_hits`` / ``bdd.apply_misses`` / ``bdd.cache_clears`` —
   apply-cache behaviour of the symbolic backend;
+- ``faults.injected`` / ``faults.drops`` / ``faults.duplicates`` /
+  ``faults.reorders`` / ``faults.corrupts`` / ``faults.stalls`` /
+  ``faults.soaks`` / ``faults.divergent_signals`` — fault-injection
+  volume and divergence yield of the soak harness
+  (:mod:`repro.faults.soak`);
 - ``time.<phase>`` — seconds spent in labeled phases.
 
 Hot loops keep their own local integers and merge once per call

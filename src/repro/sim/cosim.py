@@ -14,13 +14,26 @@ regression-pinning a transformed design on recorded workloads.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.errors import SimulationError
 from repro.lang.analysis import flatten_program
 from repro.lang.ast import Component, Program
 from repro.sim.engine import Reactor
 from repro.sim.trace import SimTrace
+
+if TYPE_CHECKING:
+    from repro.tags.behavior import Behavior
 
 View = Callable[[Dict[str, object]], Dict[str, object]]
 
@@ -144,3 +157,64 @@ def cosimulate(
 ) -> CosimReport:
     """One-shot co-simulation; see :class:`Cosim`."""
     return Cosim(left, right, view=view).run(stimulus, n=n)
+
+
+# -- flow-level divergence classification ------------------------------------
+#
+# Lockstep cosim compares instant by instant; runs of the *asynchronous*
+# network have no common instants, so the fault-soak harness compares the
+# per-signal flows (value sequences, timing erased — Definition 4) of a
+# reference run and a faulted run and names the kind of divergence.
+
+#: Possible per-signal verdicts of :func:`classify_flow_divergence`.
+FLOW_EQUIVALENT = "flow-equivalent"
+LOST = "lost"                      # subject flow is a proper subsequence
+DUPLICATED = "duplicated"          # reference flow is a proper subsequence
+ORDER_DIVERGENT = "order-divergent"  # same multiset, different order
+VALUE_DIVERGENT = "value-divergent"  # different values altogether
+
+
+def _is_subsequence(short: Sequence, long: Sequence) -> bool:
+    it = iter(long)
+    return all(any(x == y for y in it) for x in short)
+
+
+def classify_flow_divergence(reference: Sequence, subject: Sequence) -> str:
+    """Name how ``subject``'s flow diverges from ``reference``'s.
+
+    Flows are per-signal value sequences (timing erased).  Identical
+    flows are :data:`FLOW_EQUIVALENT` — by Definition 4 the two behaviors
+    restricted to this signal admit a common relaxation.
+    """
+    reference, subject = list(reference), list(subject)
+    if reference == subject:
+        return FLOW_EQUIVALENT
+    if len(subject) < len(reference) and _is_subsequence(subject, reference):
+        return LOST
+    if len(subject) > len(reference) and _is_subsequence(reference, subject):
+        return DUPLICATED
+    if sorted(map(repr, reference)) == sorted(map(repr, subject)):
+        return ORDER_DIVERGENT
+    return VALUE_DIVERGENT
+
+
+def compare_flows(
+    reference: "Behavior",
+    subject: "Behavior",
+    signals: Optional[Iterable[str]] = None,
+) -> Dict[str, str]:
+    """Per-signal divergence classes between two behaviors.
+
+    ``signals`` defaults to the union of both domains; a signal missing
+    on one side compares against the empty flow.
+    """
+    if signals is None:
+        names = sorted(set(reference.vars()) | set(subject.vars()))
+    else:
+        names = list(signals)
+    out: Dict[str, str] = {}
+    for name in names:
+        ref = reference[name].values() if name in reference else ()
+        sub = subject[name].values() if name in subject else ()
+        out[name] = classify_flow_divergence(ref, sub)
+    return out

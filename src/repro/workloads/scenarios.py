@@ -159,3 +159,82 @@ def burst_sweep(
         gap = b * slack + b  # reader at period (1+slack) drains b in b*(1+slack)
         out.append(bursty_producer(burst=b, gap=gap, reader_period=1 + slack, **kwargs))
     return out
+
+
+# -- fault-injection scenarios (experiment A7) --------------------------------
+
+
+class FaultScenario(NamedTuple):
+    """One workload deployed under one fault plan."""
+
+    name: str
+    workload: Workload
+    plan: "FaultPlan"
+
+    def soak(self, program, horizon: float = 50.0, **kwargs):
+        """Run :func:`repro.faults.soak.soak` on this scenario."""
+        from repro.faults.soak import soak
+
+        return soak(program, self.workload, self.plan, horizon=horizon, **kwargs)
+
+
+def fault_kind_matrix(
+    seed: int = 7,
+    rate: float = 0.2,
+    workload: Optional[Workload] = None,
+) -> List[FaultScenario]:
+    """One scenario per fault kind, each at ``rate`` on every channel.
+
+    The canonical soak matrix: a clean baseline plus drop, duplicate,
+    reorder, latency jitter, metastability corruption and producer stall,
+    all on the same workload so divergence classes are attributable to a
+    single fault dimension.
+    """
+    from repro.faults.spec import uniform_plan
+
+    wl = workload or steady()
+    kinds = [
+        ("clean", uniform_plan(seed=seed)),
+        ("drop", uniform_plan(seed=seed, drop=rate)),
+        ("duplicate", uniform_plan(seed=seed, duplicate=rate)),
+        ("reorder", uniform_plan(seed=seed, reorder=rate, window=3)),
+        ("jitter", uniform_plan(seed=seed, jitter=3.0)),
+        ("corrupt", uniform_plan(seed=seed, corrupt=rate)),
+        ("stall", uniform_plan(seed=seed, stall=rate, stall_period=2.0)),
+    ]
+    return [FaultScenario(name, wl, plan) for name, plan in kinds]
+
+
+def drop_sweep(
+    rates: Iterable[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    seed: int = 7,
+    workload: Optional[Workload] = None,
+) -> List[FaultScenario]:
+    """Increasing channel loss on a steady workload (fault dose-response)."""
+    from repro.faults.spec import uniform_plan
+
+    wl = workload or steady()
+    return [
+        FaultScenario(
+            "drop={:g}".format(rate), wl, uniform_plan(seed=seed, drop=rate)
+        )
+        for rate in rates
+    ]
+
+
+def jitter_sweep(
+    jitters: Iterable[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    seed: int = 7,
+    workload: Optional[Workload] = None,
+) -> List[FaultScenario]:
+    """Growing latency jitter — the regime where the Section 5.2 buffer
+    estimates inflate (compare with :func:`repro.faults.soak.capacity_inflation`)."""
+    from repro.faults.spec import uniform_plan
+
+    wl = workload or bursty_producer()
+    return [
+        FaultScenario(
+            "jitter={:g}".format(j), wl, uniform_plan(seed=seed, jitter=j)
+        )
+        for j in jitters
+    ]
