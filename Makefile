@@ -11,12 +11,14 @@ test-fast:
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest . -q -s
 
-# reduced-parameter smoke sweep of the two parameterized experiments
-# (A3 state-space scaling, F4 buffer estimation); artifacts land in
-# benchmarks/out/ including machine-readable BENCH_*.json
+# reduced-parameter smoke sweep of the parameterized experiments
+# (A3 state-space scaling, F4 buffer estimation, A8 symbolic-image
+# ablation); artifacts land in benchmarks/out/ including
+# machine-readable BENCH_*.json
 bench-quick:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
-		bench_a3_mc_scaling.py bench_fig4_estimation.py -q -s
+		bench_a3_mc_scaling.py bench_fig4_estimation.py \
+		bench_a8_symbolic_image.py -q -s
 
 # reduced-horizon fault-injection soak (experiment A7); writes
 # benchmarks/out/A7_fault_soak.txt and BENCH_A7_fault_soak.json

@@ -20,16 +20,17 @@ Three sub-experiments:
 ``BENCH_QUICK=1`` shrinks horizons and the sweep (``make soak-quick``).
 """
 
+import os
+
 from repro.designs import producer_consumer
 from repro.faults import EstimateConfig, capacity_inflation
-from repro.gals import schedules
 from repro.workloads import scenarios
-from repro.workloads.scenarios import Workload
 
 from _report import emit, quick, table
 
 HORIZON = 20.0 if quick() else 60.0
 BURST_HORIZON = 40.0 if quick() else 120.0
+WORKERS = min(4, os.cpu_count() or 1)
 
 EXPECTED_CLASS = {
     "clean": None,
@@ -42,60 +43,38 @@ EXPECTED_CLASS = {
 }
 
 
-def burst_workload():
-    """A single backlog-building burst with full drain slack: duplication
-    and reordering have queued items to act on, and every item still lands
-    inside the horizon."""
-    return Workload(
-        "burst",
-        lambda: iter(()),
-        lambda: {
-            "P": schedules.bursty(burst=10, intra=0.1, gap=1000.0),
-            "Q": schedules.periodic(1.0, phase=0.5),
-        },
-        {},
-    )
-
-
 def soak_matrix():
     program = producer_consumer()
-    rows = []
-    for scenario in scenarios.fault_kind_matrix(seed=2):
+    specs = []
+    for spec in scenarios.fault_kind_specs(seed=2):
         # dup/reorder need backlog and drain slack to classify cleanly
-        needs_burst = scenario.name in ("duplicate", "reorder", "jitter")
-        if needs_burst:
-            scenario = scenario._replace(workload=burst_workload())
-        horizon = BURST_HORIZON if needs_burst else HORIZON
-        report = scenario.soak(program, horizon=horizon)
-        worst = None
-        for signal in sorted(report.classification):
-            verdict = report.classification[signal]
-            if verdict != "flow-equivalent":
-                worst = verdict
-                break
-        rows.append({
-            "scenario": scenario.name,
-            "flow_equivalent": report.flow_equivalent,
-            "class": worst,
-            "faults": report.fault_counts,
-        })
-    return rows
+        if spec.name in ("duplicate", "reorder", "jitter"):
+            spec = spec._replace(
+                workload={"kind": "single_burst"}, horizon=BURST_HORIZON
+            )
+        specs.append(spec)
+    report = scenarios.soak_sweep(
+        program, specs, horizon=HORIZON, workers=WORKERS
+    )
+    return report.values()
 
 
 def sweep_drops():
     program = producer_consumer()
     rates = (0.0, 0.1, 0.4) if quick() else (0.0, 0.05, 0.1, 0.2, 0.4)
+    specs = scenarios.drop_sweep_specs(rates=rates, seed=11)
+    report = scenarios.soak_sweep(
+        program, specs, horizon=HORIZON, workers=WORKERS
+    )
     rows = []
-    for scenario in scenarios.drop_sweep(rates=rates, seed=11):
-        report = scenario.soak(program, horizon=HORIZON)
-        rate = scenario.plan.for_channel("*", "*").drop if scenario.plan.active else 0.0
-        divergent = sum(
-            1 for v in report.classification.values() if v != "flow-equivalent"
+    for spec, row in zip(specs, report.values()):
+        rate = (
+            spec.plan.for_channel("*", "*").drop if spec.plan.active else 0.0
         )
         rows.append({
             "rate": rate,
-            "drops": report.fault_counts.get("drops", 0),
-            "divergent_signals": divergent,
+            "drops": row["faults"].get("drops", 0),
+            "divergent_signals": row["divergent_signals"],
         })
     return rows
 

@@ -1,0 +1,168 @@
+"""Experiment A8 — symbolic-engine ablation: partitioned image
+computation and the shared sweep executor.
+
+Two before/after comparisons pinning the symbolic-backend overhaul:
+
+- **image ablation**: the same chain-FIFO obligation checked with the
+  monolithic transition relation (conjoin everything, then quantify)
+  versus the partitioned path (per-equation conjuncts, clustered and
+  ordered by support, images as fused ``and_exists`` products with an
+  early-quantification schedule).  Reported per depth: wall time and the
+  peak live BDD node count — the partitioned path must never build the
+  monolithic peak, and verdicts / counterexample lengths / reachable
+  state counts must agree exactly;
+- **sweep ablation**: an 8-point (depth × alphabet) verification sweep
+  run sequentially and through :func:`repro.perf.sweep.sweep` at several
+  worker counts — results must be byte-identical at any worker count,
+  and the report records the wall-time curve.
+
+``BENCH_QUICK=1`` shrinks the image ablation to depths 1–2.
+"""
+
+import json
+import os
+import time
+
+from repro.desync import n_fifo_chain
+from repro.lang.types import BOOL
+from repro.mc.symbolic import SymbolicChecker
+from repro.perf.sweep import sweep
+
+from _report import emit, quick, table
+
+DEPTHS = (1, 2) if quick() else (1, 2, 3, 4)
+
+ALPHABETS = [
+    [{"tick": True}],
+    [{"tick": True}, {"tick": True, "msgin": True}],
+    [{"tick": True}, {"tick": True, "rreq": True}],
+    [
+        {"tick": True},
+        {"tick": True, "msgin": True},
+        {"tick": True, "rreq": True},
+        {"tick": True, "msgin": True, "rreq": True},
+    ],
+]
+
+SWEEP_POINTS = [(depth, a) for depth in (1, 2) for a in range(len(ALPHABETS))]
+SWEEP_WORKERS = (1, 2, 4)
+
+
+def check_depth(depth, partitioned):
+    comp, ports = n_fifo_chain(depth, dtype=BOOL)
+    t0 = time.perf_counter()
+    chk = SymbolicChecker(
+        comp, alphabet=ALPHABETS[3], partitioned=partitioned
+    )
+    ce = chk.check_never_present(ports.alarm)
+    states = chk.state_count()
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": seconds,
+        "peak_nodes": chk.peak_nodes,
+        "states": states,
+        "ce": len(ce.inputs) if ce else None,
+    }
+
+
+def image_ablation():
+    rows = []
+    for depth in DEPTHS:
+        part = check_depth(depth, partitioned=True)
+        mono = check_depth(depth, partitioned=False)
+        rows.append({
+            "depth": depth,
+            "t_partitioned": part["seconds"],
+            "t_monolithic": mono["seconds"],
+            "speedup": mono["seconds"] / part["seconds"],
+            "peak_partitioned": part["peak_nodes"],
+            "peak_monolithic": mono["peak_nodes"],
+            "states": part["states"],
+            "mono_states": mono["states"],
+            "ce": part["ce"],
+            "mono_ce": mono["ce"],
+        })
+    return rows
+
+
+def sweep_point(point):
+    """One verification task (runs in sweep workers; no wall times in the
+    return value, so results can be compared byte-for-byte)."""
+    depth, alphabet_index = point
+    comp, ports = n_fifo_chain(depth, dtype=BOOL)
+    chk = SymbolicChecker(comp, alphabet=ALPHABETS[alphabet_index])
+    ce = chk.check_never_present(ports.alarm)
+    return {
+        "depth": depth,
+        "alphabet": alphabet_index,
+        "states": chk.state_count(),
+        "bdd_nodes": chk.bdd.node_count(),
+        "ce": len(ce.inputs) if ce else None,
+    }
+
+
+def sweep_ablation():
+    runs = {}
+    payloads = {}
+    for workers in SWEEP_WORKERS:
+        report = sweep(sweep_point, SWEEP_POINTS, workers=workers)
+        runs[workers] = report.seconds
+        payloads[workers] = json.dumps(report.values(), sort_keys=True)
+    identical = len(set(payloads.values())) == 1
+    return {
+        "points": len(SWEEP_POINTS),
+        "seconds": {str(w): s for w, s in runs.items()},
+        "identical": identical,
+        "results": json.loads(payloads[SWEEP_WORKERS[0]]),
+    }
+
+
+def run_experiment():
+    return image_ablation(), sweep_ablation()
+
+
+def test_a8_symbolic_image(benchmark):
+    image, sweeps = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = [
+        table(
+            ["depth", "partitioned (s)", "monolithic (s)", "speedup",
+             "peak nodes (part)", "peak nodes (mono)", "states", "CE len"],
+            [
+                (r["depth"],
+                 "{:.3f}".format(r["t_partitioned"]),
+                 "{:.3f}".format(r["t_monolithic"]),
+                 "{:.1f}x".format(r["speedup"]),
+                 r["peak_partitioned"], r["peak_monolithic"],
+                 r["states"], r["ce"])
+                for r in image
+            ],
+        ),
+        "",
+        "sweep executor over {} points: ".format(sweeps["points"])
+        + ", ".join(
+            "{}w {:.2f}s".format(w, float(sweeps["seconds"][str(w)]))
+            for w in SWEEP_WORKERS
+        )
+        + "  results byte-identical: {}".format(sweeps["identical"]),
+    ]
+    emit(
+        "A8_symbolic_image",
+        "\n".join(lines),
+        data={"image": image, "sweep": sweeps},
+    )
+
+    for r in image:
+        # the two strategies are the same fixpoint: identical verdicts,
+        # counterexample lengths and reachable state counts
+        assert r["ce"] == r["mono_ce"]
+        assert r["states"] == r["mono_states"]
+        # partitioning must avoid the monolithic intermediate peak
+        if r["depth"] >= 2:
+            assert r["peak_partitioned"] < r["peak_monolithic"]
+    if not quick():
+        # at the depths the issue targets, the win must be decisive
+        deep = [r for r in image if r["depth"] >= 3]
+        assert all(r["speedup"] >= 2.0 for r in deep)
+    # determinism at any worker count is the executor's contract
+    assert sweeps["identical"]

@@ -54,6 +54,39 @@ def modular_producer_consumer(modulus: int = 4, scale: int = 2) -> Program:
     )
 
 
+def toggle_producer(
+    name: str = "P", act: str = "p_act", out: str = "x"
+) -> Component:
+    """A boolean producer: alternates ``True, False, True, ...`` on ``out``.
+
+    The all-boolean sibling of :func:`modular_producer` — use it for the
+    symbolic backend, which handles boolean programs only.
+    """
+    b = ComponentBuilder(name)
+    act_v = b.input(act, EVENT)
+    out_v = b.output(out, BOOL)
+    b.define(out_v, ~pre(False, out_v))
+    b.sync(out_v, act_v)
+    return b.build()
+
+
+def inverting_consumer(
+    name: str = "Q", inp: str = "x", out: str = "y"
+) -> Component:
+    """A boolean consumer: ``out = not inp`` at the arrival clock of ``inp``."""
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, BOOL)
+    out_v = b.output(out, BOOL)
+    b.define(out_v, ~inp_v)
+    return b.build()
+
+
+def boolean_producer_consumer() -> Program:
+    """All-boolean ``P ->x Q`` — the :func:`producer_consumer` dependency
+    shape restricted to the types the symbolic backend accepts."""
+    return Program("prodcons_bool", [toggle_producer(), inverting_consumer()])
+
+
 def consumer(
     name: str = "Q", inp: str = "x", out: str = "y", scale: int = 2
 ) -> Component:

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Union
 from repro.lang.ast import Program
 from repro.mc.compile import compile_lts
 from repro.mc.safety import CounterExample, check_never_present
+from repro.perf.sweep import sweep
 from repro.desync.estimator import (
     DesignCache,
     EstimationReport,
@@ -72,6 +73,11 @@ class VerifiedSizes(NamedTuple):
         return "\n".join(lines)
 
 
+def _alarm_check_task(lts, alarm: str) -> Optional[CounterExample]:
+    """One per-channel obligation, shaped for :func:`repro.perf.sweep.sweep`."""
+    return check_never_present(lts, alarm)
+
+
 def verified_buffer_sizes(
     program: Program,
     stimulus_factory: Callable[[], Iterable[Dict[str, object]]],
@@ -83,6 +89,7 @@ def verified_buffer_sizes(
     kind: str = "direct",
     read_requests: Optional[Dict[str, str]] = None,
     max_states: int = 200000,
+    workers: Optional[int] = None,
 ) -> VerifiedSizes:
     """Estimate buffer sizes, then prove them; feed error traces back.
 
@@ -91,6 +98,11 @@ def verified_buffer_sizes(
     instant").  ``stimulus_factory`` is the designer's simulation data; at
     each failed round the counterexample inputs are prepended to it, as
     the paper prescribes.
+
+    ``workers`` fans the per-channel alarm obligations of each round out
+    over :func:`repro.perf.sweep.sweep`; the verdict (the first failing
+    channel's counterexample, in channel order) is identical at any
+    worker count.
     """
     rounds: List[VerificationRound] = []
     stim_factory = stimulus_factory
@@ -124,11 +136,15 @@ def verified_buffer_sizes(
                 sized.program, alphabet=alphabet, max_states=max_states
             )
             lts_cache[key] = lts
-        ce: Optional[CounterExample] = None
-        for ch in sized.channels:
-            ce = check_never_present(lts, ch.alarm)
-            if ce is not None:
-                break
+        report = sweep(
+            _alarm_check_task,
+            [ch.alarm for ch in sized.channels],
+            workers=workers,
+            shared=lts,
+        )
+        ce: Optional[CounterExample] = next(
+            (c for c in report.values() if c is not None), None
+        )
         rounds.append(
             VerificationRound(rnd, estimation, dict(sizes), lts.num_states(), ce)
         )

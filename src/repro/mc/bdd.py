@@ -1,21 +1,42 @@
 """Reduced Ordered Binary Decision Diagrams.
 
 A compact, dependency-free ROBDD package in the style of Bryant's
-original: hash-consed nodes, memoized ``apply``, existential
-quantification, variable renaming and satisfying-assignment extraction —
-everything the Sigali-style symbolic backend (:mod:`repro.mc.symbolic`)
-needs.
+original: hash-consed nodes, memoized operations, existential
+quantification, a fused AND-exists (the relational product at the heart
+of partitioned image computation), variable renaming and
+satisfying-assignment extraction — everything the Sigali-style symbolic
+backend (:mod:`repro.mc.symbolic`) needs.
 
 Nodes are integers: ``0`` (false), ``1`` (true), and internal ids
 indexing a table of ``(level, low, high)`` triples.  Variable *levels*
 are allocated through :meth:`BDD.variable`; lower level = nearer the
 root.  All operations belong to a :class:`BDD` manager; mixing nodes from
 different managers is undefined.
+
+Engine notes
+------------
+
+- Every core operation (``ite``, ``exists``, ``and_exists``, ``rename``,
+  ``restrict``, ``sat_count``) runs on an explicit stack, so formulas
+  over thousands of variables never hit Python's recursion ceiling.
+- The operation cache is split into per-operation namespaces.  Dynamic
+  reordering invalidates only the namespaces whose keys embed variable
+  levels (``exists`` / ``and_exists``); ``ite`` results survive a swap
+  because node ids keep denoting the same functions.
+- :meth:`gc` is a mark-and-sweep collector over *pinned roots*
+  (:meth:`pin` / :meth:`unpin`).  Nothing is ever freed unless ``gc`` is
+  called (directly, or via ``sift(collect=True)``), so managers that
+  never collect behave exactly like the classic append-only table.
+- :meth:`sift` is Rudell's dynamic variable sifting built on an in-place
+  adjacent-level swap: node ids keep denoting the same functions across
+  a reorder, only their levels move.  With ``sift=True`` the manager
+  triggers a (non-collecting) pass automatically once the table crosses
+  a node-growth watermark; the registration order is the seed order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.perf import PERF
 
@@ -26,62 +47,131 @@ TRUE = 1
 #: cache near 100 MB before a flush
 DEFAULT_APPLY_CACHE_LIMIT = 1 << 20
 
+#: a level strictly below every real level (terminals sort last)
+_NO_LEVEL = 1 << 30
+
+#: cache namespaces whose keys embed variable *levels*; a level swap
+#: invalidates exactly these (``ite`` keys are order-independent)
+_LEVEL_KEYED = ("exists", "and_exists")
+
+_CALL, _JOIN, _QLOW, _FIX = 0, 1, 2, 3
+
 
 class BDD:
     """A BDD manager (node table + caches + variable registry).
 
-    The operation cache (memoized ``ite``/``exists`` results) is bounded:
-    once it holds ``apply_cache_limit`` entries it is flushed wholesale —
-    the classic BDD-package policy; flushing only costs recomputation,
-    never correctness, because the cache is a pure memo over hash-consed
-    nodes.  ``apply_cache_limit=None`` disables the bound.  Hit/miss/flush
-    counts are kept per manager (see :meth:`cache_stats`) and folded into
-    :data:`repro.perf.PERF` under the ``bdd.`` prefix.
+    The operation caches (memoized ``ite``/``exists``/``and_exists``
+    results, one namespace per operation) are bounded *collectively*:
+    once they hold ``apply_cache_limit`` entries they are flushed
+    wholesale — the classic BDD-package policy; flushing only costs
+    recomputation, never correctness, because the caches are pure memos
+    over hash-consed nodes.  ``apply_cache_limit=None`` disables the
+    bound.  Hit/miss/flush counts are kept per manager (see
+    :meth:`cache_stats`) and folded into :data:`repro.perf.PERF` under
+    the ``bdd.`` prefix.
+
+    ``sift=True`` enables watermark-triggered dynamic variable sifting:
+    whenever a top-level operation starts with the live table above
+    ``sift_watermark`` nodes, one (non-collecting) sifting pass runs
+    first.  Automatic passes never free node ids; only :meth:`gc` and
+    ``sift(collect=True)`` do, and those require every externally-held
+    node to be pinned.
     """
 
-    def __init__(self, apply_cache_limit: Optional[int] = DEFAULT_APPLY_CACHE_LIMIT):
-        # node id -> (level, low, high); ids 0/1 are terminals
-        self._nodes: List[Tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+    def __init__(
+        self,
+        apply_cache_limit: Optional[int] = DEFAULT_APPLY_CACHE_LIMIT,
+        sift: bool = False,
+        sift_watermark: int = 50000,
+        sift_max_vars: int = 12,
+        sift_max_growth: float = 1.2,
+    ):
+        # node id -> (level, low, high); ids 0/1 are terminals; freed
+        # slots hold None until _mk reuses them
+        self._nodes: List[Optional[Tuple[int, int, int]]] = [(-1, 0, 0), (-1, 1, 1)]
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._apply_cache: Dict[Tuple, int] = {}
+        self._caches: Dict[str, Dict] = {}
+        self._cache_entries = 0
+        self._free: List[int] = []
+        self._pins: Dict[int, int] = {}
         self._names: List[str] = []          # level -> name
         self._level_of: Dict[str, int] = {}
         self.apply_cache_limit = apply_cache_limit
         self.apply_hits = 0
         self.apply_misses = 0
         self.cache_clears = 0
+        self.gc_collections = 0
+        self.gc_reclaimed = 0
+        self.sift_enabled = sift
+        self.sift_watermark = sift_watermark
+        self.sift_max_vars = sift_max_vars
+        self.sift_max_growth = sift_max_growth
+        self.sift_passes = 0
+        self.sift_swaps = 0
+        self._next_sift_at = sift_watermark
+        self._op_depth = 0
         self._perf_base: Dict[str, int] = {}
 
-    # -- operation cache ----------------------------------------------------
+    # -- operation caches ---------------------------------------------------
 
-    def _cache_store(self, key: Tuple, out: int) -> None:
-        cache = self._apply_cache
+    def _cache(self, namespace: str) -> Dict:
+        cache = self._caches.get(namespace)
+        if cache is None:
+            cache = self._caches[namespace] = {}
+        return cache
+
+    def _cache_store(self, cache: Dict, key, out: int) -> None:
         limit = self.apply_cache_limit
-        if limit is not None and len(cache) >= limit:
-            cache.clear()
-            self.cache_clears += 1
+        if limit is not None and self._cache_entries >= limit:
+            self.clear_apply_cache()
         cache[key] = out
+        self._cache_entries += 1
 
     def clear_apply_cache(self) -> None:
         """Drop every memoized operation result (node table is kept)."""
-        self._apply_cache.clear()
+        for cache in self._caches.values():
+            cache.clear()
+        self._cache_entries = 0
         self.cache_clears += 1
 
+    def _flush_level_keyed(self) -> None:
+        """Drop only the caches whose keys embed variable levels."""
+        for namespace in _LEVEL_KEYED:
+            cache = self._caches.get(namespace)
+            if cache:
+                self._cache_entries -= len(cache)
+                cache.clear()
+
     def cache_stats(self) -> Dict[str, int]:
-        """Operation-cache statistics; also folds the counts accumulated
-        since the previous call into the global perf registry."""
+        """Engine statistics; also folds the counts accumulated since the
+        previous call into the global perf registry (``bdd.`` prefix).
+
+        Monotone counters (``apply_hits`` / ``apply_misses`` /
+        ``cache_clears`` / ``gc_collections`` / ``gc_reclaimed`` /
+        ``sift_passes`` / ``sift_swaps``) are merged as deltas; gauges
+        (``apply_cache_size``, ``node_count``) are reported here only.
+        """
         stats = {
             "apply_hits": self.apply_hits,
             "apply_misses": self.apply_misses,
             "cache_clears": self.cache_clears,
-            "apply_cache_size": len(self._apply_cache),
+            "apply_cache_size": sum(len(c) for c in self._caches.values()),
+            "node_count": self.node_count(),
+            "gc_collections": self.gc_collections,
+            "gc_reclaimed": self.gc_reclaimed,
+            "sift_passes": self.sift_passes,
+            "sift_swaps": self.sift_swaps,
         }
+        monotone = (
+            "apply_hits", "apply_misses", "cache_clears",
+            "gc_collections", "gc_reclaimed", "sift_passes", "sift_swaps",
+        )
         delta = {
             name: stats[name] - self._perf_base.get(name, 0)
-            for name in ("apply_hits", "apply_misses", "cache_clears")
+            for name in monotone
         }
         PERF.merge(delta, prefix="bdd")
-        self._perf_base = {name: stats[name] for name in delta}
+        self._perf_base = {name: stats[name] for name in monotone}
         return stats
 
     # -- variables ----------------------------------------------------------
@@ -105,7 +195,12 @@ class BDD:
         return len(self._names)
 
     def node_count(self) -> int:
-        return len(self._nodes)
+        """Live nodes (terminals included, freed slots excluded)."""
+        return len(self._nodes) - len(self._free)
+
+    def order(self) -> List[str]:
+        """The current variable order, root-most first."""
+        return list(self._names)
 
     # -- structure ----------------------------------------------------------
 
@@ -115,18 +210,264 @@ class BDD:
         key = (level, low, high)
         node = self._unique.get(key)
         if node is None:
-            node = len(self._nodes)
-            self._nodes.append(key)
+            free = self._free
+            if free:
+                node = free.pop()
+                self._nodes[node] = key
+            else:
+                node = len(self._nodes)
+                self._nodes.append(key)
             self._unique[key] = node
         return node
 
     def _triple(self, node: int) -> Tuple[int, int, int]:
         return self._nodes[node]
 
+    # -- garbage collection --------------------------------------------------
+
+    def pin(self, f: int) -> int:
+        """Protect ``f`` (and its cone) from :meth:`gc`; returns ``f``."""
+        if f > 1:
+            self._pins[f] = self._pins.get(f, 0) + 1
+        return f
+
+    def unpin(self, f: int) -> None:
+        """Drop one pin on ``f`` (pins nest)."""
+        if f > 1:
+            count = self._pins.get(f, 0) - 1
+            if count <= 0:
+                self._pins.pop(f, None)
+            else:
+                self._pins[f] = count
+
+    def gc(self, roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep over the pinned roots (plus ``roots``).
+
+        Returns the number of reclaimed nodes.  Every node id not
+        reachable from a pin or a passed root becomes invalid — callers
+        holding nodes across a collection must pin them.  All operation
+        caches are flushed (they may reference reclaimed ids).
+        """
+        reclaimed = self._collect(roots)
+        self.gc_collections += 1
+        self.gc_reclaimed += reclaimed
+        return reclaimed
+
+    def _collect(self, roots: Iterable[int] = ()) -> int:
+        nodes = self._nodes
+        stack = [r for r in self._pins if r > 1]
+        stack.extend(r for r in roots if r > 1)
+        marked = set()
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in marked:
+                continue
+            marked.add(n)
+            triple = nodes[n]
+            stack.append(triple[1])
+            stack.append(triple[2])
+        reclaimed = 0
+        free = self._free
+        unique = self._unique
+        for nid in range(2, len(nodes)):
+            triple = nodes[nid]
+            if triple is None or nid in marked:
+                continue
+            del unique[triple]
+            nodes[nid] = None
+            free.append(nid)
+            reclaimed += 1
+        if reclaimed:
+            self.clear_apply_cache()
+        return reclaimed
+
+    # -- dynamic variable ordering -------------------------------------------
+
+    def swap_adjacent(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Node ids keep denoting the same boolean functions — only the
+        internal structure and the two variables' levels change (the
+        standard in-place swap dynamic reordering is built on).  Caches
+        keyed by levels are flushed; ``ite`` results stay valid.
+        """
+        j = level + 1
+        if level < 0 or j >= len(self._names):
+            raise ValueError("no adjacent pair at level {}".format(level))
+        nodes = self._nodes
+        unique = self._unique
+        xs: List[int] = []
+        ys: List[int] = []
+        for nid in range(2, len(nodes)):
+            triple = nodes[nid]
+            if triple is None:
+                continue
+            if triple[0] == level:
+                xs.append(nid)
+            elif triple[0] == j:
+                ys.append(nid)
+        yset = set(ys)
+        for nid in xs:
+            del unique[nodes[nid]]
+        for nid in ys:
+            del unique[nodes[nid]]
+        # every y-node moves up to `level` (children are deeper than j+1,
+        # so the order invariant holds)
+        for nid in ys:
+            _, lo, hi = nodes[nid]
+            nodes[nid] = (level, lo, hi)
+            unique[(level, lo, hi)] = nid
+        # x-nodes independent of y just sink one level
+        dependent: List[int] = []
+        for nid in xs:
+            _, lo, hi = nodes[nid]
+            if lo in yset or hi in yset:
+                dependent.append(nid)
+            else:
+                nodes[nid] = (j, lo, hi)
+                unique[(j, lo, hi)] = nid
+        # x-nodes depending on y are rebuilt: n = x ? f1 : f0 with
+        # f_b = y ? f_b1 : f_b0 becomes n = y ? (x ? f11 : f01)
+        #                                    : (x ? f10 : f00)
+        for nid in dependent:
+            _, f0, f1 = nodes[nid]
+            if f0 in yset:
+                _, f00, f01 = nodes[f0]
+            else:
+                f00 = f01 = f0
+            if f1 in yset:
+                _, f10, f11 = nodes[f1]
+            else:
+                f10 = f11 = f1
+            new_low = self._mk(j, f00, f10)
+            new_high = self._mk(j, f01, f11)
+            nodes[nid] = (level, new_low, new_high)
+            unique[(level, new_low, new_high)] = nid
+        a, b = self._names[level], self._names[j]
+        self._names[level], self._names[j] = b, a
+        self._level_of[b] = level
+        self._level_of[a] = j
+        self._flush_level_keyed()
+        self.sift_swaps += 1
+
+    def _marked(self, roots: Iterable[int] = ()) -> Dict[int, int]:
+        """Level-width histogram of the nodes reachable from the pins
+        (plus ``roots``) — the live working set, excluding any garbage
+        the adjacent swaps may have shed."""
+        nodes = self._nodes
+        stack = [r for r in self._pins if r > 1]
+        stack.extend(r for r in roots if r > 1)
+        seen = set()
+        counts: Dict[int, int] = {}
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            level, low, high = nodes[n]
+            counts[level] = counts.get(level, 0) + 1
+            stack.append(low)
+            stack.append(high)
+        return counts
+
+    def sift(
+        self,
+        max_vars: Optional[int] = None,
+        max_growth: Optional[float] = None,
+        collect: bool = False,
+        roots: Iterable[int] = (),
+    ) -> int:
+        """One pass of Rudell's sifting; returns the live-size delta.
+
+        The ``max_vars`` widest levels are each moved through every
+        position via adjacent swaps and parked where the live size was
+        smallest; a direction is abandoned once the size exceeds
+        ``max_growth`` times the best seen.  Sizes are measured over the
+        cones reachable from the pinned roots (plus ``roots``), so the
+        garbage that swaps shed never skews the placement.
+
+        With ``collect=True`` the pass also garbage-collects around each
+        swap, keeping the table itself at the measured size — that frees
+        unpinned ids, so the :meth:`gc` pin contract applies.
+        ``collect=False`` (the automatic-trigger mode) never frees ids;
+        abandoned intermediates linger until the next explicit
+        collection.
+        """
+        roots = tuple(roots)
+        if len(self._names) <= 1:
+            return 0
+        self._op_depth += 1
+        try:
+            if collect:
+                self._collect(roots)
+
+            if collect:
+                def measure() -> int:
+                    self._collect(roots)
+                    return self.node_count()
+            else:
+                def measure() -> int:
+                    return sum(self._marked(roots).values())
+
+            before = measure()
+            limit = max_vars if max_vars is not None else self.sift_max_vars
+            growth = max_growth if max_growth is not None else self.sift_max_growth
+            counts = self._marked(roots)
+            widest = sorted(counts, key=lambda l: -counts[l])[:limit]
+            for name in [self._names[l] for l in widest]:
+                self._sift_one(name, growth, measure)
+            self.sift_passes += 1
+            after = measure()
+            self._next_sift_at = max(self.sift_watermark, 2 * self.node_count())
+            return after - before
+        finally:
+            self._op_depth -= 1
+
+    def _sift_one(self, name: str, max_growth: float, measure) -> None:
+        bottom = len(self._names) - 1
+        cur = self._level_of[name]
+        best = measure()
+        best_pos = cur
+        # sweep to the bottom, then all the way to the top, then settle
+        while cur < bottom:
+            self.swap_adjacent(cur)
+            cur += 1
+            size = measure()
+            if size < best:
+                best, best_pos = size, cur
+            elif size > best * max_growth:
+                break
+        while cur > 0:
+            self.swap_adjacent(cur - 1)
+            cur -= 1
+            size = measure()
+            if size < best:
+                best, best_pos = size, cur
+            elif size > best * max_growth and cur < best_pos:
+                break
+        while cur < best_pos:
+            self.swap_adjacent(cur)
+            cur += 1
+        while cur > best_pos:
+            self.swap_adjacent(cur - 1)
+            cur -= 1
+
+    def _maybe_sift(self, *operands: int) -> None:
+        """Watermark check at public-operation entry; the triggering
+        call's operands count as roots so their cones are measured (and,
+        never being freed here, stay valid)."""
+        if (
+            not self.sift_enabled
+            or self._op_depth != 0
+            or self.node_count() < self._next_sift_at
+        ):
+            return
+        self.sift(collect=False, roots=operands)
+
     # -- core operations ----------------------------------------------------
 
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f ? g : h`` — the universal connective."""
+    @staticmethod
+    def _ite_terminal(f: int, g: int, h: int) -> Optional[int]:
         if f == TRUE:
             return g
         if f == FALSE:
@@ -135,30 +476,79 @@ class BDD:
             return g
         if g == TRUE and h == FALSE:
             return f
-        key = ("ite", f, g, h)
-        hit = self._apply_cache.get(key)
-        if hit is not None:
-            self.apply_hits += 1
-            return hit
-        self.apply_misses += 1
-        lf, _, _ = self._triple(f)
-        lg = self._triple(g)[0] if g > 1 else 1 << 30
-        lh = self._triple(h)[0] if h > 1 else 1 << 30
-        top = min(lf, lg, lh)
+        return None
 
-        def cof(n: int, branch: int) -> int:
-            if n <= 1:
-                return n
-            level, low, high = self._triple(n)
-            if level != top:
-                return n
-            return high if branch else low
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` — the universal connective."""
+        out = self._ite_terminal(f, g, h)
+        if out is not None:
+            return out
+        if self._op_depth == 0:
+            self._maybe_sift(f, g, h)
+        self._op_depth += 1
+        try:
+            return self._ite(f, g, h)
+        finally:
+            self._op_depth -= 1
 
-        low = self.ite(cof(f, 0), cof(g, 0), cof(h, 0))
-        high = self.ite(cof(f, 1), cof(g, 1), cof(h, 1))
-        out = self._mk(top, low, high)
-        self._cache_store(key, out)
-        return out
+    def _ite(self, f: int, g: int, h: int) -> int:
+        nodes = self._nodes
+        cache = self._cache("ite")
+        terminal = self._ite_terminal
+        vals: List[int] = []
+        tasks: List[Tuple] = [(_CALL, f, g, h)]
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == _CALL:
+                _, f, g, h = frame
+                out = terminal(f, g, h)
+                if out is not None:
+                    vals.append(out)
+                    continue
+                key = (f, g, h)
+                hit = cache.get(key)
+                if hit is not None:
+                    self.apply_hits += 1
+                    vals.append(hit)
+                    continue
+                self.apply_misses += 1
+                lf = nodes[f][0]
+                lg = nodes[g][0] if g > 1 else _NO_LEVEL
+                lh = nodes[h][0] if h > 1 else _NO_LEVEL
+                top = lf if lf < lg else lg
+                if lh < top:
+                    top = lh
+                if lf == top:
+                    _, f0, f1 = nodes[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    _, g0, g1 = nodes[g]
+                else:
+                    g0 = g1 = g
+                if lh == top:
+                    _, h0, h1 = nodes[h]
+                else:
+                    h0 = h1 = h
+                tasks.append((_JOIN, key, top))
+                tasks.append((_CALL, f1, g1, h1))
+                tasks.append((_CALL, f0, g0, h0))
+            else:
+                _, key, top = frame
+                high = vals.pop()
+                low = vals[-1]
+                out = low if low == high else self._mk(top, low, high)
+                self._cache_store(cache, key, out)
+                vals[-1] = out
+        return vals[0]
+
+    def _and(self, f: int, g: int) -> int:
+        out = self._ite_terminal(f, g, FALSE)
+        return out if out is not None else self._ite(f, g, FALSE)
+
+    def _or(self, f: int, g: int) -> int:
+        out = self._ite_terminal(f, TRUE, g)
+        return out if out is not None else self._ite(f, TRUE, g)
 
     def NOT(self, f: int) -> int:
         return self.ite(f, FALSE, TRUE)
@@ -192,33 +582,172 @@ class BDD:
 
     def exists(self, names: Sequence[str], f: int) -> int:
         """∃ names . f"""
-        levels = sorted(self._level_of[n] for n in names)
-        return self._exists(tuple(levels), f)
+        if self._op_depth == 0:
+            self._maybe_sift(f)
+        levels = tuple(sorted(self._level_of[n] for n in names))
+        self._op_depth += 1
+        try:
+            return self._exists(levels, f)
+        finally:
+            self._op_depth -= 1
 
     def _exists(self, levels: Tuple[int, ...], f: int) -> int:
         if f <= 1 or not levels:
             return f
-        key = ("ex", levels, f)
-        hit = self._apply_cache.get(key)
-        if hit is not None:
-            self.apply_hits += 1
-            return hit
-        self.apply_misses += 1
-        level, low, high = self._triple(f)
-        remaining = tuple(l for l in levels if l >= level)
-        if not remaining:
-            out = f
-        elif level == remaining[0]:
-            rest = remaining[1:]
-            out = self.OR(self._exists(rest, low), self._exists(rest, high))
-        else:
-            out = self._mk(
-                level,
-                self._exists(remaining, low),
-                self._exists(remaining, high),
-            )
-        self._cache_store(key, out)
-        return out
+        nodes = self._nodes
+        cache = self._cache("exists")
+        vals: List[int] = []
+        tasks: List[Tuple] = [(_CALL, levels, f)]
+        while tasks:
+            frame = tasks.pop()
+            tag = frame[0]
+            if tag == _CALL:
+                _, levels, f = frame
+                if f <= 1:
+                    vals.append(f)
+                    continue
+                level = nodes[f][0]
+                i = 0
+                n_levels = len(levels)
+                while i < n_levels and levels[i] < level:
+                    i += 1
+                remaining = levels[i:] if i else levels
+                if not remaining:
+                    vals.append(f)
+                    continue
+                key = (remaining, f)
+                hit = cache.get(key)
+                if hit is not None:
+                    self.apply_hits += 1
+                    vals.append(hit)
+                    continue
+                self.apply_misses += 1
+                _, low, high = nodes[f]
+                if level == remaining[0]:
+                    rest = remaining[1:]
+                    tasks.append((_QLOW, key, rest, high))
+                    tasks.append((_CALL, rest, low))
+                else:
+                    tasks.append((_JOIN, key, level, False))
+                    tasks.append((_CALL, remaining, high))
+                    tasks.append((_CALL, remaining, low))
+            elif tag == _QLOW:
+                _, key, rest, high_node = frame
+                low = vals.pop()
+                if low == TRUE:
+                    # early exit: the disjunction is already saturated
+                    self._cache_store(cache, key, TRUE)
+                    vals.append(TRUE)
+                else:
+                    tasks.append((_JOIN, key, low, True))
+                    tasks.append((_CALL, rest, high_node))
+            else:
+                _, key, aux, quantified = frame
+                high = vals.pop()
+                if quantified:
+                    out = self._or(aux, high)
+                else:
+                    low = vals.pop()
+                    out = low if low == high else self._mk(aux, low, high)
+                self._cache_store(cache, key, out)
+                vals.append(out)
+        return vals[0]
+
+    def and_exists(self, names: Sequence[str], f: int, g: int) -> int:
+        """``∃ names . (f ∧ g)`` without materializing ``f ∧ g``.
+
+        The fused relational product: conjunction and quantification run
+        in one recursion, so the intermediate peak that ``AND`` followed
+        by ``exists`` would build never exists.  This is the primitive
+        partitioned image computation reduces to.
+        """
+        if self._op_depth == 0:
+            self._maybe_sift(f, g)
+        levels = tuple(sorted(self._level_of[n] for n in names))
+        self._op_depth += 1
+        try:
+            return self._and_exists(levels, f, g)
+        finally:
+            self._op_depth -= 1
+
+    def _and_exists(self, levels: Tuple[int, ...], f: int, g: int) -> int:
+        nodes = self._nodes
+        cache = self._cache("and_exists")
+        vals: List[int] = []
+        tasks: List[Tuple] = [(_CALL, levels, f, g)]
+        while tasks:
+            frame = tasks.pop()
+            tag = frame[0]
+            if tag == _CALL:
+                _, levels, f, g = frame
+                if f == FALSE or g == FALSE:
+                    vals.append(FALSE)
+                    continue
+                if f == TRUE:
+                    vals.append(self._exists(levels, g))
+                    continue
+                if g == TRUE or f == g:
+                    vals.append(self._exists(levels, f))
+                    continue
+                if not levels:
+                    vals.append(self._and(f, g))
+                    continue
+                if g < f:
+                    f, g = g, f
+                lf = nodes[f][0]
+                lg = nodes[g][0]
+                top = lf if lf < lg else lg
+                i = 0
+                n_levels = len(levels)
+                while i < n_levels and levels[i] < top:
+                    i += 1
+                remaining = levels[i:] if i else levels
+                if not remaining:
+                    vals.append(self._and(f, g))
+                    continue
+                key = (remaining, f, g)
+                hit = cache.get(key)
+                if hit is not None:
+                    self.apply_hits += 1
+                    vals.append(hit)
+                    continue
+                self.apply_misses += 1
+                if lf == top:
+                    _, f0, f1 = nodes[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    _, g0, g1 = nodes[g]
+                else:
+                    g0 = g1 = g
+                if top == remaining[0]:
+                    rest = remaining[1:]
+                    tasks.append((_QLOW, key, rest, f1, g1))
+                    tasks.append((_CALL, rest, f0, g0))
+                else:
+                    tasks.append((_JOIN, key, top, False))
+                    tasks.append((_CALL, remaining, f1, g1))
+                    tasks.append((_CALL, remaining, f0, g0))
+            elif tag == _QLOW:
+                _, key, rest, f1, g1 = frame
+                low = vals.pop()
+                if low == TRUE:
+                    self._cache_store(cache, key, TRUE)
+                    vals.append(TRUE)
+                else:
+                    tasks.append((_JOIN, key, low, True))
+                    tasks.append((_CALL, rest, f1, g1))
+            else:
+                _, key, aux, quantified = frame
+                high = vals.pop()
+                if quantified:
+                    out = self._or(aux, high)
+                else:
+                    low = vals.pop()
+                    out = low if low == high else self._mk(aux, low, high)
+                self._cache_store(cache, key, out)
+                vals.append(out)
+        return vals[0]
 
     def rename(self, mapping: Dict[str, str], f: int) -> int:
         """Substitute variables by variables (e.g. next-state -> state).
@@ -228,43 +757,91 @@ class BDD:
         """
         if not mapping:
             return f
-        pairs = {self._level_of[a]: self.variable(b) for a, b in mapping.items()}
-        cache: Dict[int, int] = {}
-
-        def walk(n: int) -> int:
-            if n <= 1:
-                return n
-            hit = cache.get(n)
-            if hit is not None:
-                return hit
-            level, low, high = self._triple(n)
-            var = pairs.get(level, self._mk(level, FALSE, TRUE))
-            out = self.ite(var, walk(high), walk(low))
-            cache[n] = out
-            return out
-
-        return walk(f)
+        if self._op_depth == 0:
+            self._maybe_sift(f)
+        self._op_depth += 1
+        try:
+            pairs = {
+                self._level_of[a]: self.variable(b) for a, b in mapping.items()
+            }
+            nodes = self._nodes
+            cache: Dict[int, int] = {}
+            vals: List[int] = []
+            tasks: List[Tuple] = [(_CALL, f)]
+            while tasks:
+                frame = tasks.pop()
+                if frame[0] == _CALL:
+                    n = frame[1]
+                    if n <= 1:
+                        vals.append(n)
+                        continue
+                    hit = cache.get(n)
+                    if hit is not None:
+                        vals.append(hit)
+                        continue
+                    level, low, high = nodes[n]
+                    tasks.append((_JOIN, n, level))
+                    tasks.append((_CALL, high))
+                    tasks.append((_CALL, low))
+                else:
+                    _, n, level = frame
+                    high = vals.pop()
+                    low = vals.pop()
+                    var = pairs.get(level)
+                    if var is None:
+                        var = self._mk(level, FALSE, TRUE)
+                    out = self._ite_terminal(var, high, low)
+                    if out is None:
+                        out = self._ite(var, high, low)
+                    cache[n] = out
+                    vals.append(out)
+            return vals[0]
+        finally:
+            self._op_depth -= 1
 
     def restrict(self, assignment: Dict[str, bool], f: int) -> int:
         """Partial evaluation: fix some variables to constants."""
-        fixed = {self._level_of[n]: v for n, v in assignment.items()}
-        cache: Dict[int, int] = {}
-
-        def walk(n: int) -> int:
-            if n <= 1:
-                return n
-            hit = cache.get(n)
-            if hit is not None:
-                return hit
-            level, low, high = self._triple(n)
-            if level in fixed:
-                out = walk(high if fixed[level] else low)
-            else:
-                out = self._mk(level, walk(low), walk(high))
-            cache[n] = out
-            return out
-
-        return walk(f)
+        if self._op_depth == 0:
+            self._maybe_sift(f)
+        self._op_depth += 1
+        try:
+            fixed = {self._level_of[n]: v for n, v in assignment.items()}
+            nodes = self._nodes
+            cache: Dict[int, int] = {}
+            vals: List[int] = []
+            tasks: List[Tuple] = [(_CALL, f)]
+            while tasks:
+                frame = tasks.pop()
+                tag = frame[0]
+                if tag == _CALL:
+                    n = frame[1]
+                    if n <= 1:
+                        vals.append(n)
+                        continue
+                    hit = cache.get(n)
+                    if hit is not None:
+                        vals.append(hit)
+                        continue
+                    level, low, high = nodes[n]
+                    if level in fixed:
+                        tasks.append((_FIX, n))
+                        tasks.append((_CALL, high if fixed[level] else low))
+                    else:
+                        tasks.append((_JOIN, n, level))
+                        tasks.append((_CALL, high))
+                        tasks.append((_CALL, low))
+                elif tag == _FIX:
+                    cache[frame[1]] = vals[-1]
+                else:
+                    _, n, level = frame
+                    high = vals.pop()
+                    low = vals.pop()
+                    out = low if low == high else self._mk(level, low, high)
+                    cache[n] = out
+                    vals.append(out)
+            return vals[0]
+        finally:
+            self._op_depth -= 1
 
     # -- inspection ----------------------------------------------------------
 
@@ -275,7 +852,7 @@ class BDD:
         out: Dict[str, bool] = {}
         node = f
         while node > 1:
-            level, low, high = self._triple(node)
+            level, low, high = self._nodes[node]
             if high != FALSE:
                 out[self._names[level]] = True
                 node = high
@@ -285,27 +862,49 @@ class BDD:
         return out
 
     def sat_count(self, f: int, n_vars: Optional[int] = None) -> int:
-        """Number of satisfying assignments over ``n_vars`` variables."""
+        """Number of satisfying assignments over ``n_vars`` variables.
+
+        ``n_vars=None`` counts over *every variable registered with the
+        manager at call time* — a count taken before registering further
+        variables halves relative to one taken after, so callers that
+        compare counts should pass ``n_vars`` explicitly (``state_count``
+        in the symbolic checker does).
+        """
         if n_vars is None:
             n_vars = len(self._names)
-        cache: Dict[int, int] = {}
-
-        def walk(node: int) -> Tuple[int, int]:
-            # returns (count, level) where count covers vars below `level`
-            if node == FALSE:
-                return 0, n_vars
-            if node == TRUE:
-                return 1, n_vars
-            if node in cache:
-                return cache[node]
-            level, low, high = self._triple(node)
-            cl, ll = walk(low)
-            ch, lh = walk(high)
-            count = cl * (1 << (ll - level - 1)) + ch * (1 << (lh - level - 1))
-            cache[node] = (count, level)
-            return count, level
-
-        count, level = walk(f)
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << n_vars
+        nodes = self._nodes
+        # cache: node -> (count over vars below its level, level)
+        cache: Dict[int, Tuple[int, int]] = {}
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in cache:
+                continue
+            level, low, high = nodes[n]
+            missing = False
+            if low > 1 and low not in cache:
+                if not missing:
+                    stack.append(n)
+                    missing = True
+                stack.append(low)
+            if high > 1 and high not in cache:
+                if not missing:
+                    stack.append(n)
+                    missing = True
+                stack.append(high)
+            if missing:
+                continue
+            cl, ll = cache[low] if low > 1 else (low, n_vars)
+            ch, lh = cache[high] if high > 1 else (high, n_vars)
+            cache[n] = (
+                cl * (1 << (ll - level - 1)) + ch * (1 << (lh - level - 1)),
+                level,
+            )
+        count, level = cache[f]
         return count * (1 << level)
 
     def support(self, f: int) -> frozenset:
@@ -318,7 +917,7 @@ class BDD:
             if n <= 1 or n in seen:
                 continue
             seen.add(n)
-            level, low, high = self._triple(n)
+            level, low, high = self._nodes[n]
             out.add(self._names[level])
             stack.append(low)
             stack.append(high)

@@ -23,6 +23,20 @@ transition relation over the ``pre`` memories.  Environments are the
 same input alphabets the explicit backend uses (encoded as a disjunction
 of letters), so the two backends are directly comparable — tested.
 
+Partitioned image computation
+-----------------------------
+
+By default ``R`` is *never* conjoined into one monolithic BDD.  The
+per-equation conjuncts are kept as a partitioned transition relation,
+ordered by support, and the image ``∃ m, signals . (frontier ∧ R)`` is
+computed as a chain of fused :meth:`repro.mc.bdd.BDD.and_exists`
+relational products with an *early quantification* schedule: each
+variable is quantified out at the conjunct where its support dies, so
+the intermediate products stay small and the monolithic peak never
+materializes.  ``partitioned=False`` restores the monolithic path (the
+two provably compute the identical reachable-set BDD — hash consing
+makes that checkable by node-id equality, and the test suite does).
+
 Semantic note: a constant operand is context-clocked ("chameleon"), so
 the relation for e.g. ``y default 0`` leaves the result's presence free
 above ``p_y``.  The symbolic backend therefore explores *every*
@@ -62,12 +76,20 @@ class SymbolicChecker:
     explicit backend's input alphabets: a list of input maps, each map
     naming the present inputs (events/booleans) and their values.
     Without it, inputs are free.
+
+    ``partitioned`` selects the image strategy (see module docstring);
+    ``sift`` enables the BDD manager's dynamic variable reordering on
+    top of the dataflow seed order.  Every BDD the checker retains
+    (relation parts, reachability rings, cached fixpoints) is pinned, so
+    callers may invoke :meth:`repro.mc.bdd.BDD.gc` between queries.
     """
 
     def __init__(
         self,
         design,
         alphabet: Optional[Sequence[Dict[str, object]]] = None,
+        partitioned: bool = True,
+        sift: bool = False,
     ):
         comp = flatten_program(design) if isinstance(design, Program) else design
         for name, ty in comp.signals().items():
@@ -78,7 +100,8 @@ class SymbolicChecker:
                 )
         comp = normalize_component(comp, lower_clocks=False, to_core=True)
         self.component = comp
-        self.bdd = BDD()
+        self.bdd = BDD(sift=sift)
+        self.partitioned = partitioned
         self._types = comp.signals()
 
         # Variable order drives BDD size.  Register variables in *dataflow
@@ -111,11 +134,11 @@ class SymbolicChecker:
                     self.bdd.variable(slot + "'")
             reg_signal(st.target)
 
-        self.relation = self._build_relation()
+        self.parts = self._build_parts()
         if alphabet is not None:
-            self.relation = self.bdd.AND(
-                self.relation, self._encode_alphabet(alphabet)
-            )
+            self.parts.append(self._encode_alphabet(alphabet))
+        for part in self.parts:
+            self.bdd.pin(part)
         self._non_state = [
             v
             for s in self._signals
@@ -124,8 +147,13 @@ class SymbolicChecker:
         self._state_vars = [slot for _, slot in self._pre_slots]
         self._rename_back = {slot + "'": slot for slot in self._state_vars}
         self.iterations = 0
+        self.peak_nodes = 0
         self._rings: List[int] = []
         self._reached: Optional[int] = None
+        self._transition: Optional[int] = None
+        self._relation: Optional[int] = None
+        self._ordered: Optional[List[int]] = None
+        self._plans: Dict[Tuple[str, ...], List[Tuple[int, Tuple[str, ...]]]] = {}
 
     # -- encoding -------------------------------------------------------------
 
@@ -145,7 +173,8 @@ class SymbolicChecker:
             return None, TRUE if expr.value else FALSE
         raise VerificationError("not in core form: {!r}".format(expr))
 
-    def _build_relation(self) -> int:
+    def _build_parts(self) -> List[int]:
+        """The reaction relation as per-equation conjuncts (not conjoined)."""
         bdd = self.bdd
         slot_of = {id(node): slot for node, slot in self._pre_slots}
         parts: List[int] = []
@@ -224,7 +253,7 @@ class SymbolicChecker:
                 parts.append(bdd.IMPLIES(p_x, bdd.IFF(v_x, value)))
                 continue
             raise VerificationError("cannot encode {!r}".format(rhs))
-        return self.bdd.AND(*parts)
+        return parts
 
     def _apply_op(self, op: str, values: List[int]) -> int:
         bdd = self.bdd
@@ -262,6 +291,137 @@ class SymbolicChecker:
             letters.append(bdd.AND(*conj))
         return bdd.OR(*letters)
 
+    # -- partitioned relation ---------------------------------------------------
+
+    @property
+    def relation(self) -> int:
+        """The monolithic reaction relation ``R`` (conjoined on demand).
+
+        Partitioned operation never needs this; it exists for the
+        monolithic path and for external inspection, and is cached."""
+        if self._relation is None:
+            self._relation = self.bdd.pin(self.bdd.AND(*self.parts))
+        return self._relation
+
+    #: greedy clustering bound: adjacent conjuncts are merged while their
+    #: product stays under this many BDD nodes (classic partitioned-TR
+    #: clustering — shorter chains, earlier deaths; swept empirically on
+    #: the A6/A8 chain-FIFO family, where 250 beats 1000 by ~2x)
+    CLUSTER_LIMIT = 250
+
+    def _ordered_parts(self) -> List[int]:
+        """The partition as ordered clusters of conjuncts.
+
+        Per-equation conjuncts are sorted by support (top-most variable
+        first, i.e. dataflow order) and then greedily merged while the
+        merged product stays small (:data:`CLUSTER_LIMIT` nodes).  This
+        is the conjunction schedule early quantification is planned
+        over; it is computed once, against the registration-order
+        levels, and every cluster is pinned."""
+        if self._ordered is None:
+            bdd = self.bdd
+
+            def key(item):
+                index, part = item
+                levels = sorted(bdd.level(n) for n in bdd.support(part))
+                return (levels or [len(self._signals) * 2], index)
+
+            ordered = [
+                part
+                for _, part in sorted(enumerate(self.parts), key=key)
+            ]
+            clusters: List[int] = []
+            for part in ordered:
+                if clusters:
+                    merged = bdd.AND(clusters[-1], part)
+                    if self._bdd_size(merged) <= self.CLUSTER_LIMIT:
+                        bdd.unpin(clusters[-1])
+                        clusters[-1] = bdd.pin(merged)
+                        continue
+                clusters.append(bdd.pin(part))
+            self._ordered = clusters
+        return self._ordered
+
+    def _bdd_size(self, f: int) -> int:
+        """Node count of one BDD's cone (for the clustering bound)."""
+        seen = set()
+        stack = [f]
+        nodes = self.bdd._nodes
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            _, low, high = nodes[n]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    def _product_plan(
+        self, quantify: Sequence[str]
+    ) -> List[Tuple[int, Tuple[str, ...]]]:
+        """Early-quantification schedule for ``∃ quantify . (seed ∧ ΠR_i)``.
+
+        Pairs each ordered conjunct with the quantified variables whose
+        support *dies* there — the variables mentioned by no later
+        conjunct, which the fused ``and_exists`` can therefore remove as
+        soon as that conjunct is multiplied in."""
+        cache_key = tuple(quantify)
+        plan = self._plans.get(cache_key)
+        if plan is not None:
+            return plan
+        parts = self._ordered_parts()
+        supports = [self.bdd.support(p) for p in parts]
+        last_mention: Dict[str, int] = {}
+        for i, support in enumerate(supports):
+            for name in support:
+                last_mention[name] = i
+        dying: List[List[str]] = [[] for _ in parts]
+        for name in quantify:
+            i = last_mention.get(name)
+            if i is not None:
+                dying[i].append(name)
+        plan = [(part, tuple(d)) for part, d in zip(parts, dying)]
+        self._plans[cache_key] = plan
+        return plan
+
+    def _note_peak(self) -> None:
+        nodes = self.bdd.node_count()
+        if nodes > self.peak_nodes:
+            self.peak_nodes = nodes
+
+    def _fold(self, seed: int, quantify: Sequence[str]) -> int:
+        """``∃ quantify . (seed ∧ R)`` as a chain of fused relational
+        products over the ordered partition (early quantification)."""
+        bdd = self.bdd
+        cur = seed
+        scheduled = set()
+        for part, dying in self._product_plan(quantify):
+            scheduled.update(dying)
+            cur = bdd.and_exists(dying, cur, part)
+            self._note_peak()
+            if cur == FALSE:
+                return FALSE
+        leftover = [n for n in quantify if n not in scheduled]
+        if leftover:
+            cur = bdd.exists(leftover, cur)
+        return cur
+
+    def _image(self, frontier: int) -> int:
+        """``∃ m, signals . (frontier ∧ R)`` renamed back to ``m`` vars."""
+        img = self._fold(frontier, self._non_state + self._state_vars)
+        return self.bdd.rename(self._rename_back, img)
+
+    def _relation_product(self, seed: int, quantify: Sequence[str] = ()) -> int:
+        """``∃ quantify . (seed ∧ R)`` without materializing ``R`` in
+        partitioned mode; ``quantify`` must not intersect the support of
+        any later use of the result."""
+        bdd = self.bdd
+        if not self.partitioned:
+            out = bdd.AND(self.relation, seed)
+            return bdd.exists(quantify, out) if quantify else out
+        return self._fold(seed, quantify)
+
     # -- reachability ----------------------------------------------------------
 
     def initial_states(self) -> int:
@@ -273,9 +433,18 @@ class SymbolicChecker:
         return bdd.AND(*conj)
 
     def transition(self) -> int:
-        """``T(m, m') = ∃ signals . R`` — computed once and cached."""
-        if getattr(self, "_transition", None) is None:
-            self._transition = self.bdd.exists(self._non_state, self.relation)
+        """``T(m, m') = ∃ signals . R`` — computed once and cached.
+
+        In partitioned mode the quantification is folded through the
+        conjunct chain (early quantification); monolithic mode quantifies
+        the one-piece relation."""
+        if self._transition is None:
+            bdd = self.bdd
+            if self.partitioned:
+                self._transition = self._fold(TRUE, self._non_state)
+            else:
+                self._transition = bdd.exists(self._non_state, self.relation)
+            bdd.pin(self._transition)
         return self._transition
 
     def reachable_states(self) -> int:
@@ -283,22 +452,27 @@ class SymbolicChecker:
         if self._reached is not None:
             return self._reached
         bdd = self.bdd
-        trans = self.transition()
+        trans = None if self.partitioned else self.transition()
         frontier = self.initial_states()
         reached = frontier
-        self._rings = [frontier]
+        self._rings = [bdd.pin(frontier)]
         while frontier != FALSE:
             self.iterations += 1
-            step = bdd.AND(trans, frontier)
-            img = bdd.exists(self._state_vars, step)
-            img = bdd.rename(self._rename_back, img)
+            if self.partitioned:
+                img = self._image(frontier)
+            else:
+                step = bdd.AND(trans, frontier)
+                self._note_peak()
+                img = bdd.exists(self._state_vars, step)
+                img = bdd.rename(self._rename_back, img)
+                self._note_peak()
             new = bdd.AND(img, bdd.NOT(reached))
             if new == FALSE:
                 break
             reached = bdd.OR(reached, new)
             frontier = new
-            self._rings.append(new)
-        self._reached = reached
+            self._rings.append(bdd.pin(new))
+        self._reached = bdd.pin(reached)
         return reached
 
     def state_count(self) -> int:
@@ -316,7 +490,14 @@ class SymbolicChecker:
     def reachable(self, condition: int) -> bool:
         """Is some reaction satisfying ``condition`` (a BDD over p:/v:
         variables) enabled from a reachable state?"""
-        hit = self.bdd.AND(self.relation, self.reachable_states(), condition)
+        every = (
+            self._non_state
+            + self._state_vars
+            + [s + "'" for s in self._state_vars]
+        )
+        hit = self._relation_product(
+            self.bdd.AND(self.reachable_states(), condition), every
+        )
         return hit != FALSE
 
     def presence(self, signal: str) -> int:
@@ -328,10 +509,24 @@ class SymbolicChecker:
         bad = self.presence(signal)
         self.reachable_states()
         bdd = self.bdd
+        # The reconstruction only reads input presences/values and the
+        # current memory out of each satisfying assignment, so everything
+        # else (internal signals, next-state slots) is quantified inside
+        # the fused product — the constraints still apply, the
+        # intermediate BDDs stay small.
+        keep = set()
+        for name in self.component.inputs:
+            keep.add("p:" + name)
+            if self._types[name] is BOOL:
+                keep.add("v:" + name)
+        hidden = [v for v in self._non_state if v not in keep]
+        hidden += [s + "'" for s in self._state_vars]
         # find the earliest ring from which a bad reaction fires
         hit_ring = None
+        final = FALSE
         for k, ring in enumerate(self._rings):
-            if bdd.AND(self.relation, ring, bad) != FALSE:
+            final = self._relation_product(bdd.AND(ring, bad), hidden)
+            if final != FALSE:
                 hit_ring = k
                 break
         if hit_ring is None:
@@ -339,16 +534,14 @@ class SymbolicChecker:
         # walk backward: pick a bad state in ring k, then predecessors
         inputs: List[Dict[str, object]] = []
         # choose the final (bad) reaction
-        final = bdd.AND(self.relation, self._rings[hit_ring], bad)
         assignment = bdd.any_sat(final)
         state = self._state_of(assignment)
         inputs.append(self._letter_of(assignment))
         # reconstruct the stem
         for k in range(hit_ring, 0, -1):
-            prev = bdd.AND(
-                self.relation,
-                self._rings[k - 1],
-                self._next_state_bdd(state),
+            prev = self._relation_product(
+                bdd.AND(self._rings[k - 1], self._next_state_bdd(state)),
+                hidden,
             )
             assignment = bdd.any_sat(prev)
             if assignment is None:

@@ -10,8 +10,13 @@ counters and wall-time phases so benchmark deltas are attributable:
   the residual worklist are ``residual_passes``);
 - ``mc.reactions`` / ``mc.memo_hits`` / ``mc.memo_misses`` — explicit
   model-checker work and reaction-memo effectiveness;
-- ``bdd.apply_hits`` / ``bdd.apply_misses`` / ``bdd.cache_clears`` —
-  apply-cache behaviour of the symbolic backend;
+- ``bdd.apply_hits`` / ``bdd.apply_misses`` / ``bdd.cache_clears`` /
+  ``bdd.gc_collections`` / ``bdd.gc_reclaimed`` / ``bdd.sift_passes`` /
+  ``bdd.sift_swaps`` — cache, garbage-collection and dynamic-reordering
+  behaviour of the symbolic backend (folded in by
+  :meth:`repro.mc.bdd.BDD.cache_stats`);
+- ``sweep.runs`` / ``sweep.tasks`` — work dispatched through the shared
+  sweep executor (:mod:`repro.perf.sweep`);
 - ``faults.injected`` / ``faults.drops`` / ``faults.duplicates`` /
   ``faults.reorders`` / ``faults.corrupts`` / ``faults.stalls`` /
   ``faults.soaks`` / ``faults.divergent_signals`` — fault-injection
@@ -21,8 +26,11 @@ counters and wall-time phases so benchmark deltas are attributable:
 
 Hot loops keep their own local integers and merge once per call
 (:meth:`PerfCounters.merge`), so instrumentation stays off the per-node
-fast paths.  Counters from worker processes (``compile_lts(workers=N)``)
-are *not* aggregated — only the coordinating process records.
+fast paths.  Counters from worker processes spawned directly (e.g.
+``compile_lts(workers=N)``) are *not* aggregated — only the
+coordinating process records; sweeps routed through
+:func:`repro.perf.sweep.sweep` *do* merge their workers' per-task
+deltas back into the coordinator.
 """
 
 from __future__ import annotations

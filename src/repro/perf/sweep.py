@@ -1,0 +1,183 @@
+"""Shared sweep executor for multi-point experiments.
+
+Every experiment in this repo that walks a parameter grid — capacity
+sweeps in :func:`repro.desync.verification.verified_buffer_sizes`, the
+rate/burst/drop/jitter scenario sweeps of
+:mod:`repro.workloads.scenarios`, the benchmark grids under
+``benchmarks/`` — used to hand-roll the same loop.  :func:`sweep` is
+that loop, once: it runs one function over a list of points, optionally
+across a process pool, and returns per-point values, wall times and
+perf-counter deltas in **submission order** regardless of completion
+order or worker count.  A deterministic task function therefore yields
+byte-identical results at any ``workers`` setting (benchmarked by A8).
+
+Counter aggregation: each task's :data:`repro.perf.PERF` activity is
+captured as a delta (worker processes reset their registry per task; the
+sequential path diffs snapshots) and attached to its
+:class:`TaskResult`.  Parallel deltas are folded back into the
+coordinator's registry, so ``PERF`` reads the same whether a sweep ran
+on one core or sixteen — closing the "worker counters are not
+aggregated" gap the compiler's ad-hoc pool had.
+
+Requirements for ``workers > 1``: ``fn`` must be a module-level function
+and ``items`` (plus the optional ``shared`` context, sent once per
+worker) must pickle.  Lambdas and closures still work sequentially.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.perf import PERF
+
+
+class TaskResult(NamedTuple):
+    """One sweep point: its position, return value, wall time, and the
+    perf-counter delta its execution produced."""
+
+    index: int
+    value: Any
+    seconds: float
+    counters: Dict[str, Any]
+
+
+class SweepReport(NamedTuple):
+    """Everything a sweep run produced, in submission order."""
+
+    results: Tuple[TaskResult, ...]
+    seconds: float
+    workers: int
+
+    def values(self) -> List[Any]:
+        """Task return values, in submission order."""
+        return [r.value for r in self.results]
+
+    def totals(self) -> Dict[str, Any]:
+        """Per-task counters summed across the sweep."""
+        out: Dict[str, Any] = {}
+        for r in self.results:
+            for key, val in r.counters.items():
+                prev = out.get(key, 0)
+                out[key] = round(prev + val, 6) if isinstance(val, float) else prev + val
+        return out
+
+
+class _NoShared:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<no shared context>"
+
+
+_NO_SHARED = _NoShared()
+
+# worker-process state, installed by the pool initializer
+_worker_fn: Optional[Callable] = None
+_worker_shared: Any = _NO_SHARED
+
+
+def _init_worker(fn: Callable, shared: Any, has_shared: bool) -> None:
+    global _worker_fn, _worker_shared
+    _worker_fn = fn
+    _worker_shared = shared if has_shared else _NO_SHARED
+
+
+def _call(fn: Callable, shared: Any, item: Any) -> Any:
+    if shared is not _NO_SHARED:
+        return fn(shared, item)
+    return fn(item)
+
+
+def _run_task(index: int, item: Any) -> TaskResult:
+    """Executed in a worker: run one point with a clean counter registry
+    so its snapshot is exactly this task's delta."""
+    PERF.reset()
+    t0 = time.perf_counter()
+    value = _call(_worker_fn, _worker_shared, item)
+    seconds = time.perf_counter() - t0
+    return TaskResult(index, value, seconds, PERF.snapshot())
+
+
+def _snapshot_delta(
+    after: Dict[str, Any], before: Dict[str, Any]
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, val in after.items():
+        delta = val - before.get(key, 0)
+        if delta:
+            out[key] = round(delta, 6) if isinstance(delta, float) else delta
+    return out
+
+
+def _merge_back(counters: Dict[str, Any]) -> None:
+    """Fold a worker's per-task delta into the coordinator's registry."""
+    PERF.merge({k: v for k, v in counters.items() if isinstance(v, int)})
+    for key, val in counters.items():
+        if key.startswith("time.") and isinstance(val, float):
+            PERF.add_time(key[len("time."):], val)
+
+
+def sweep(
+    fn: Callable,
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+    shared: Any = _NO_SHARED,
+) -> SweepReport:
+    """Run ``fn`` over every item; return a :class:`SweepReport`.
+
+    ``fn(item)`` — or ``fn(shared, item)`` when a ``shared`` context is
+    given — is called once per point.  ``workers=None`` (or ``<= 1``)
+    runs sequentially in-process; larger values fan out over a
+    ``ProcessPoolExecutor`` with ``shared`` shipped once per worker via
+    the pool initializer.  Results always come back in submission
+    order, and each worker's perf-counter deltas are merged into the
+    coordinating process's :data:`repro.perf.PERF`.
+    """
+    points = list(items)
+    has_shared = shared is not _NO_SHARED
+    n_workers = 1 if workers is None else max(1, min(workers, len(points) or 1))
+    t0 = time.perf_counter()
+    results: List[TaskResult] = []
+    if n_workers <= 1:
+        for index, item in enumerate(points):
+            before = PERF.snapshot()
+            t_task = time.perf_counter()
+            value = _call(fn, shared, item)
+            seconds = time.perf_counter() - t_task
+            results.append(
+                TaskResult(
+                    index,
+                    value,
+                    seconds,
+                    _snapshot_delta(PERF.snapshot(), before),
+                )
+            )
+    else:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(fn, shared if has_shared else None, has_shared),
+        ) as pool:
+            futures = [
+                pool.submit(_run_task, index, item)
+                for index, item in enumerate(points)
+            ]
+            # collecting in submission order makes the report (and any
+            # fold over it) independent of completion order
+            results = [f.result() for f in futures]
+        for r in results:
+            _merge_back(r.counters)
+    total = time.perf_counter() - t0
+    PERF.incr("sweep.runs")
+    PERF.incr("sweep.tasks", len(results))
+    PERF.add_time("sweep.run", total)
+    return SweepReport(tuple(results), total, n_workers)

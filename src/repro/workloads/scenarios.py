@@ -1,10 +1,28 @@
-"""Concrete workload scenarios for the producer/consumer designs."""
+"""Concrete workload scenarios for the producer/consumer designs.
+
+Workloads carry generator-producing closures, which do not pickle; the
+*spec* layer at the bottom of this module (``{"kind": ..., **params}``
+dicts, :func:`workload_from_spec`, :class:`FaultScenarioSpec`,
+:func:`soak_sweep`) is the picklable description of the same scenarios,
+so sweeps can fan out across processes via
+:func:`repro.perf.sweep.sweep` and rebuild each workload inside the
+worker."""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+)
 
 from repro.gals import schedules
+from repro.perf.sweep import SweepReport, sweep
 from repro.sim import stimuli
 
 
@@ -131,6 +149,35 @@ def adversarial(
     )
 
 
+def single_burst(
+    burst: int = 10,
+    intra: float = 0.1,
+    gap: float = 1000.0,
+    drain_period: float = 1.0,
+    producer_node: str = "P",
+    consumer_node: str = "Q",
+) -> Workload:
+    """One backlog-building burst with full drain slack.
+
+    Duplication and reordering need queued items to act on, and every
+    item must still land inside the horizon — this is the canonical
+    environment for classifying those fault kinds (experiment A7)."""
+
+    def scheds():
+        return {
+            producer_node: schedules.bursty(burst=burst, intra=intra, gap=gap),
+            consumer_node: schedules.periodic(drain_period, phase=0.5),
+        }
+
+    return Workload(
+        "single_burst(b={}, drain={:g})".format(burst, drain_period),
+        lambda: iter(()),
+        scheds,
+        {"burst": burst, "intra": intra, "gap": gap,
+         "drain_period": drain_period},
+    )
+
+
 def rate_mismatch_sweep(
     reader_periods: Iterable[int] = (1, 2, 3, 4),
     producer_period: int = 1,
@@ -190,19 +237,8 @@ def fault_kind_matrix(
     all on the same workload so divergence classes are attributable to a
     single fault dimension.
     """
-    from repro.faults.spec import uniform_plan
-
     wl = workload or steady()
-    kinds = [
-        ("clean", uniform_plan(seed=seed)),
-        ("drop", uniform_plan(seed=seed, drop=rate)),
-        ("duplicate", uniform_plan(seed=seed, duplicate=rate)),
-        ("reorder", uniform_plan(seed=seed, reorder=rate, window=3)),
-        ("jitter", uniform_plan(seed=seed, jitter=3.0)),
-        ("corrupt", uniform_plan(seed=seed, corrupt=rate)),
-        ("stall", uniform_plan(seed=seed, stall=rate, stall_period=2.0)),
-    ]
-    return [FaultScenario(name, wl, plan) for name, plan in kinds]
+    return [s.build()._replace(workload=wl) for s in fault_kind_specs(seed, rate)]
 
 
 def drop_sweep(
@@ -211,15 +247,8 @@ def drop_sweep(
     workload: Optional[Workload] = None,
 ) -> List[FaultScenario]:
     """Increasing channel loss on a steady workload (fault dose-response)."""
-    from repro.faults.spec import uniform_plan
-
     wl = workload or steady()
-    return [
-        FaultScenario(
-            "drop={:g}".format(rate), wl, uniform_plan(seed=seed, drop=rate)
-        )
-        for rate in rates
-    ]
+    return [s.build()._replace(workload=wl) for s in drop_sweep_specs(rates, seed)]
 
 
 def jitter_sweep(
@@ -229,12 +258,139 @@ def jitter_sweep(
 ) -> List[FaultScenario]:
     """Growing latency jitter — the regime where the Section 5.2 buffer
     estimates inflate (compare with :func:`repro.faults.soak.capacity_inflation`)."""
-    from repro.faults.spec import uniform_plan
-
     wl = workload or bursty_producer()
     return [
-        FaultScenario(
-            "jitter={:g}".format(j), wl, uniform_plan(seed=seed, jitter=j)
+        s.build()._replace(workload=wl) for s in jitter_sweep_specs(jitters, seed)
+    ]
+
+
+# -- picklable specs + the parallel soak sweep --------------------------------
+
+
+#: workload spec ``kind`` -> factory; a spec is the factory's kwargs plus
+#: the ``kind`` key, and rebuilds the workload on the far side of a pickle
+WORKLOAD_KINDS: Dict[str, Callable[..., Workload]] = {
+    "steady": steady,
+    "bursty": bursty_producer,
+    "adversarial": adversarial,
+    "single_burst": single_burst,
+}
+
+
+def workload_from_spec(spec: Dict[str, Any]) -> Workload:
+    """Rebuild a workload from its ``{"kind": ..., **params}`` spec."""
+    params = dict(spec)
+    kind = params.pop("kind")
+    return WORKLOAD_KINDS[kind](**params)
+
+
+class FaultScenarioSpec(NamedTuple):
+    """A :class:`FaultScenario` in transportable form: the workload as a
+    spec dict, the plan as-is (fault plans pickle), plus an optional
+    per-scenario horizon override for :func:`soak_sweep`."""
+
+    name: str
+    workload: Dict[str, Any]
+    plan: "FaultPlan"
+    horizon: Optional[float] = None
+
+    def build(self) -> FaultScenario:
+        return FaultScenario(self.name, workload_from_spec(self.workload), self.plan)
+
+
+def fault_kind_specs(
+    seed: int = 7,
+    rate: float = 0.2,
+    workload: Optional[Dict[str, Any]] = None,
+) -> List[FaultScenarioSpec]:
+    """:func:`fault_kind_matrix`, as picklable specs."""
+    from repro.faults.spec import uniform_plan
+
+    wl = workload or {"kind": "steady"}
+    kinds = [
+        ("clean", uniform_plan(seed=seed)),
+        ("drop", uniform_plan(seed=seed, drop=rate)),
+        ("duplicate", uniform_plan(seed=seed, duplicate=rate)),
+        ("reorder", uniform_plan(seed=seed, reorder=rate, window=3)),
+        ("jitter", uniform_plan(seed=seed, jitter=3.0)),
+        ("corrupt", uniform_plan(seed=seed, corrupt=rate)),
+        ("stall", uniform_plan(seed=seed, stall=rate, stall_period=2.0)),
+    ]
+    return [FaultScenarioSpec(name, dict(wl), plan) for name, plan in kinds]
+
+
+def drop_sweep_specs(
+    rates: Iterable[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    seed: int = 7,
+    workload: Optional[Dict[str, Any]] = None,
+) -> List[FaultScenarioSpec]:
+    """:func:`drop_sweep`, as picklable specs."""
+    from repro.faults.spec import uniform_plan
+
+    wl = workload or {"kind": "steady"}
+    return [
+        FaultScenarioSpec(
+            "drop={:g}".format(rate), dict(wl), uniform_plan(seed=seed, drop=rate)
+        )
+        for rate in rates
+    ]
+
+
+def jitter_sweep_specs(
+    jitters: Iterable[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    seed: int = 7,
+    workload: Optional[Dict[str, Any]] = None,
+) -> List[FaultScenarioSpec]:
+    """:func:`jitter_sweep`, as picklable specs."""
+    from repro.faults.spec import uniform_plan
+
+    wl = workload or {"kind": "bursty"}
+    return [
+        FaultScenarioSpec(
+            "jitter={:g}".format(j), dict(wl), uniform_plan(seed=seed, jitter=j)
         )
         for j in jitters
     ]
+
+
+def _soak_task(shared: Dict[str, Any], spec: FaultScenarioSpec) -> Dict[str, Any]:
+    """One soak, summarized picklably (runs inside sweep workers)."""
+    from repro.sim.cosim import FLOW_EQUIVALENT
+
+    scenario = spec.build()
+    report = scenario.soak(
+        shared["program"],
+        horizon=spec.horizon if spec.horizon is not None else shared["horizon"],
+        **shared["net_kwargs"],
+    )
+    worst = None
+    for signal in sorted(report.classification):
+        verdict = report.classification[signal]
+        if verdict != FLOW_EQUIVALENT:
+            worst = verdict
+            break
+    return {
+        "scenario": spec.name,
+        "flow_equivalent": report.flow_equivalent,
+        "class": worst,
+        "divergent_signals": len(report.divergent),
+        "faults": dict(report.fault_counts),
+    }
+
+
+def soak_sweep(
+    program,
+    specs: Iterable[FaultScenarioSpec],
+    horizon: float = 50.0,
+    workers: Optional[int] = None,
+    **net_kwargs,
+) -> SweepReport:
+    """Soak every scenario spec through :func:`repro.perf.sweep.sweep`.
+
+    Each task value is a summary dict (scenario name, flow-equivalence
+    verdict, worst divergence class in signal order, divergent-signal
+    count, fault counts); results are in spec order and — soaks being
+    deterministic in their seeds — identical at any ``workers`` count.
+    """
+    shared = {"program": program, "horizon": horizon, "net_kwargs": net_kwargs}
+    return sweep(_soak_task, list(specs), workers=workers, shared=shared)

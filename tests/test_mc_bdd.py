@@ -203,3 +203,154 @@ def test_prop_sat_count_matches_enumeration(f):
         for values in itertools.product([False, True], repeat=len(NAMES))
     )
     assert bdd.sat_count(node, n_vars=len(NAMES)) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas(), formulas(), st.sets(st.sampled_from(NAMES)))
+def test_prop_and_exists_is_fused_relational_product(f, g, names):
+    bdd = BDD()
+    for n in NAMES:
+        bdd.variable(n)
+    nf, ng = build(bdd, f), build(bdd, g)
+    fused = bdd.and_exists(sorted(names), nf, ng)
+    assert fused == bdd.exists(sorted(names), bdd.AND(nf, ng))
+
+
+class TestSatCountDefault:
+    def test_dont_care_variable_doubles_raw_count(self, bdd):
+        # n_vars=None counts over every *registered* variable at call
+        # time, so registering a don't-care variable doubles the count
+        a = bdd.variable("a")
+        before = bdd.sat_count(a)
+        assert before == 1
+        bdd.variable("unused")
+        assert bdd.sat_count(a) == 2 * before
+        # an explicit n_vars pins the answer regardless of registrations
+        assert bdd.sat_count(a, n_vars=1) == before
+
+
+class TestIterativeDepth:
+    def test_deep_chain_needs_no_python_recursion(self):
+        # a conjunction over thousands of variables is a chain one node
+        # deep per level; the explicit-stack operations must not hit the
+        # Python recursion ceiling (~1000 for the old recursive engine)
+        bdd = BDD()
+        n = 3000
+        for i in range(n):
+            bdd.variable("x{}".format(i))
+        f = TRUE
+        for i in reversed(range(n)):
+            f = bdd.ite(bdd.variable("x{}".format(i)), f, FALSE)
+        assert bdd.sat_count(f, n_vars=n) == 1
+        assert bdd.exists(["x{}".format(i) for i in range(n)], f) == TRUE
+        g = bdd.and_exists(
+            ["x{}".format(i) for i in range(1, n)], f, bdd.variable("x0")
+        )
+        assert g == bdd.variable("x0")
+        renamed = bdd.rename({"x0": "y"}, f)
+        assert bdd.restrict({"y": True}, renamed) != FALSE
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_unpinned_nodes(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        keep = bdd.pin(bdd.AND(a, b))
+        bdd.XOR(a, b)  # garbage
+        live_before = bdd.node_count()
+        reclaimed = bdd.gc()
+        assert reclaimed > 0
+        assert bdd.node_count() < live_before
+        # the pinned cone survives and still denotes the same function
+        assert bdd.restrict({"a": True, "b": True}, keep) == TRUE
+        assert bdd.restrict({"a": True, "b": False}, keep) == FALSE
+
+    def test_gc_roots_argument_protects_unpinned(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f = bdd.OR(a, b)
+        bdd.gc(roots=[f])
+        assert bdd.restrict({"a": False, "b": True}, f) == TRUE
+
+    def test_unpin_releases(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        f = bdd.pin(bdd.AND(a, b))
+        bdd.unpin(f)
+        assert bdd.gc() > 0
+
+    def test_freed_slots_are_reused(self, bdd):
+        a, b = bdd.variable("a"), bdd.variable("b")
+        bdd.AND(a, b)
+        bdd.gc()  # reclaims everything, variable nodes included
+        table_size = len(bdd._nodes)
+        rebuilt = bdd.AND(bdd.variable("a"), bdd.variable("b"))
+        assert len(bdd._nodes) == table_size  # came from the free list
+        assert bdd.restrict({"a": True, "b": True}, rebuilt) == TRUE
+
+
+class TestSifting:
+    def _interleaved(self, bdd):
+        # f = (a0&b0) | (a1&b1) | (a2&b2) under the *bad* order
+        # a0 < a1 < a2 < b0 < b1 < b2 — the textbook case where sifting
+        # must shrink the table (good order interleaves the pairs)
+        for n in ["a0", "a1", "a2", "b0", "b1", "b2"]:
+            bdd.variable(n)
+        return bdd.OR(
+            *[
+                bdd.AND(bdd.variable("a{}".format(i)), bdd.variable("b{}".format(i)))
+                for i in range(3)
+            ]
+        )
+
+    def test_swap_adjacent_preserves_functions(self, bdd):
+        f = self._interleaved(bdd)
+        table = _truth_table(bdd, f, ["a0", "a1", "a2", "b0", "b1", "b2"])
+        bdd.swap_adjacent(2)  # a2 <-> b0
+        assert bdd.order()[2:4] == ["b0", "a2"]
+        assert _truth_table(bdd, f, ["a0", "a1", "a2", "b0", "b1", "b2"]) == table
+
+    def test_sift_shrinks_and_preserves(self):
+        bdd = BDD()
+        f = self._interleaved(bdd)
+        bdd.pin(f)
+        table = _truth_table(bdd, f, ["a0", "a1", "a2", "b0", "b1", "b2"])
+        before = bdd.node_count()
+        delta = bdd.sift(max_vars=6, collect=True)
+        assert delta < 0
+        assert bdd.node_count() < before
+        assert bdd.sift_passes == 1
+        assert _truth_table(bdd, f, ["a0", "a1", "a2", "b0", "b1", "b2"]) == table
+
+    def test_watermark_triggers_automatic_pass(self):
+        bdd = BDD(sift=True, sift_watermark=16, sift_max_vars=6)
+        f = self._interleaved(bdd)
+        table = _truth_table(bdd, f, ["a0", "a1", "a2", "b0", "b1", "b2"])
+        # keep operating; the table is past the watermark so a pass fires
+        g = bdd.AND(f, bdd.variable("a0"))
+        assert bdd.sift_passes >= 1
+        assert _truth_table(bdd, f, ["a0", "a1", "a2", "b0", "b1", "b2"]) == table
+        assert bdd.restrict(
+            {"a0": True, "b0": True, "a1": False, "a2": False,
+             "b1": False, "b2": False}, g
+        ) == TRUE
+
+
+class TestCacheStats:
+    def test_stats_keys_and_perf_export(self):
+        from repro.perf import PERF
+
+        PERF.reset("bdd")
+        bdd = BDD()
+        a, b = bdd.variable("a"), bdd.variable("b")
+        bdd.AND(a, b)
+        bdd.gc()
+        stats = bdd.cache_stats()
+        for key in (
+            "apply_hits", "apply_misses", "cache_clears", "apply_cache_size",
+            "node_count", "gc_collections", "gc_reclaimed", "sift_passes",
+            "sift_swaps",
+        ):
+            assert key in stats
+        assert stats["gc_collections"] == 1
+        assert PERF.get("bdd.gc_collections") == 1
+        # deltas, not absolutes: a second export adds nothing new
+        bdd.cache_stats()
+        assert PERF.get("bdd.gc_collections") == 1

@@ -1,0 +1,105 @@
+"""Tests for the shared sweep executor (:mod:`repro.perf.sweep`)."""
+
+import time
+
+import pytest
+
+from repro.perf import PERF
+from repro.perf.sweep import SweepReport, TaskResult, sweep
+
+
+# task functions live at module level so the process pool can pickle them
+
+def square(x):
+    return x * x
+
+
+def square_counted(x):
+    PERF.incr("test.squares")
+    PERF.add_time("test.square", 0.25)
+    return x * x
+
+
+def scaled(shared, x):
+    return shared["factor"] * x
+
+
+def jittered_identity(x):
+    # later submissions finish first: completion order != submission order
+    time.sleep(0.05 * (4 - x) / 4.0)
+    return x
+
+
+class TestSequential:
+    def test_values_in_submission_order(self):
+        report = sweep(square, [3, 1, 2])
+        assert report.values() == [9, 1, 4]
+        assert [r.index for r in report.results] == [0, 1, 2]
+        assert report.workers == 1
+
+    def test_lambdas_work_sequentially(self):
+        report = sweep(lambda x: x + 1, [1, 2])
+        assert report.values() == [2, 3]
+
+    def test_shared_context(self):
+        report = sweep(scaled, [1, 2, 3], shared={"factor": 10})
+        assert report.values() == [10, 20, 30]
+
+    def test_empty_items(self):
+        report = sweep(square, [])
+        assert report.values() == []
+        assert isinstance(report, SweepReport)
+
+    def test_per_task_counter_deltas(self):
+        PERF.reset("test.")
+        report = sweep(square_counted, [1, 2, 3])
+        for task in report.results:
+            assert isinstance(task, TaskResult)
+            assert task.counters["test.squares"] == 1
+            assert task.counters["time.test.square"] == pytest.approx(0.25)
+            assert task.seconds >= 0.0
+        assert report.totals()["test.squares"] == 3
+        # sweep bookkeeping lands in the coordinator's registry
+        assert PERF.get("test.squares") == 3
+
+    def test_sweep_run_counters(self):
+        before_runs = PERF.get("sweep.runs")
+        before_tasks = PERF.get("sweep.tasks")
+        sweep(square, [1, 2, 3, 4])
+        assert PERF.get("sweep.runs") == before_runs + 1
+        assert PERF.get("sweep.tasks") == before_tasks + 4
+
+
+class TestParallel:
+    def test_submission_order_beats_completion_order(self):
+        report = sweep(jittered_identity, [0, 1, 2, 3], workers=4)
+        assert report.values() == [0, 1, 2, 3]
+        assert report.workers == 4
+
+    def test_identical_results_at_any_worker_count(self):
+        reference = sweep(square, list(range(8))).values()
+        for workers in (2, 4):
+            assert sweep(square, list(range(8)), workers=workers).values() \
+                == reference
+
+    def test_shared_context_ships_to_workers(self):
+        report = sweep(scaled, [1, 2, 3], workers=2, shared={"factor": 5})
+        assert report.values() == [5, 10, 15]
+
+    def test_worker_deltas_merge_into_coordinator(self):
+        PERF.reset("test.")
+        time_before = PERF.get_time("test.square")
+        report = sweep(square_counted, [1, 2, 3, 4], workers=2)
+        # each worker ran with a clean registry, so every task reports
+        # exactly its own delta...
+        for task in report.results:
+            assert task.counters["test.squares"] == 1
+        # ...and the coordinator's registry reads as if it ran them all
+        assert PERF.get("test.squares") == 4
+        assert PERF.get_time("test.square") - time_before \
+            == pytest.approx(1.0)
+
+    def test_workers_capped_by_item_count(self):
+        report = sweep(square, [1, 2], workers=16)
+        assert report.workers == 2
+        assert report.values() == [1, 4]
