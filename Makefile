@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick soak-quick
+.PHONY: test test-fast bench bench-quick soak-quick recover-quick
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
@@ -25,3 +25,10 @@ bench-quick:
 soak-quick:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
 		bench_a7_fault_soak.py -q -s
+
+# reduced-rate recovery benchmark (experiment A9): hardened deployment
+# under faults + crash, sweep determinism asserted at 1/2/4 workers;
+# writes benchmarks/out/A9_recovery.txt and BENCH_A9_recovery.json
+recover-quick:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a9_recovery.py -q -s

@@ -12,6 +12,7 @@ Commands
 - ``verify FILE``     model-check an invariant ("signal never present")
 - ``faults soak``     fault-injection soak of a built-in GALS design
 - ``faults plan``     dump the explicit per-channel fault schedule
+- ``recover soak``    recovery soak: hardened deployment vs reference
 
 Stimulus specs (``--stim``) are ``name:period[:phase[:value]]`` —
 e.g. ``--stim tick:1 --stim data:3:1:42`` gives an event every instant
@@ -268,8 +269,101 @@ def cmd_faults(args) -> int:
     report = soak(
         program, workload, plan, horizon=args.horizon, estimate=estimate
     )
-    print(report.render())
+    if args.json:
+        _emit_json(args.json, {
+            "design": args.design,
+            "seed": args.seed,
+            "horizon": args.horizon,
+            "flow_equivalent": report.flow_equivalent,
+            "classification": dict(sorted(report.classification.items())),
+            "fault_counts": dict(sorted(report.fault_counts.items())),
+        })
+    if args.json != "-":
+        print(report.render())
     return 0 if report.flow_equivalent else 1
+
+
+def _emit_json(path: str, data) -> None:
+    import json
+
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _parse_windows(specs, flag):
+    """``NODE:START:END`` arguments -> {node: ((start, end), ...)}."""
+    out = {}
+    for item in specs or []:
+        parts = item.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                "{} expects NODE:START:END, got {!r}".format(flag, item)
+            )
+        node, lo, hi = parts[0], float(parts[1]), float(parts[2])
+        out.setdefault(node, []).append((lo, hi))
+    return {node: tuple(sorted(ws)) for node, ws in out.items()}
+
+
+def cmd_recover(args) -> int:
+    from repro import designs
+    from repro.faults import ChannelFaults, FaultPlan, NodeFaults, recovery_soak
+    from repro.resilience import (
+        RecoveryConfig, ReliableConfig, RestartPolicy,
+    )
+    from repro.workloads import scenarios
+
+    program = getattr(designs, _FAULT_DESIGNS[args.design])()
+    channel_spec = ChannelFaults(
+        drop=args.drop, duplicate=args.dup, reorder=args.reorder,
+        window=args.window, jitter=args.jitter, corrupt=args.corrupt,
+    )
+    nodes = {}
+    for node, windows in _parse_windows(args.crash, "--crash").items():
+        nodes[node] = NodeFaults(crash=windows)
+    for node, windows in _parse_windows(args.stall, "--stall").items():
+        prev = nodes.get(node, NodeFaults())
+        nodes[node] = prev._replace(intervals=windows)
+    plan = FaultPlan(
+        seed=args.seed,
+        channels={"*": channel_spec} if channel_spec.active else {},
+        nodes=nodes,
+    ).validate()
+    if args.workload == "burst":
+        workload = scenarios.single_burst(
+            burst=args.burst, drain_period=args.period
+        )
+    else:
+        workload = scenarios.steady(
+            producer_period=args.period, reader_period=args.period
+        )
+    config = RecoveryConfig(
+        channel=ReliableConfig(
+            timeout=args.rto, backoff=args.rto_backoff,
+            max_retries=args.retries, ack_latency=args.ack_latency,
+        ),
+        watchdog=args.watchdog,
+        checkpoint_interval=args.checkpoint_interval,
+        policy=RestartPolicy(
+            max_restarts=args.max_restarts, min_spacing=args.restart_spacing
+        ),
+    )
+    report = recovery_soak(
+        program, workload, plan, config, horizon=args.horizon
+    )
+    if args.json:
+        _emit_json(args.json, {
+            "design": args.design,
+            "seed": args.seed,
+            "horizon": args.horizon,
+            **report.summary(),
+        })
+    if args.json != "-":
+        print(report.render())
+    return 0 if report.healthy else 1
 
 
 def cmd_coverage(args) -> int:
@@ -377,7 +471,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--hold", type=float, default=0.25, help="P(read deferred)")
     p.add_argument("-n", type=int, default=20, help="plan prefix / estimate horizon")
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="write a JSON digest to PATH ('-' for stdout)",
+    )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "recover",
+        help="recovery soak: hardened faulted deployment vs reference",
+    )
+    p.add_argument(
+        "action", choices=("soak",),
+        help="soak: co-simulate with reliable channels + supervisor woven in",
+    )
+    p.add_argument(
+        "--design", choices=sorted(_FAULT_DESIGNS), default="prodacc"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--drop", type=float, default=0.0, help="P(drop) per push")
+    p.add_argument("--dup", type=float, default=0.0, help="P(duplicate)")
+    p.add_argument("--reorder", type=float, default=0.0, help="P(reorder)")
+    p.add_argument("--window", type=int, default=2, help="reorder window")
+    p.add_argument("--jitter", type=float, default=0.0, help="max extra latency")
+    p.add_argument("--corrupt", type=float, default=0.0, help="P(value flip)")
+    p.add_argument(
+        "--crash", action="append", metavar="NODE:START:END",
+        help="crash window: node down and loses state (repeatable)",
+    )
+    p.add_argument(
+        "--stall", action="append", metavar="NODE:START:END",
+        help="stall window: node down, state intact (repeatable)",
+    )
+    p.add_argument(
+        "--workload", choices=("steady", "burst"), default="burst",
+        help="burst: finite burst + drain (clean equivalence); steady: periodic",
+    )
+    p.add_argument("--burst", type=int, default=10, help="burst length")
+    p.add_argument("--period", type=float, default=1.0, help="consumer/drain period")
+    p.add_argument("--horizon", type=float, default=40.0)
+    p.add_argument("--rto", type=float, default=1.5, help="retransmit timeout")
+    p.add_argument("--rto-backoff", type=float, default=1.5)
+    p.add_argument("--retries", type=int, default=10, help="retry budget per frame")
+    p.add_argument("--ack-latency", type=float, default=0.0)
+    p.add_argument("--watchdog", type=float, default=2.5)
+    p.add_argument("--checkpoint-interval", type=float, default=3.0)
+    p.add_argument("--max-restarts", type=int, default=3)
+    p.add_argument("--restart-spacing", type=float, default=0.0)
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="write a JSON digest to PATH ('-' for stdout)",
+    )
+    p.set_defaults(fn=cmd_recover)
 
     p = sub.add_parser("coverage", help="measure stimulus coverage")
     p.add_argument("file")

@@ -37,9 +37,11 @@ from repro.faults.inject import (
 from repro.faults.soak import (
     CapacityInflation,
     EstimateConfig,
+    RecoveryReport,
     SoakReport,
     capacity_inflation,
     jittered_stimulus,
+    recovery_soak,
     soak,
 )
 
@@ -59,7 +61,9 @@ __all__ = [
     "EstimateConfig",
     "CapacityInflation",
     "SoakReport",
+    "RecoveryReport",
     "soak",
+    "recovery_soak",
     "capacity_inflation",
     "jittered_stimulus",
 ]

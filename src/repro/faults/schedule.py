@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 import zlib
 from bisect import bisect_right
-from typing import Dict, List, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.faults.spec import ChannelFaults, FaultPlan, NodeFaults
 
@@ -94,7 +94,7 @@ class NodeSchedule:
     time are stable.
     """
 
-    __slots__ = ("name", "spec", "_rng", "_windows", "_intervals")
+    __slots__ = ("name", "spec", "_rng", "_windows", "_intervals", "_crash")
 
     def __init__(self, name: str, spec: NodeFaults, seed: int):
         self.name = name
@@ -102,12 +102,18 @@ class NodeSchedule:
         self._rng = _stream(seed, "node:" + name)
         self._windows: List[bool] = []
         self._intervals = sorted(spec.intervals)
+        self._crash = sorted(spec.crash)
+
+    @staticmethod
+    def _inside(windows: List[Tuple[float, float]], time: float) -> bool:
+        if not windows:
+            return False
+        i = bisect_right(windows, (time, float("inf"))) - 1
+        return i >= 0 and windows[i][0] <= time < windows[i][1]
 
     def stalled(self, time: float) -> bool:
-        if self._intervals:
-            i = bisect_right(self._intervals, (time, float("inf"))) - 1
-            if i >= 0 and self._intervals[i][0] <= time < self._intervals[i][1]:
-                return True
+        if self._inside(self._intervals, time) or self._inside(self._crash, time):
+            return True
         if not self.spec.stall:
             return False
         k = int(time // self.spec.period)
@@ -116,6 +122,16 @@ class NodeSchedule:
         while len(self._windows) <= k:
             self._windows.append(self._rng.random() < self.spec.stall)
         return self._windows[k]
+
+    def crash_ended(self, since: Optional[float], time: float) -> bool:
+        """Did a crash window end in ``(since, time]``?
+
+        ``since`` is the node's previous firing time (``None`` before the
+        first firing — a crash before any firing wipes only the initial
+        state, a no-op, but is still reported for accounting).
+        """
+        lo = float("-inf") if since is None else since
+        return any(lo < hi <= time for _, hi in self._crash)
 
 
 class FaultSchedule:
@@ -151,3 +167,10 @@ class FaultSchedule:
         if not sched.spec.active:
             return False
         return sched.stalled(time)
+
+    def crash_ended(self, node: str, since: Optional[float], time: float) -> bool:
+        """Did ``node`` lose state between its last firing and ``time``?"""
+        sched = self.node(node)
+        if not sched.spec.crash:
+            return False
+        return sched.crash_ended(since, time)

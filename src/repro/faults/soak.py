@@ -182,6 +182,182 @@ def soak(
     )
 
 
+# -- verified recovery --------------------------------------------------------
+
+
+class RecoveryReport(NamedTuple):
+    """One recovery co-simulation: hardened-and-faulted vs zero-fault.
+
+    ``healthy`` is the CI gate: flow equivalence, no abandoned frames,
+    no denied restarts.  Watchdog/restart alarms during a *successful*
+    recovery are expected operation, not failures.
+    """
+
+    plan: FaultPlan
+    config: object                   # repro.resilience.RecoveryConfig
+    horizon: float
+    reference: NetworkTrace
+    recovered: NetworkTrace
+    classification: Dict[str, str]
+    flow_equivalent: bool
+    fault_counts: Dict[str, int]
+    recovery: Dict[str, object]      # protocol + supervisor metrics
+    alarms: Tuple
+
+    @property
+    def divergent(self) -> Dict[str, str]:
+        return {
+            s: c for s, c in self.classification.items()
+            if c != FLOW_EQUIVALENT
+        }
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.flow_equivalent
+            and not self.recovery.get("abandoned")
+            and not self.recovery.get("restart_denied")
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """A flat, JSON-ready digest (used by the CLI and the A9 bench)."""
+        alarm_kinds: Dict[str, int] = {}
+        for ev in self.alarms:
+            alarm_kinds[ev.kind] = alarm_kinds.get(ev.kind, 0) + 1
+        out: Dict[str, object] = {
+            "flow_equivalent": self.flow_equivalent,
+            "healthy": self.healthy,
+            "classification": dict(sorted(self.classification.items())),
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+            "alarms": alarm_kinds,
+        }
+        out.update(sorted(self.recovery.items()))
+        return out
+
+    def render(self) -> str:
+        lines = [
+            "recovery soak (seed {}, horizon {}): {}".format(
+                self.plan.seed,
+                self.horizon,
+                "HEALTHY" if self.healthy
+                else ("FLOW EQUIVALENT, degraded" if self.flow_equivalent
+                      else "DIVERGENT"),
+            ),
+            "  injected:  " + (
+                ", ".join(
+                    "{}={}".format(k, v)
+                    for k, v in sorted(self.fault_counts.items()) if v
+                ) or "nothing"
+            ),
+            "  recovery:  " + ", ".join(
+                "{}={}".format(k, v)
+                for k, v in sorted(self.recovery.items()) if v
+            ),
+        ]
+        for signal in sorted(self.classification):
+            lines.append(
+                "  {:<12} {}".format(signal, self.classification[signal])
+            )
+        for ev in self.alarms:
+            lines.append(
+                "  alarm t={:<8g} {:<15} {} {}".format(
+                    ev.time, ev.kind, ev.subject, ev.detail
+                )
+            )
+        return "\n".join(lines)
+
+
+def recovery_soak(
+    program: Program,
+    workload,
+    plan: FaultPlan,
+    config=None,
+    horizon: float = 50.0,
+    signals: Optional[Iterable[str]] = None,
+    max_events: int = 100000,
+    **net_kwargs,
+) -> RecoveryReport:
+    """Co-simulate a *hardened* faulted network against the reference.
+
+    Like :func:`soak`, but the faulted deployment first gets the
+    :mod:`repro.resilience` stack (reliable channels + supervisor) per
+    ``config`` (default :class:`~repro.resilience.RecoveryConfig`).  The
+    claim under test: with recovery in place, drops, duplicates,
+    reordering and even node crashes leave the run flow-equivalent to
+    the zero-fault reference.
+    """
+    from repro.resilience import RecoveryConfig, harden
+
+    if config is None:
+        config = RecoveryConfig()
+    reference_net = _net_from(program, workload, net_kwargs)
+    recovered_net = _net_from(program, workload, net_kwargs)
+    weave_faults(recovered_net, plan)
+    hardened = harden(recovered_net, config)
+
+    reference = reference_net.run(horizon, max_events=max_events)
+    recovered = recovered_net.run(horizon, max_events=max_events)
+
+    names = (
+        sorted(set(reference.behavior.vars()) | set(recovered.behavior.vars()))
+        if signals is None else list(signals)
+    )
+    classification = compare_flows(
+        reference.behavior, recovered.behavior, names
+    )
+    shared = [
+        n for n in names
+        if n in reference.behavior and n in recovered.behavior
+    ]
+    flow_ok = all(
+        c == FLOW_EQUIVALENT for c in classification.values()
+    ) and equivalence.flow_equivalent(
+        reference.behavior.project(shared), recovered.behavior.project(shared)
+    )
+
+    recovery: Dict[str, object] = {
+        "frames": 0, "retransmits": 0, "acks": 0, "dup_frames": 0,
+        "corrupt_frames": 0, "abandoned": 0, "skipped_gaps": 0,
+    }
+    for ch in hardened.channels:
+        for key, n in ch.protocol_stats().items():
+            if key in recovery:
+                recovery[key] += n
+    if hardened.supervisor is not None:
+        recovery.update(hardened.supervisor.metrics())
+
+    counts = recovered.fault_counts()
+    PERF.merge({k: v for k, v in counts.items() if isinstance(v, int)}, "faults")
+    PERF.incr("faults.soaks")
+    PERF.merge(
+        {
+            k: v for k, v in recovery.items()
+            if isinstance(v, int) and k in (
+                "retransmits", "abandoned", "checkpoints", "restarts",
+                "replayed",
+            )
+        },
+        "resilience",
+    )
+    divergent = sum(
+        1 for c in classification.values() if c != FLOW_EQUIVALENT
+    )
+    PERF.incr("faults.divergent_signals", divergent)
+
+    return RecoveryReport(
+        plan=plan,
+        config=config,
+        horizon=horizon,
+        reference=reference,
+        recovered=recovered,
+        classification=classification,
+        flow_equivalent=flow_ok,
+        fault_counts=counts,
+        recovery=recovery,
+        alarms=recovered.alarms,
+    )
+
+
 # -- capacity inflation under jitter -----------------------------------------
 
 

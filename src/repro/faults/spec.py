@@ -63,21 +63,27 @@ class ChannelFaults(NamedTuple):
 
 
 class NodeFaults(NamedTuple):
-    """Stall behaviour for one node.
+    """Stall and crash behaviour for one node.
 
     Time is cut into windows of length ``period``; each window is
     independently stalled with probability ``stall`` (every activation in
     a stalled window is suppressed).  ``intervals`` adds explicit stall
     windows ``(start, end)`` on top.
+
+    ``crash`` windows are stall windows with *state loss*: the node is
+    down for the window and its reactor's volatile state is wiped at its
+    first activation afterwards — the fault that
+    :mod:`repro.resilience` checkpoint/restart exists to mask.
     """
 
     stall: float = 0.0
     period: float = 1.0
     intervals: Tuple[Tuple[float, float], ...] = ()
+    crash: Tuple[Tuple[float, float], ...] = ()
 
     @property
     def active(self) -> bool:
-        return bool(self.stall or self.intervals)
+        return bool(self.stall or self.intervals or self.crash)
 
     def validate(self, name: str = "") -> "NodeFaults":
         label = " for {!r}".format(name) if name else ""
@@ -89,11 +95,14 @@ class NodeFaults(NamedTuple):
             )
         if self.period <= 0:
             raise ValueError("stall period{} must be positive".format(label))
-        for lo, hi in self.intervals:
-            if hi <= lo:
-                raise ValueError(
-                    "stall interval{} ({}, {}) is empty".format(label, lo, hi)
-                )
+        for kind, windows in (("stall", self.intervals), ("crash", self.crash)):
+            for lo, hi in windows:
+                if hi <= lo:
+                    raise ValueError(
+                        "{} interval{} ({}, {}) is empty".format(
+                            kind, label, lo, hi
+                        )
+                    )
         return self
 
 

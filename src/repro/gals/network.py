@@ -72,7 +72,7 @@ class AsyncChannel:
         self.capacity = capacity if policy != "unbounded" else None
         self.policy = policy
         self.latency = latency
-        self.items: deque = deque()  # (visible_at, value, pushed_at)
+        self.items: deque = deque()  # (visible_at, value, pushed_at, skippable)
         self.losses = 0
         self.loss_times: List[float] = []
         self._loss_rng = None  # lazily seeded reservoir sampler
@@ -125,11 +125,16 @@ class AsyncChannel:
                 "push on full blocking channel {!r} (the scheduler must "
                 "mask the producer)".format(self.name)
             )
-        entry = (time + (self.latency if latency is None else latency), value, time)
+        visible = time + (self.latency if latency is None else latency)
         if position:
-            self.items.insert(max(0, len(self.items) - position), entry)
+            # A reorder-injected entry is "skippable": while still in
+            # flight it must not hide items that already arrived behind it
+            # (they were pushed earlier and overtaken, not delayed).
+            self.items.insert(
+                max(0, len(self.items) - position), (visible, value, time, True)
+            )
         else:
-            self.items.append(entry)
+            self.items.append((visible, value, time, False))
         self.peak = max(self.peak, len(self.items))
         return True
 
@@ -140,15 +145,44 @@ class AsyncChannel:
         return self.enqueue(value, time)
 
     def available(self, time: float) -> bool:
-        """Does the head item exist and has it arrived by ``time``?"""
-        return bool(self.items) and self.items[0][0] <= time
+        """Has any deliverable item arrived by ``time``?
+
+        FIFO order is preserved: an item that has not arrived blocks
+        everything behind it — *except* reorder-injected entries, which
+        jumped the queue and may be skipped over while still in flight
+        (otherwise an in-flight overtaker would hide an item that
+        already arrived).
+        """
+        for visible_at, _, _, skippable in self.items:
+            if visible_at <= time:
+                return True
+            if not skippable:
+                return False
+        return False
 
     def pop(self, time: Optional[float] = None):
-        visible_at, value, pushed_at = self.items.popleft()
+        if time is None:
+            entry = self.items.popleft()
+        else:
+            entry = None
+            for i, cand in enumerate(self.items):
+                if cand[0] <= time:
+                    entry = cand
+                    del self.items[i]
+                    break
+                if not cand[3]:
+                    break
+            if entry is None:
+                entry = self.items.popleft()
+        visible_at, value, pushed_at = entry[0], entry[1], entry[2]
         delivered_at = visible_at if time is None else max(time, visible_at)
         self.total_wait += max(0.0, delivered_at - pushed_at)
         self.delivered += 1
         return value
+
+    def protocol_stats(self) -> Dict[str, int]:
+        """Extra per-channel counters (protocol wrappers override)."""
+        return {}
 
     def mean_latency(self) -> float:
         """Average push-to-pop delay of delivered items."""
@@ -214,6 +248,8 @@ class NetworkTrace(NamedTuple):
     skipped: Dict[str, int]               # firings masked by backpressure
     channels: Dict[str, Dict[str, object]]  # per-channel stats
     stalled: Dict[str, int] = {}          # firings suppressed by fault stalls
+    crashes: Dict[str, int] = {}          # state-losing crashes per node
+    alarms: Tuple = ()                    # supervisor AlarmEvents, in order
 
     def values(self, signal: str) -> Tuple:
         return self.behavior[signal].values() if signal in self.behavior else ()
@@ -226,6 +262,8 @@ class NetworkTrace(NamedTuple):
                 totals[key] = totals.get(key, 0) + n
         for n in self.stalled.values():
             totals["stalls"] = totals.get("stalls", 0) + n
+        for n in self.crashes.values():
+            totals["crashes"] = totals.get("crashes", 0) + n
         return totals
 
 
@@ -325,6 +363,7 @@ class AsyncNetwork:
 
     _data_driven: frozenset = frozenset()
     _fault_schedule = None  # repro.faults.schedule.FaultSchedule, if woven
+    _supervisor = None  # repro.resilience.supervisor.Supervisor, if woven
 
     # -- execution --------------------------------------------------------------
 
@@ -334,6 +373,8 @@ class AsyncNetwork:
         firings = {n.name: 0 for n in self.nodes}
         skipped = {n.name: 0 for n in self.nodes}
         stalled = {n.name: 0 for n in self.nodes}
+        self._crashes = {n.name: 0 for n in self.nodes}
+        self._last_fired = {}
         faults = self._fault_schedule
         counter = itertools.count()
         heap: List[Tuple[float, int, str]] = []
@@ -380,7 +421,7 @@ class AsyncNetwork:
                     value = ch.pop(time)
                     inputs[sig] = value
                     recorder.record(sig + "__r", time, value)
-            outputs = self._reactors[name].react(inputs)
+            outputs = self._react(name, inputs, time)
             firings[name] += 1
             self._dispatch(name, outputs, time, recorder)
             # data-driven nodes drain channels right after each event
@@ -401,8 +442,41 @@ class AsyncNetwork:
             }
             if ch.injector is not None:
                 entry["faults"] = ch.injector.counts()
+            protocol = ch.protocol_stats()
+            if protocol:
+                entry["protocol"] = protocol
             stats[ch.name] = entry
-        return NetworkTrace(recorder.behavior(), firings, skipped, stats, stalled)
+        alarms = (
+            tuple(self._supervisor.alarms) if self._supervisor is not None else ()
+        )
+        return NetworkTrace(
+            recorder.behavior(), firings, skipped, stats, stalled,
+            dict(self._crashes), alarms,
+        )
+
+    def _react(self, name: str, inputs: Dict[str, object], time: float):
+        """One supervised reaction: crash wipes, watchdog recovery, logging.
+
+        A crash window that ended since the node's last firing destroys
+        its volatile state (the fault); the supervisor — if one is woven —
+        detects the silence via its watchdog and restores the last
+        checkpoint, replaying the logged inputs (the recovery).
+        """
+        reactor = self._reactors[name]
+        faults = self._fault_schedule
+        if faults is not None and faults.crash_ended(
+            name, self._last_fired.get(name), time
+        ):
+            reactor.reset()
+            self._crashes[name] += 1
+        sup = self._supervisor
+        if sup is not None:
+            sup.before_fire(name, reactor, time)
+        outputs = reactor.react(inputs)
+        if sup is not None:
+            sup.after_fire(name, reactor, time, inputs)
+        self._last_fired[name] = time
+        return outputs
 
     def _dispatch(self, name: str, outputs: Dict[str, object], time: float,
                   recorder: _Recorder) -> None:
@@ -449,7 +523,7 @@ class AsyncNetwork:
                     value = ch.pop(time)
                     inputs[sig] = value
                     recorder.record(sig + "__r", time, value)
-                outputs = self._reactors[node.name].react(inputs)
+                outputs = self._react(node.name, inputs, time)
                 firings[node.name] += 1
                 self._dispatch(node.name, outputs, time, recorder)
                 progress = True

@@ -35,6 +35,12 @@ class RateController:
     controller degrades one level whenever the observed occupancy reaches
     that level's ``enter_above`` bound and recovers one level when the
     occupancy falls under the current level's ``exit_below``.
+
+    Construction validates the hysteresis bounds: within a level,
+    ``exit_below`` must not exceed ``enter_above`` (an occupancy that just
+    degraded into the level would immediately recover out of it —
+    a silent oscillator), ``enter_above`` must be non-decreasing down the
+    level list, and bounds must be non-negative.
     """
 
     def __init__(self, levels: Sequence[ServiceLevel]):
@@ -43,6 +49,34 @@ class RateController:
         periods = [l.period for l in levels]
         if periods != sorted(periods):
             raise ValueError("levels must be ordered fastest first")
+        prev_enter: Optional[int] = None
+        for i, lvl in enumerate(levels):
+            for bound in (lvl.enter_above, lvl.exit_below):
+                if bound is not None and bound < 0:
+                    raise ValueError(
+                        "service level {!r} has a negative bound".format(lvl.name)
+                    )
+            if (
+                i > 0
+                and lvl.enter_above is not None
+                and lvl.exit_below is not None
+                and lvl.exit_below > lvl.enter_above
+            ):
+                raise ValueError(
+                    "service level {!r} oscillates: exit_below ({}) > "
+                    "enter_above ({})".format(
+                        lvl.name, lvl.exit_below, lvl.enter_above
+                    )
+                )
+            if lvl.enter_above is not None:
+                if prev_enter is not None and lvl.enter_above < prev_enter:
+                    raise ValueError(
+                        "enter_above bounds must be non-decreasing toward "
+                        "slower levels ({!r} has {} after {})".format(
+                            lvl.name, lvl.enter_above, prev_enter
+                        )
+                    )
+                prev_enter = lvl.enter_above
         self.levels: List[ServiceLevel] = list(levels)
         self.index = 0
         self.switches: List[tuple] = []  # (time, from, to)

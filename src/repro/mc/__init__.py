@@ -38,6 +38,11 @@ from repro.mc.temporal import (
 from repro.mc.reduce import quotient
 from repro.mc.bmc import BMCResult, bounded_check, bounded_never_present
 from repro.mc.bdd import BDD
+from repro.mc.harness import (
+    BackendVerdict,
+    CrossCheckReport,
+    cross_check_never_present,
+)
 from repro.mc.symbolic import SymbolicChecker
 
 __all__ = [
@@ -65,4 +70,7 @@ __all__ = [
     "bounded_never_present",
     "BDD",
     "SymbolicChecker",
+    "BackendVerdict",
+    "CrossCheckReport",
+    "cross_check_never_present",
 ]

@@ -1,0 +1,119 @@
+"""Cross-backend safety harness.
+
+The explicit backend (:func:`repro.mc.compile.compile_lts` +
+:func:`repro.mc.safety.check_never_present`) and the symbolic backend
+(:class:`repro.mc.symbolic.SymbolicChecker`) implement the same Section
+5.2 obligation with disjoint machinery — reachable-set enumeration versus
+BDD image computation.  Running both and demanding identical verdicts is
+therefore a strong self-check: a bug would have to hit both backends the
+same way to go unnoticed.
+
+:func:`cross_check_never_present` runs the obligation on every requested
+backend and reports per-backend verdicts, counterexample lengths and
+state counts; :attr:`CrossCheckReport.agree` is the gate CI and the
+recovery soak assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+
+
+class BackendVerdict(NamedTuple):
+    """One backend's answer to ``never <signal>``."""
+
+    backend: str                 # "explicit" | "symbolic"
+    holds: bool
+    counterexample: object       # Optional[CounterExample]
+    states: int                  # reachable states the backend visited
+
+    @property
+    def ce_length(self) -> Optional[int]:
+        if self.counterexample is None:
+            return None
+        return len(self.counterexample.inputs)
+
+
+class CrossCheckReport(NamedTuple):
+    """All backends' verdicts on one safety obligation."""
+
+    signal: str
+    verdicts: Tuple[BackendVerdict, ...]
+
+    @property
+    def agree(self) -> bool:
+        return len({v.holds for v in self.verdicts}) == 1
+
+    @property
+    def holds(self) -> bool:
+        """Property verified — and every backend concurs."""
+        return self.agree and self.verdicts[0].holds
+
+    def verdict(self, backend: str) -> BackendVerdict:
+        for v in self.verdicts:
+            if v.backend == backend:
+                return v
+        raise KeyError(backend)
+
+    def require_agreement(self) -> "CrossCheckReport":
+        if not self.agree:
+            raise VerificationError(
+                "backends disagree on never-{}: {}".format(
+                    self.signal,
+                    {v.backend: v.holds for v in self.verdicts},
+                )
+            )
+        return self
+
+    def render(self) -> str:
+        lines = ["never {}:".format(self.signal)]
+        for v in self.verdicts:
+            status = "HOLDS" if v.holds else "refuted (CE length {})".format(
+                v.ce_length
+            )
+            lines.append(
+                "  {:<9} {} [{} states]".format(v.backend, status, v.states)
+            )
+        lines.append(
+            "  agreement: {}".format("yes" if self.agree else "NO — INVESTIGATE")
+        )
+        return "\n".join(lines)
+
+
+def cross_check_never_present(
+    design,
+    signal: str,
+    alphabet: Optional[List[Dict[str, object]]] = None,
+    backends: Sequence[str] = ("explicit", "symbolic"),
+    max_states: int = 200000,
+) -> CrossCheckReport:
+    """Check ``never <signal>`` on every backend; never short-circuits.
+
+    The symbolic backend accepts boolean programs only; passing it an
+    integer-typed design raises
+    :class:`~repro.errors.VerificationError` as usual.
+    """
+    verdicts: List[BackendVerdict] = []
+    for backend in backends:
+        if backend == "explicit":
+            from repro.mc.compile import compile_lts
+            from repro.mc.safety import check_never_present
+
+            lts = compile_lts(design, alphabet=alphabet, max_states=max_states)
+            ce = check_never_present(lts, signal)
+            verdicts.append(
+                BackendVerdict("explicit", ce is None, ce, lts.num_states())
+            )
+        elif backend == "symbolic":
+            from repro.mc.symbolic import SymbolicChecker
+
+            chk = SymbolicChecker(design, alphabet=alphabet)
+            ce = chk.check_never_present(signal)
+            verdicts.append(
+                BackendVerdict("symbolic", ce is None, ce, chk.state_count())
+            )
+        else:
+            raise ValueError("unknown backend {!r}".format(backend))
+    return CrossCheckReport(signal, tuple(verdicts))

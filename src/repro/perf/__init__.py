@@ -22,6 +22,11 @@ counters and wall-time phases so benchmark deltas are attributable:
   ``faults.soaks`` / ``faults.divergent_signals`` — fault-injection
   volume and divergence yield of the soak harness
   (:mod:`repro.faults.soak`);
+- ``resilience.retransmits`` / ``resilience.abandoned`` /
+  ``resilience.checkpoints`` / ``resilience.restarts`` /
+  ``resilience.replayed`` — repair and supervision work of the
+  recovery layer, merged per recovery soak
+  (:func:`repro.faults.soak.recovery_soak`);
 - ``time.<phase>`` — seconds spent in labeled phases.
 
 Hot loops keep their own local integers and merge once per call

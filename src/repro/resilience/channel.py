@@ -1,0 +1,287 @@
+"""Reliable channels: exactly-once delivery over a faulty crossing.
+
+:class:`ReliableChannel` wraps a (possibly fault-injected)
+:class:`~repro.gals.network.AsyncChannel` with a sequence-numbered
+ack/retransmit protocol — the software analogue of the paper's Section 5
+"observe the FIFO status, then adapt" loop, pushed one level down: instead
+of adapting rates, the wrapper repairs the stream itself.
+
+Every pushed value travels as a :class:`Frame` carrying a sequence number
+and the sender's *watermark* (the lowest sequence number still
+unsettled).  The receiver side delivers frames strictly in order,
+discards duplicates, buffers out-of-order arrivals in a bounded reorder
+window, and acknowledges cumulatively (plus selective acks for buffered
+frames).  The sender retransmits unacknowledged frames after a
+configurable timeout with exponential backoff, up to a retry budget;
+a frame that exhausts its budget is *abandoned* — the watermark advances
+past it, the receiver skips the gap, and the loss is counted instead of
+stalling the stream forever (graceful degradation to counted loss).
+
+Both endpoints live in one object because a channel in this simulator is
+one object: the sender half runs inside :meth:`ReliableChannel.push`, the
+receiver half inside :meth:`available`/:meth:`pop` — each first *pumps*
+the underlying wire, so protocol progress happens exactly at the instants
+the surrounding network touches the channel, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.gals.network import AsyncChannel
+
+
+class Frame(NamedTuple):
+    """One protocol message on the wire.
+
+    ``seq < 0`` marks a pure watermark carrier (no payload): it is sent
+    when abandoning a frame so the receiver can skip the gap promptly
+    even if no further data frame follows.
+    """
+
+    seq: int
+    value: object
+    watermark: int
+    born: float  # original push time, for end-to-end latency accounting
+
+
+class ReliableConfig(NamedTuple):
+    """Tuning knobs of the ack/retransmit protocol."""
+
+    timeout: float = 1.5       # initial retransmit timeout (RTO)
+    backoff: float = 2.0       # RTO multiplier per attempt
+    max_retries: int = 8       # retransmissions per frame before abandoning
+    window: int = 32           # receiver reorder-buffer capacity
+    ack_latency: float = 0.0   # transport delay of the ack path
+
+    def validate(self) -> "ReliableConfig":
+        if self.timeout <= 0:
+            raise ValueError("retransmit timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.window < 1:
+            raise ValueError("reorder window must be >= 1")
+        if self.ack_latency < 0:
+            raise ValueError("ack latency must be >= 0")
+        return self
+
+
+class ReliableChannel(AsyncChannel):
+    """Protocol wrapper delivering a wire's stream exactly once, in order.
+
+    The inherited ``items`` deque is the *delivery queue*: frames the
+    receiver has settled, in sequence order, ready for the consumer.
+    ``available``/``pop``/``mean_latency`` therefore behave exactly like a
+    plain channel — the surrounding :class:`~repro.gals.network.AsyncNetwork`
+    needs no changes beyond swapping the channel object in.
+    """
+
+    # pending-frame record indices
+    _VALUE, _ATTEMPTS, _RETRY_AT, _BORN = range(4)
+
+    def __init__(self, wire: AsyncChannel, config: ReliableConfig = ReliableConfig()):
+        self.wire = wire
+        inherited_injector = wire.injector
+        super().__init__(wire.name, capacity=None, policy="unbounded", latency=0.0)
+        self.injector = inherited_injector  # super().__init__ nulled it
+        self.policy = wire.policy  # backpressure masking follows the wire
+        self.config = config.validate()
+        # sender
+        self._next_seq = 0
+        self._pending: Dict[int, list] = {}  # seq -> [value, attempts, retry_at, born]
+        self._watermark = 0
+        # receiver
+        self._expected = 0
+        self._rbuf: Dict[int, Tuple[object, float]] = {}  # seq -> (value, born)
+        self._acks: deque = deque()  # (visible_at, cumulative, sacks)
+        # counters
+        self.frames_sent = 0
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.dup_frames = 0
+        self.corrupt_frames = 0
+        self.abandoned = 0
+        self.skipped_gaps = 0
+        self.window_drops = 0
+        self.deferred = 0
+
+    # the injector lives on the wire so weaving order does not matter:
+    # make_reliable before or after weave_faults yields the same network
+    @property
+    def injector(self):
+        return self.wire.injector
+
+    @injector.setter
+    def injector(self, value) -> None:
+        self.wire.injector = value
+
+    def full(self) -> bool:
+        return self.wire.full()
+
+    def __len__(self) -> int:
+        # occupancy as seen by rate controllers: everything not yet handed
+        # to the consumer, wherever it currently sits
+        return len(self.items) + len(self.wire.items) + len(self._rbuf)
+
+    # -- sender half --------------------------------------------------------
+
+    def push(self, value, time: float) -> bool:
+        self._pump(time)
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending[seq] = [value, 0, time + self.config.timeout, time]
+        self._transmit(seq, value, time, time)
+        return True
+
+    def _transmit(self, seq: int, value, born: float, time: float) -> bool:
+        """Put one frame on the wire; False when deferred (wire full)."""
+        if self.wire.full():
+            self.deferred += 1
+            return False
+        self.frames_sent += 1
+        self.wire.push(Frame(seq, value, self._watermark, born), time)
+        return True
+
+    def _refresh_watermark(self) -> None:
+        self._watermark = min(self._pending) if self._pending else self._next_seq
+
+    # -- receiver half ------------------------------------------------------
+
+    def _deliver(self, value, born: float, time: float) -> None:
+        self.items.append((time, value, born, False))
+        self.peak = max(self.peak, len(self.items))
+
+    def _drain_rbuf(self, time: float) -> None:
+        while self._expected in self._rbuf:
+            value, born = self._rbuf.pop(self._expected)
+            self._deliver(value, born, time)
+            self._expected += 1
+
+    def _advance_watermark(self, watermark: int, time: float) -> None:
+        """Skip abandoned gaps: never wait for a seq the sender gave up on."""
+        while self._expected < watermark:
+            if self._expected in self._rbuf:
+                value, born = self._rbuf.pop(self._expected)
+                self._deliver(value, born, time)
+            else:
+                self.skipped_gaps += 1
+            self._expected += 1
+        self._drain_rbuf(time)
+
+    # -- the pump -----------------------------------------------------------
+
+    def _pump(self, time: float) -> None:
+        """Advance both protocol halves to ``time``."""
+        cfg = self.config
+        got_frame = False
+        while self.wire.available(time):
+            obj = self.wire.pop(time)
+            got_frame = True
+            if not isinstance(obj, Frame):
+                # corruption mangles the frame beyond recognition; the
+                # sender's timeout will retransmit the original
+                self.corrupt_frames += 1
+                continue
+            self._advance_watermark(obj.watermark, time)
+            if obj.seq < 0:
+                continue  # pure watermark carrier
+            if obj.seq < self._expected or obj.seq in self._rbuf:
+                self.dup_frames += 1
+            elif obj.seq == self._expected:
+                self._deliver(obj.value, obj.born, time)
+                self._expected += 1
+                self._drain_rbuf(time)
+            elif len(self._rbuf) < cfg.window:
+                self._rbuf[obj.seq] = (obj.value, obj.born)
+            else:
+                self.window_drops += 1  # past the window; retransmitted later
+        if got_frame:
+            self._acks.append(
+                (time + cfg.ack_latency, self._expected, tuple(sorted(self._rbuf)))
+            )
+            self.acks_sent += 1
+        while self._acks and self._acks[0][0] <= time:
+            _, cumulative, sacks = self._acks.popleft()
+            for seq in [
+                s for s in self._pending if s < cumulative or s in sacks
+            ]:
+                del self._pending[seq]
+        self._refresh_watermark()
+        abandoned_before = self.abandoned
+        for seq in sorted(self._pending):
+            rec = self._pending[seq]
+            if rec[self._RETRY_AT] > time:
+                continue
+            if rec[self._ATTEMPTS] >= cfg.max_retries:
+                del self._pending[seq]
+                self.abandoned += 1
+                continue
+            if self._transmit(seq, rec[self._VALUE], rec[self._BORN], time):
+                rec[self._ATTEMPTS] += 1
+                self.retransmits += 1
+                rec[self._RETRY_AT] = time + cfg.timeout * (
+                    cfg.backoff ** rec[self._ATTEMPTS]
+                )
+            else:
+                rec[self._RETRY_AT] = time + cfg.timeout
+        if self.abandoned > abandoned_before:
+            self._refresh_watermark()
+            # tell the receiver to skip the gap even if no data follows
+            self._transmit(-1, None, time, time)
+
+    # -- consumer interface -------------------------------------------------
+
+    def available(self, time: float) -> bool:
+        self._pump(time)
+        return super().available(time)
+
+    def pop(self, time: Optional[float] = None):
+        if time is not None:
+            self._pump(time)
+        return super().pop(time)
+
+    def protocol_stats(self) -> Dict[str, int]:
+        return {
+            "frames": self.frames_sent,
+            "retransmits": self.retransmits,
+            "acks": self.acks_sent,
+            "dup_frames": self.dup_frames,
+            "corrupt_frames": self.corrupt_frames,
+            "abandoned": self.abandoned,
+            "skipped_gaps": self.skipped_gaps,
+            "window_drops": self.window_drops,
+            "deferred": self.deferred,
+            "unacked": len(self._pending),
+        }
+
+
+def make_reliable(
+    network,
+    config: ReliableConfig = ReliableConfig(),
+    signals=None,
+) -> List[ReliableChannel]:
+    """Swap every matching channel of a built network for a reliable one.
+
+    ``signals`` restricts the upgrade to the named shared signals (or
+    full channel names); ``None`` upgrades every channel.  Composes with
+    :func:`repro.faults.inject.weave_faults` in either order — the fault
+    injector always attaches to the underlying wire.
+    """
+    wrapped: List[ReliableChannel] = []
+    for (sig, consumer), ch in sorted(network.channels.items()):
+        if isinstance(ch, ReliableChannel):
+            continue
+        if signals is not None and sig not in signals and ch.name not in signals:
+            continue
+        rc = ReliableChannel(ch, config)
+        network.channels[(sig, consumer)] = rc
+        for links in (network._out_links, network._in_links):
+            for pairs in links.values():
+                for i, (lsig, lch) in enumerate(pairs):
+                    if lch is ch:
+                        pairs[i] = (lsig, rc)
+        wrapped.append(rc)
+    return wrapped

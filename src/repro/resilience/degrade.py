@@ -1,0 +1,86 @@
+"""Graceful degradation: channel pressure drives service-level switches.
+
+:class:`PressureMonitor` closes the loop between the reliability layer
+and the Section 5.2 rate controller.  Its pressure sample is the sum of
+channel occupancy (including frames still on the wire and parked in the
+reorder buffer) and the *deltas* of loss-shaped counters since the last
+sample — wire losses, retransmissions, abandoned frames — so sustained
+retransmit storms degrade the producer even while queues stay short.
+
+Degradation is deliberately sluggish: the controller observes the
+*minimum* pressure over the last ``sustain`` samples, so a single spike
+never switches levels, but recovery (which needs pressure to fall) acts
+on the newest sample as soon as the window agrees.  Every switch is
+recorded as a structured ``degrade``/``recover``
+:class:`~repro.resilience.supervisor.AlarmEvent` on the given sink.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional
+
+from repro.resilience.supervisor import AlarmEvent
+
+
+class PressureMonitor:
+    """Feeds sustained channel pressure into a RateController."""
+
+    def __init__(self, controller, channels, alarms: Optional[List] = None,
+                 sustain: int = 2):
+        if sustain < 1:
+            raise ValueError("sustain must be >= 1")
+        self.controller = controller
+        self.channels = list(channels) if isinstance(channels, (list, tuple)) \
+            else [channels]
+        self.alarms = alarms if alarms is not None else []
+        # pre-seeded with a zero-pressure baseline so a spike on the very
+        # first sample cannot degrade before `sustain` samples agree
+        self._window: deque = deque([0], maxlen=sustain)
+        self._baseline = {
+            id(ch): self._wear(ch) for ch in self.channels
+        }
+        self.samples = 0
+
+    @staticmethod
+    def _wear(ch) -> int:
+        """Cumulative loss-shaped work the channel has absorbed."""
+        stats = ch.protocol_stats()
+        return ch.losses + stats.get("retransmits", 0) + stats.get("abandoned", 0)
+
+    def pressure(self) -> int:
+        total = 0
+        for ch in self.channels:
+            total += len(ch)
+            wear = self._wear(ch)
+            total += wear - self._baseline[id(ch)]
+            self._baseline[id(ch)] = wear
+        return total
+
+    def sample(self, time: float = 0.0):
+        """One observation; returns the (possibly switched) current level."""
+        self.samples += 1
+        self._window.append(self.pressure())
+        ctl = self.controller
+        before = ctl.index
+        ctl.observe(min(self._window), time)
+        if ctl.index != before:
+            kind = "degrade" if ctl.index > before else "recover"
+            self.alarms.append(
+                AlarmEvent(
+                    time, kind,
+                    ",".join(ch.name for ch in self.channels),
+                    "{} -> {}".format(
+                        ctl.levels[before].name, ctl.current.name
+                    ),
+                )
+            )
+        return ctl.current
+
+    def schedule(self, phase: float = 0.0) -> Iterator[float]:
+        """An adaptive activation schedule driven by this monitor."""
+        t = phase
+        while True:
+            self.sample(t)
+            yield t
+            t += self.controller.current.period

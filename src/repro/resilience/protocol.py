@@ -1,0 +1,93 @@
+"""The ack/retransmit wrapper as a Signal process, for verification.
+
+:class:`~repro.resilience.channel.ReliableChannel` is an operational
+artifact; this module is its *model*: a small alternating-bit protocol
+expressed as a synchronous Signal component, with an ``alarm`` output that
+fires exactly when a duplicate frame slips through to the application.
+The Section 5.2 obligation — "no alarm signal is raised" — then becomes a
+safety property both model-checking backends can discharge:
+
+- the correct protocol (receiver accepts a frame only when its bit
+  matches the expected bit) satisfies ``never alarm``;
+- the ``dedup=False`` mutant (receiver accepts every delivery, i.e. a raw
+  retransmitting channel without sequence numbers) is refuted by a
+  two-step counterexample: deliver the same frame twice.
+
+The environment is fully adversarial: at every tick it chooses freely
+whether a frame arrives (``deliver`` — covering loss, duplication and
+retransmission) and whether the ack channel works (``ack_ok``), so the
+proof covers every drop/duplicate/reorder interleaving of a one-frame
+window.  State space: four boolean registers, 16 states — small enough
+for the explicit backend and boolean-only, as the symbolic backend
+requires, so the two can cross-check each other
+(:func:`repro.mc.harness.cross_check_never_present`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang.ast import Component, Const, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import BOOL, EVENT
+
+
+def ack_protocol(dedup: bool = True) -> Component:
+    """The alternating-bit ack protocol; ``dedup=False`` is the mutant."""
+    b = ComponentBuilder("ABP" if dedup else "ABP_nodedup")
+    tick = b.input("tick", EVENT)
+    deliver = b.input("deliver", BOOL)   # a frame (re)arrives this tick
+    ack_ok = b.input("ack_ok", BOOL)     # the ack path works this tick
+    alarm = b.output("alarm", BOOL)      # a duplicate reached the application
+
+    s = b.local("s", BOOL)      # sender: bit of the in-flight frame
+    r = b.local("r", BOOL)      # receiver: next expected bit
+    seen = b.local("seen", BOOL)  # receiver accepted at least one frame
+    last = b.local("last", BOOL)  # bit of the last accepted frame
+
+    sp = b.let("sp", BOOL, pre(False, s))
+    rp = b.let("rp", BOOL, pre(False, r))
+    seenp = b.let("seenp", BOOL, pre(False, seen))
+    lastp = b.let("lastp", BOOL, pre(False, last))
+
+    # the arriving frame carries the sender's current bit `sp`; the
+    # receiver accepts it only when that bit is the one it expects
+    if dedup:
+        accept = b.let("accept", BOOL, deliver & ~(sp ^ rp))
+    else:
+        accept = b.let("accept", BOOL, deliver)
+    b.define(r, rp ^ accept)
+
+    # the receiver acks the bit of its last accepted frame (= ~r); the
+    # sender advances when that ack matches its current bit
+    advance = b.let("advance", BOOL, ack_ok & ~(~r ^ sp))
+    b.define(s, sp ^ advance)
+
+    b.define(seen, seenp | accept)
+    b.define(last, sp.when(accept).default(lastp))
+
+    # duplicate delivery: accepting a frame whose bit equals the bit of
+    # an already-accepted frame
+    dup = b.let("dup", BOOL, accept & seenp & ~(sp ^ lastp))
+    b.define(alarm, Const(True).when(dup))
+
+    b.sync(tick, deliver, ack_ok, s, r, seen, last)
+    return b.build()
+
+
+def ack_alphabet() -> List[Dict[str, object]]:
+    """The adversarial environment: idle, or any (deliver, ack_ok) pair."""
+    letters: List[Dict[str, object]] = [{}]
+    for deliver in (False, True):
+        for ack in (False, True):
+            letters.append({"tick": True, "deliver": deliver, "ack_ok": ack})
+    return letters
+
+
+def verify_ack_protocol(dedup: bool = True):
+    """Cross-check ``never alarm`` on both backends; returns the report."""
+    from repro.mc.harness import cross_check_never_present
+
+    return cross_check_never_present(
+        ack_protocol(dedup), "alarm", alphabet=ack_alphabet()
+    )

@@ -1,0 +1,194 @@
+"""Checkpoint/restart supervision of GALS nodes.
+
+A :class:`Supervisor` woven into an
+:class:`~repro.gals.network.AsyncNetwork` watches every supervised node
+with a per-node watchdog: a node silent for longer than the watchdog
+timeout is presumed to have crashed and restarted.  Recovery restores the
+node's last :class:`~repro.sim.engine.Reactor` checkpoint and replays the
+logged inputs of every reaction since — reconstructing the exact
+pre-crash state, because a reactor is a deterministic function of
+(state, inputs).  Replay outputs are suppressed: the channels already
+carried them the first time.
+
+Checkpoints are taken at commit points — right after a reaction, every
+``checkpoint_interval`` time units — and truncate the replay log, bounding
+recovery work.  The :class:`RestartPolicy` bounds restarts per node
+(``max_restarts``) and enforces a minimum spacing between them; a denied
+restart leaves the node running from whatever state the crash left it in
+and raises a ``restart-denied`` alarm, so the divergence is attributable.
+
+A restart triggered by a *false positive* (a long but benign activation
+gap) is harmless by construction: checkpoint + full log replay rebuilds
+the node's current state.
+
+All observations land on :attr:`Supervisor.alarms` as structured
+:class:`AlarmEvent` records and surface on the run's
+:class:`~repro.gals.network.NetworkTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set
+
+
+class AlarmEvent(NamedTuple):
+    """One structured alarm on the trace."""
+
+    time: float
+    kind: str     # "watchdog" | "restart" | "restart-denied" | "degrade" | "recover"
+    subject: str  # node or channel name
+    detail: str = ""
+
+
+class RestartPolicy(NamedTuple):
+    """Bounded-restart policy of a supervisor."""
+
+    max_restarts: int = 3
+    min_spacing: float = 0.0  # minimum time between restarts of one node
+
+    def validate(self) -> "RestartPolicy":
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.min_spacing < 0:
+            raise ValueError("min_spacing must be >= 0")
+        return self
+
+
+class _NodeState:
+    __slots__ = (
+        "last_fire", "ckpt_state", "ckpt_instant", "ckpt_time", "log",
+        "restarts", "last_restart",
+    )
+
+    def __init__(self, reactor, time: float):
+        self.last_fire = time
+        self.ckpt_state = reactor.state()
+        self.ckpt_instant = reactor.instant_index
+        self.ckpt_time = time
+        self.log: List[Dict[str, object]] = []
+        self.restarts = 0
+        self.last_restart: Optional[float] = None
+
+
+class Supervisor:
+    """Per-node watchdogs, periodic checkpoints, bounded restarts."""
+
+    def __init__(
+        self,
+        watchdog: float,
+        checkpoint_interval: float = 3.0,
+        policy: RestartPolicy = RestartPolicy(),
+        nodes=None,
+    ):
+        if watchdog <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.watchdog = watchdog
+        self.checkpoint_interval = checkpoint_interval
+        self.policy = policy.validate()
+        self.nodes: Optional[Set[str]] = set(nodes) if nodes is not None else None
+        self.alarms: List[AlarmEvent] = []
+        self.checkpoints = 0
+        self.restarts = 0
+        self.restart_denied = 0
+        self.replayed = 0
+        self.recovery_gaps: List[float] = []
+        self._state: Dict[str, _NodeState] = {}
+
+    def _supervised(self, name: str) -> bool:
+        return self.nodes is None or name in self.nodes
+
+    def before_fire(self, name: str, reactor, time: float) -> None:
+        """Watchdog check; restores checkpoint + replays log on expiry."""
+        if not self._supervised(name):
+            return
+        st = self._state.get(name)
+        if st is None:
+            self._state[name] = _NodeState(reactor, time)
+            self.checkpoints += 1
+            return
+        gap = time - st.last_fire
+        if gap <= self.watchdog:
+            return
+        self.alarms.append(
+            AlarmEvent(time, "watchdog", name, "silent for {:.6g}".format(gap))
+        )
+        denied = st.restarts >= self.policy.max_restarts or (
+            st.last_restart is not None
+            and time - st.last_restart < self.policy.min_spacing
+        )
+        if denied:
+            self.restart_denied += 1
+            self.alarms.append(
+                AlarmEvent(
+                    time, "restart-denied", name,
+                    "budget exhausted after {} restarts".format(st.restarts),
+                )
+            )
+            return
+        st.restarts += 1
+        st.last_restart = time
+        self.restarts += 1
+        reactor.reset()
+        reactor.set_state(st.ckpt_state)
+        reactor.instant_index = st.ckpt_instant
+        for inputs in st.log:
+            reactor.react(inputs)  # outputs suppressed: already dispatched
+        self.replayed += len(st.log)
+        self.recovery_gaps.append(gap)
+        self.alarms.append(
+            AlarmEvent(
+                time, "restart", name,
+                "restored checkpoint t={:.6g}, replayed {} reactions".format(
+                    st.ckpt_time, len(st.log)
+                ),
+            )
+        )
+
+    def after_fire(self, name: str, reactor, time: float, inputs) -> None:
+        """Log the reaction; checkpoint at commit points."""
+        if not self._supervised(name):
+            return
+        st = self._state.get(name)
+        if st is None:  # pragma: no cover - before_fire always precedes
+            self._state[name] = st = _NodeState(reactor, time)
+            self.checkpoints += 1
+        st.last_fire = time
+        st.log.append(dict(inputs))
+        if time - st.ckpt_time >= self.checkpoint_interval:
+            st.ckpt_state = reactor.state()
+            st.ckpt_instant = reactor.instant_index
+            st.ckpt_time = time
+            st.log = []
+            self.checkpoints += 1
+
+    def alarm_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.alarms:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "supervised": len(self._state),
+            "checkpoints": self.checkpoints,
+            "restarts": self.restarts,
+            "restart_denied": self.restart_denied,
+            "replayed": self.replayed,
+            "max_recovery_gap": round(max(self.recovery_gaps), 9)
+            if self.recovery_gaps else 0.0,
+        }
+
+
+def supervise(
+    network,
+    watchdog: float,
+    checkpoint_interval: float = 3.0,
+    policy: RestartPolicy = RestartPolicy(),
+    nodes=None,
+) -> Supervisor:
+    """Attach a supervisor to a built network; returns it."""
+    sup = Supervisor(watchdog, checkpoint_interval, policy, nodes)
+    network._supervisor = sup
+    return sup

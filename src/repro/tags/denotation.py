@@ -127,6 +127,11 @@ def denote_expression(expr, behavior: Behavior) -> SignalTrace:
             if isinstance(left, _Chameleon):
                 # an always-available left shadows the right entirely
                 return left
+            if isinstance(right, _Chameleon) and not len(left):
+                # a null-clocked left (e.g. `y when false`) vanishes from
+                # the merge; the constant right remains free to take the
+                # clock the context imposes
+                return right
             right = resolve(right, ())  # constant right adds no instants
             return default_semantics(left, right)
         if isinstance(e, A.App):

@@ -394,3 +394,93 @@ def soak_sweep(
     """
     shared = {"program": program, "horizon": horizon, "net_kwargs": net_kwargs}
     return sweep(_soak_task, list(specs), workers=workers, shared=shared)
+
+
+# -- recovery scenarios (experiment A9) ---------------------------------------
+
+
+class RecoveryScenarioSpec(NamedTuple):
+    """A hardened soak in transportable form: workload spec, fault plan,
+    and the :class:`~repro.resilience.weave.RecoveryConfig` (NamedTuples of
+    NamedTuples — they pickle), for :func:`recovery_sweep`."""
+
+    name: str
+    workload: Dict[str, Any]
+    plan: "FaultPlan"
+    config: Any = None  # RecoveryConfig; None -> defaults
+    horizon: Optional[float] = None
+
+
+def recovery_rate_specs(
+    rates: Iterable[float] = (0.05, 0.15, 0.3),
+    seed: int = 11,
+    crash: Optional[tuple] = ((8.0, 12.0),),
+    crash_node: str = "Q",
+    workload: Optional[Dict[str, Any]] = None,
+) -> List[RecoveryScenarioSpec]:
+    """One spec per composite fault rate, each with the same crash window.
+
+    Rate ``r`` means drop at ``r`` with duplication and reordering at
+    ``r/2`` on every channel — a dose-response axis for the recovery
+    layer's retransmit/checkpoint cost (experiment A9)."""
+    from repro.faults.spec import ANY, ChannelFaults, FaultPlan, NodeFaults
+
+    wl = workload or {"kind": "single_burst"}
+    nodes = (
+        {crash_node: NodeFaults(crash=tuple(crash))} if crash else {}
+    )
+    out = []
+    for rate in rates:
+        plan = FaultPlan(
+            seed=seed,
+            channels={
+                ANY: ChannelFaults(
+                    drop=rate, duplicate=rate / 2, reorder=rate / 2, window=3
+                )
+            },
+            nodes=dict(nodes),
+        ).validate()
+        out.append(
+            RecoveryScenarioSpec("rate={:g}".format(rate), dict(wl), plan)
+        )
+    return out
+
+
+def _recovery_task(shared: Dict[str, Any], spec: RecoveryScenarioSpec) -> Dict[str, Any]:
+    """One recovery soak, summarized picklably (runs inside sweep workers)."""
+    from repro.faults.soak import recovery_soak
+
+    report = recovery_soak(
+        shared["program"],
+        workload_from_spec(spec.workload),
+        spec.plan,
+        config=spec.config if spec.config is not None else shared["config"],
+        horizon=spec.horizon if spec.horizon is not None else shared["horizon"],
+        **shared["net_kwargs"],
+    )
+    summary = report.summary()
+    summary["scenario"] = spec.name
+    return summary
+
+
+def recovery_sweep(
+    program,
+    specs: Iterable[RecoveryScenarioSpec],
+    config=None,
+    horizon: float = 40.0,
+    workers: Optional[int] = None,
+    **net_kwargs,
+) -> SweepReport:
+    """Recovery-soak every spec through :func:`repro.perf.sweep.sweep`.
+
+    Each task value is the report's :meth:`~repro.faults.soak.RecoveryReport.summary`
+    plus the scenario name; recovery soaks are deterministic in their
+    seeds, so results are identical at any ``workers`` count (asserted by
+    the A9 benchmark)."""
+    shared = {
+        "program": program,
+        "config": config,
+        "horizon": horizon,
+        "net_kwargs": net_kwargs,
+    }
+    return sweep(_recovery_task, list(specs), workers=workers, shared=shared)

@@ -76,6 +76,29 @@ class TestAsyncChannel:
         with pytest.raises(ValueError):
             AsyncChannel("c", policy="lossy")  # missing capacity
 
+    def test_inflight_overtaker_does_not_block_arrived_items(self):
+        # Head-of-line regression: a reorder-injected entry that jumped
+        # the queue but is still in flight must not hide the item it
+        # overtook — that one was pushed earlier and has already arrived.
+        ch = AsyncChannel("c", latency=1.0)
+        ch.push("first", 0.0)                      # visible at 1.0
+        ch.enqueue("overtaker", 0.5, latency=5.0, position=1)  # visible 5.5
+        assert [e[1] for e in ch.items] == ["overtaker", "first"]
+        assert ch.available(1.0)
+        assert ch.pop(1.0) == "first"
+        assert not ch.available(1.0)               # overtaker still in flight
+        assert ch.available(5.5)
+        assert ch.pop(5.5) == "overtaker"
+
+    def test_unarrived_fifo_head_still_blocks(self):
+        # ...but an ordinary (non-reordered) in-flight head keeps FIFO
+        # semantics: it blocks everything behind it.
+        ch = AsyncChannel("c", latency=2.0)
+        ch.push("a", 0.0)        # visible at 2.0
+        ch.push("b", 0.1)        # visible at 2.1
+        assert not ch.available(1.0)
+        assert ch.available(2.0) and ch.pop(2.0) == "a"
+
 
 class TestAsyncNetworkBasics:
     def test_flow_preserved_data_driven_consumer(self):

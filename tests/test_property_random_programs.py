@@ -229,3 +229,36 @@ def test_prop_clock_analysis_total(comp):
 
     analysis = analyze_clocks(comp)
     assert set(comp.signals()) <= set(analysis.rep)
+
+
+def test_null_clocked_default_left_defers_to_constant_right():
+    """Regression: ``(0 when false) default 0`` is the context-clocked
+    constant 0 — `when false` has the null clock, so the merge must defer
+    to the constant right instead of concretizing it to the empty trace.
+    Found by the engine-vs-denotation property above.
+    """
+    comp = Component(
+        "Regress",
+        INPUTS,
+        {"x0": INT},
+        {},
+        (
+            Equation(
+                "x0",
+                When(
+                    Default(When(Const(0), Const(False)), Const(0)),
+                    Var("e"),
+                ),
+            ),
+        ),
+    )
+    check_component(comp)
+    reactor = Reactor(comp, check=False)
+    trace = SimTrace()
+    rows = [{} for _ in range(11)] + [{"e": True}]
+    for row in rows:
+        trace.append(reactor.react(row))
+    behavior = trace.behavior(list(comp.signals()))
+    (eq,) = comp.equations()
+    assert behavior["x0"] == denote_expression(eq.expr, behavior)
+    assert behavior["x0"].values() == (0,)

@@ -1,0 +1,149 @@
+"""RateController hysteresis validation and exact-threshold behaviour."""
+
+import itertools
+
+import pytest
+
+from repro.designs import producer_consumer
+from repro.gals import (
+    AsyncChannel,
+    AsyncNetwork,
+    RateController,
+    ServiceLevel,
+    schedules,
+)
+
+
+def take(it, n):
+    return list(itertools.islice(it, n))
+
+
+class TestHysteresisValidation:
+    def test_accepts_classic_band(self):
+        RateController([
+            ServiceLevel("full", 1.0, None, None),
+            ServiceLevel("degraded", 3.0, enter_above=4, exit_below=2),
+        ])
+
+    def test_accepts_equal_bounds(self):
+        # enter at >= 3, leave at < 3: tight but not oscillating (an
+        # occupancy of exactly 3 stays put after degrading)
+        RateController([
+            ServiceLevel("full", 1.0, None, None),
+            ServiceLevel("eco", 2.0, enter_above=3, exit_below=3),
+        ])
+
+    def test_rejects_oscillating_band(self):
+        # degrade at >= 2 then immediately recover at < 4: any occupancy
+        # in [2, 4) flips levels on every observation
+        with pytest.raises(ValueError, match="oscillates"):
+            RateController([
+                ServiceLevel("full", 1.0, None, None),
+                ServiceLevel("eco", 2.0, enter_above=2, exit_below=4),
+            ])
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValueError, match="negative"):
+            RateController([
+                ServiceLevel("full", 1.0, None, None),
+                ServiceLevel("eco", 2.0, enter_above=-1, exit_below=None),
+            ])
+
+    def test_rejects_decreasing_enter_thresholds(self):
+        # a slower level must not trigger at a lower occupancy than the
+        # level before it, or the middle level is unreachable
+        with pytest.raises(ValueError, match="non-decreasing"):
+            RateController([
+                ServiceLevel("full", 1.0, None, None),
+                ServiceLevel("eco", 2.0, enter_above=5, exit_below=2),
+                ServiceLevel("crawl", 4.0, enter_above=3, exit_below=1),
+            ])
+
+    def test_single_level_never_switches(self):
+        rc = RateController([ServiceLevel("only", 1.0, None, None)])
+        for occ in (0, 10, 1000):
+            assert rc.observe(occ).name == "only"
+        assert rc.switches == []
+
+
+class TestExactThresholds:
+    LEVELS = [
+        ServiceLevel("full", 1.0, None, None),
+        ServiceLevel("eco", 2.0, enter_above=4, exit_below=2),
+        ServiceLevel("crawl", 4.0, enter_above=6, exit_below=3),
+    ]
+
+    def test_enter_bound_is_inclusive(self):
+        rc = RateController(self.LEVELS)
+        rc.observe(3)
+        assert rc.current.name == "full"   # 3 < 4: stays
+        rc.observe(4)
+        assert rc.current.name == "eco"    # occupancy >= enter_above
+
+
+    def test_exit_bound_is_exclusive(self):
+        rc = RateController(self.LEVELS)
+        rc.observe(4)
+        assert rc.current.name == "eco"
+        rc.observe(2)
+        assert rc.current.name == "eco"    # 2 is not < 2: holds the level
+        rc.observe(1)
+        assert rc.current.name == "full"   # strictly below: recovers
+
+    def test_one_level_per_observation(self):
+        rc = RateController(self.LEVELS)
+        rc.observe(100)                    # far past every threshold
+        assert rc.current.name == "eco"    # still only one step down
+        rc.observe(100)
+        assert rc.current.name == "crawl"
+        rc.observe(0)
+        assert rc.current.name == "eco"    # and one step back up
+        assert [s[1:] for s in rc.switches] == [
+            ("full", "eco"), ("eco", "crawl"), ("crawl", "eco"),
+        ]
+
+    def test_schedule_for_counts_losses_at_threshold(self):
+        net = AsyncNetwork.from_program(
+            producer_consumer(),
+            schedules={
+                "P": schedules.periodic(1.0),
+                "Q": schedules.periodic(1.0, phase=0.5),
+            },
+            policy="lossy",
+            capacities={"x": 1},
+        )
+        ((sig, _cons), channel), = net.channels.items()
+        assert sig == "x"
+        rc = RateController(self.LEVELS)
+        sched = rc.schedule_for(net, "x")
+        next(sched)
+        assert rc.current.name == "full"
+        # exactly enter_above worth of pressure, all of it from losses
+        for _ in range(4):
+            channel.push("v", 0.0)
+        assert len(channel) == 1 and channel.losses == 3
+        next(sched)
+        assert rc.current.name == "eco"
+        # pressure already consumed: the next sample sees only occupancy
+        channel.pop()
+        next(sched)
+        assert rc.current.name == "full"
+
+    def test_schedule_for_unknown_signal(self):
+        net = AsyncNetwork.from_program(
+            producer_consumer(),
+            schedules={
+                "P": schedules.periodic(1.0),
+                "Q": schedules.periodic(1.0, phase=0.5),
+            },
+        )
+        rc = RateController(self.LEVELS)
+        with pytest.raises(KeyError):
+            rc.schedule_for(net, "no-such-signal")
+
+    def test_schedule_periods_track_the_level(self):
+        rc = RateController(self.LEVELS)
+        occupancy = {"v": 4}
+        ts = take(rc.schedule(lambda: occupancy["v"]), 3)
+        # degrades on the first sample: first gap already the eco period
+        assert ts == pytest.approx([0.0, 2.0, 4.0])
