@@ -1,9 +1,16 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick soak-quick recover-quick
+.PHONY: test test-fast bench bench-quick soak-quick recover-quick lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
+
+# static desync-safety analysis over the example modules and the
+# canonical designs; fails on any error-severity finding
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint --all-designs examples/*.py \
+		--format sarif --output lint.sarif
+	PYTHONPATH=src $(PYTHON) -m repro lint --all-designs examples/*.py
 
 test-fast:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q -m "not slow"

@@ -63,6 +63,11 @@ def pipeline_program():
     return Program("avionics", [sensor(), smoother(), display()])
 
 
+def program():
+    """Lint entry point (``repro lint examples/avionics_pipeline.py``)."""
+    return pipeline_program()
+
+
 def main():
     prog = pipeline_program()
 

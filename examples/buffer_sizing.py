@@ -29,6 +29,11 @@ def simulation_data():
     )
 
 
+def program():
+    """Lint entry point (``repro lint examples/buffer_sizing.py``)."""
+    return modular_producer_consumer(modulus=2)
+
+
 def main():
     program = modular_producer_consumer(modulus=2)
 

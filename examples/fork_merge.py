@@ -45,6 +45,11 @@ def diamond():
     )
 
 
+def program():
+    """Lint entry point (``repro lint examples/fork_merge.py``)."""
+    return diamond()
+
+
 def main():
     prog = diamond()
     check_program(prog)

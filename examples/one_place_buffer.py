@@ -13,6 +13,12 @@ from repro.lang import format_component
 from repro.sim import Reactor, SimTrace
 
 
+def program():
+    """Lint entry point (``repro lint examples/one_place_buffer.py``)."""
+    comp, _ports = one_place_fifo()
+    return comp
+
+
 def main():
     comp, ports = one_place_fifo()
 

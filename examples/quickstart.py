@@ -18,6 +18,11 @@ from repro.sim import simulate, stimuli
 from repro.workloads import bursty_producer
 
 
+def program():
+    """Lint entry point (``repro lint examples/quickstart.py``)."""
+    return producer_consumer()
+
+
 def main():
     # -- 1+2. the synchronous reference -------------------------------------
     program = producer_consumer()

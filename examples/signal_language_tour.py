@@ -46,6 +46,11 @@ end
 """
 
 
+def program():
+    """Lint entry point (``repro lint examples/signal_language_tour.py``)."""
+    return parse_component(SOURCE)
+
+
 def main():
     comp = parse_component(SOURCE)
     check_component(comp)

@@ -21,6 +21,11 @@ from repro.mc import check_invariant, compile_lts, inevitable
 from repro.sim import simulate, stimuli
 
 
+def program():
+    """Lint entry point (``repro lint examples/token_ring.py``)."""
+    return token_ring(stations=3)
+
+
 def main():
     # -- 1. synchronous simulation -------------------------------------------
     prog = token_ring(stations=3)

@@ -4,6 +4,7 @@ Commands
 --------
 
 - ``check FILE``      parse, type-check, causality- and clock-check
+- ``lint TARGETS``    static desync-safety analysis (rule codes SIG*/GALS*)
 - ``format FILE``     pretty-print back to Signal source
 - ``clocks FILE``     clock calculus report
 - ``simulate FILE``   run against periodic stimuli, render the trace
@@ -96,6 +97,130 @@ def cmd_check(args) -> int:
         else "free clocks present: {}".format(sorted(analysis.free))
     ))
     return 0
+
+
+_LINT_DESIGNS = (
+    "producer_consumer",
+    "producer_accumulator",
+    "modular_producer_consumer",
+    "boolean_producer_consumer",
+    "pipeline",
+    "request_response",
+    "fan_out",
+    "token_ring",
+)
+
+
+def _lint_targets(args):
+    """Resolve lint targets to ``(label, Program)`` pairs.
+
+    A target is a Signal source file, an example module (``.py`` with a
+    zero-argument ``program()``), or the name of a constructor in
+    :mod:`repro.designs`; ``--all-designs`` appends the canonical set.
+    """
+    import os
+
+    from repro import designs
+    from repro.lang.ast import Component, Program
+
+    names = list(args.targets)
+    if args.all_designs:
+        names.extend(_LINT_DESIGNS)
+    if not names:
+        raise SystemExit("lint: no targets (give a file, a design name, "
+                         "or --all-designs)")
+    out = []
+    for name in names:
+        if name.endswith(".py") and os.path.exists(name):
+            import importlib.util
+
+            modname = "_lint_{}".format(
+                os.path.basename(name)[:-3].replace("-", "_")
+            )
+            spec = importlib.util.spec_from_file_location(modname, name)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            factory = getattr(module, "program", None)
+            if factory is None:
+                raise SystemExit(
+                    "lint: example {} has no program() constructor".format(name)
+                )
+            prog = factory()
+            if isinstance(prog, Component):
+                prog = Program(prog.name, [prog])
+            out.append((name, prog))
+        elif os.path.exists(name):
+            out.append((name, _load(name)))
+        elif hasattr(designs, name):
+            prog = getattr(designs, name)()
+            if isinstance(prog, Component):
+                prog = Program(prog.name, [prog])
+            out.append((name, prog))
+        else:
+            raise SystemExit(
+                "lint: {!r} is neither a file nor a repro.designs "
+                "constructor".format(name)
+            )
+    return out
+
+
+def cmd_lint(args) -> int:
+    from repro.lang import format_program
+    from repro.lint import LintReport, fix_program, lint_program, parse_rates
+
+    def split(values):
+        return [p for v in values or [] for p in v.split(",") if p]
+
+    select = split(args.select)
+    ignore = split(args.ignore)
+    try:
+        rates = parse_rates(args.rate or [])
+    except ValueError as exc:
+        raise SystemExit("lint: {}".format(exc))
+
+    diagnostics = []
+    names = []
+    for label, prog in _lint_targets(args):
+        if args.fix:
+            fixed, n = fix_program(prog)
+            if n:
+                if not label.endswith(".sig"):
+                    raise SystemExit(
+                        "lint --fix: {} is not a Signal source file".format(
+                            label
+                        )
+                    )
+                with open(label, "w") as fh:
+                    fh.write(format_program(fixed) + "\n")
+                print("fixed {}: {} change(s)".format(label, n))
+                prog = _load(label)
+        report = lint_program(
+            prog,
+            file=label,
+            rates=rates,
+            cut_channels=not args.synchronous,
+            select=select,
+            ignore=ignore,
+        )
+        diagnostics.extend(report.diagnostics)
+        names.append(prog.name)
+    merged = LintReport(
+        names[0] if len(names) == 1 else "{} programs".format(len(names)),
+        diagnostics,
+    )
+    if args.format == "json":
+        text = merged.to_json()
+    elif args.format == "sarif":
+        text = merged.to_sarif()
+    else:
+        text = merged.render_text()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print("wrote {}".format(args.output))
+    else:
+        print(text)
+    return 1 if merged.has_errors() else 0
 
 
 def cmd_format(args) -> int:
@@ -387,6 +512,48 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="parse, type, causality and clock check")
     p.add_argument("file")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "lint", help="static desync-safety analysis (SIG*/GALS* rules)"
+    )
+    p.add_argument(
+        "targets", nargs="*",
+        help="Signal file, example module (.py), or repro.designs name",
+    )
+    p.add_argument(
+        "--all-designs", action="store_true",
+        help="also lint every canonical design in repro.designs",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif: SARIF 2.1.0 for code-scanning UIs)",
+    )
+    p.add_argument(
+        "--select", action="append",
+        help="only report codes with these prefixes (comma-separated, "
+        "repeatable), e.g. --select SIG002,GALS",
+    )
+    p.add_argument(
+        "--ignore", action="append",
+        help="suppress codes with these prefixes (comma-separated, repeatable)",
+    )
+    p.add_argument(
+        "--rate", action="append", metavar="NAME:SPEC",
+        help="clock-rate assumption for the buffer-bound rules: "
+        "name:period[:phase] or name:CYCLE (e.g. p_act:2, x_rreq:1101)",
+    )
+    p.add_argument(
+        "--synchronous", action="store_true",
+        help="lint as a synchronous program (shared edges are wires, "
+        "not FIFO channels)",
+    )
+    p.add_argument(
+        "--fix", action="store_true",
+        help="rewrite fixable findings in-place (uninitialized pre, "
+        "unused inputs); Signal source files only",
+    )
+    p.add_argument("--output", metavar="PATH", help="write the report to PATH")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("format", help="pretty-print Signal source")
     p.add_argument("file")

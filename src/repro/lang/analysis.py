@@ -95,9 +95,38 @@ def dependency_graph(comp: Component, instantaneous: bool = True) -> Dict[str, F
     return graph
 
 
+def _canonical_cycle(scc: List[str], graph: Mapping[str, FrozenSet[str]]) -> List[str]:
+    """One concrete dependency cycle through ``scc``, rotation-canonical.
+
+    Walks from the smallest member, always taking the smallest in-SCC
+    successor, until a node repeats; the cycle found is rotated so its
+    lexicographically smallest member comes first.  Fully deterministic:
+    the same component always yields the same cycle witness.
+    """
+    members = set(scc)
+    if len(scc) == 1:
+        return [scc[0]]
+    path: List[str] = []
+    seen_at: Dict[str, int] = {}
+    v = min(scc)
+    while v not in seen_at:
+        seen_at[v] = len(path)
+        path.append(v)
+        v = min(w for w in graph.get(v, ()) if w in members)
+    cycle = path[seen_at[v]:]
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
 def instantaneous_cycles(comp: Component) -> List[List[str]]:
     """Cycles of instantaneous dependencies (Tarjan SCCs of size > 1, plus
-    self-loops).  A nonempty result means no reaction order exists."""
+    self-loops).  A nonempty result means no reaction order exists.
+
+    Each cycle is reported as a concrete dependency path in rotation-
+    canonical form (smallest member first, following dependency edges), and
+    the list of cycles is sorted — the output is byte-stable across runs,
+    which diagnostics (``repro lint``) rely on.
+    """
     graph = dependency_graph(comp, instantaneous=True)
     index: Dict[str, int] = {}
     low: Dict[str, int] = {}
@@ -128,12 +157,12 @@ def instantaneous_cycles(comp: Component) -> List[List[str]]:
                 if w == v:
                     break
             if len(scc) > 1 or v in graph.get(v, ()):
-                cycles.append(sorted(scc))
+                cycles.append(_canonical_cycle(sorted(scc), graph))
 
     for node in sorted(graph):
         if node not in index:
             strongconnect(node)
-    return cycles
+    return sorted(cycles)
 
 
 def check_causality(comp: Component) -> None:
@@ -147,29 +176,46 @@ def check_causality(comp: Component) -> None:
 
 class SharedSignal(NamedTuple):
     name: str
-    producer: str  # component name, or "" when produced by the environment
+    producer: str  # first producing component, or "" (environment-produced)
     consumers: Tuple[str, ...]
+    # every component writing the signal, in program order.  Well-formed
+    # programs have at most one; len > 1 is a multi-driver race (the lint
+    # rule SIG002 reports it; the type checker rejects it outright).
+    producers: Tuple[str, ...] = ()
 
 
 def shared_signals(program: Program) -> List[SharedSignal]:
     """Signals visible to more than one component, with the ``P ->x Q``
-    orientation of Definition 7 (producer vs consumers)."""
-    producers: Dict[str, str] = {}
+    orientation of Definition 7 (producer vs consumers).
+
+    Only *interface* signals participate: component locals — including the
+    ``<component>__``-namespaced locals minted by :func:`flatten_program`
+    with ``namespace_locals=True`` — are private and never reported, so a
+    local renamed apart from a same-named sibling cannot show up as shared.
+
+    When several components write one signal, all writers are listed in
+    ``producers`` (program order) and none of them appears in
+    ``consumers``; ``producer`` stays the first writer for compatibility.
+    """
+    producers: Dict[str, List[str]] = {}
     users: Dict[str, List[str]] = {}
     for comp in program.components:
         visible = set(comp.inputs) | set(comp.outputs)
         for eq in comp.equations():
             if eq.target in visible:
-                producers[eq.target] = comp.name
+                plist = producers.setdefault(eq.target, [])
+                if comp.name not in plist:
+                    plist.append(comp.name)
         for name in visible:
             users.setdefault(name, []).append(comp.name)
     out = []
     for name, comps in sorted(users.items()):
         if len(comps) < 2:
             continue
-        producer = producers.get(name, "")
-        consumers = tuple(c for c in comps if c != producer)
-        out.append(SharedSignal(name, producer, consumers))
+        plist = tuple(producers.get(name, ()))
+        producer = plist[0] if plist else ""
+        consumers = tuple(c for c in comps if c not in plist)
+        out.append(SharedSignal(name, producer, consumers, plist))
     return out
 
 

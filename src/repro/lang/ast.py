@@ -22,9 +22,34 @@ All nodes are immutable and hashable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.lang.types import Type
+
+
+class Span(NamedTuple):
+    """A source region (1-based, inclusive start / exclusive end column).
+
+    Statements parsed from text carry a span; statements built
+    programmatically (e.g. via :class:`~repro.lang.builder.ComponentBuilder`)
+    have ``span=None``.  Spans are carried for diagnostics only: they do not
+    participate in structural equality or hashing.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
 
 
 # ---------------------------------------------------------------------------
@@ -199,12 +224,18 @@ class Const(Expr):
 
 
 class Pre(Expr):
-    """``pre init e``: previous value of ``e``, synchronous with ``e``."""
+    """``pre init e``: previous value of ``e``, synchronous with ``e``.
+
+    ``init=None`` denotes an *uninitialized* delay (``pre e`` in source).
+    The form parses — so the linter can point at it (rule ``SIG004``) and
+    ``repro lint --fix`` can repair it — but it is rejected by the type
+    checker and by the simulator.
+    """
 
     __slots__ = ("init", "expr")
 
     def __init__(self, init, expr: Expr):
-        if not isinstance(init, (bool, int)):
+        if init is not None and not isinstance(init, (bool, int)):
             raise ValueError("pre initial value must be a constant")
         self.init = init
         self.expr = as_expr(expr)
@@ -371,17 +402,22 @@ class Statement:
 class Equation(Statement):
     """``target := expr``."""
 
-    __slots__ = ("target", "expr")
+    __slots__ = ("target", "expr", "span")
 
-    def __init__(self, target: str, expr: Expr):
+    def __init__(self, target: str, expr: Expr, span: Optional[Span] = None):
         self.target = target
         self.expr = as_expr(expr)
+        self.span = span
 
     def free_vars(self) -> frozenset:
         return self.expr.free_vars()
 
     def rename(self, mapping: Mapping[str, str]) -> "Equation":
-        return Equation(mapping.get(self.target, self.target), self.expr.rename(mapping))
+        return Equation(
+            mapping.get(self.target, self.target),
+            self.expr.rename(mapping),
+            span=self.span,
+        )
 
     def __repr__(self):
         return "Equation({!r}, {!r})".format(self.target, self.expr)
@@ -400,19 +436,22 @@ class Equation(Statement):
 class SyncConstraint(Statement):
     """``x ^= y ^= ...``: the listed signals share one clock."""
 
-    __slots__ = ("names",)
+    __slots__ = ("names", "span")
 
-    def __init__(self, names: Iterable[str]):
+    def __init__(self, names: Iterable[str], span: Optional[Span] = None):
         names = tuple(names)
         if len(names) < 2:
             raise ValueError("a synchronization constraint needs >= 2 signals")
         self.names = names
+        self.span = span
 
     def free_vars(self) -> frozenset:
         return frozenset(self.names)
 
     def rename(self, mapping: Mapping[str, str]) -> "SyncConstraint":
-        return SyncConstraint(tuple(mapping.get(n, n) for n in self.names))
+        return SyncConstraint(
+            tuple(mapping.get(n, n) for n in self.names), span=self.span
+        )
 
     def __repr__(self):
         return "SyncConstraint({!r})".format(list(self.names))

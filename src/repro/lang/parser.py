@@ -21,13 +21,18 @@ syntax this concretizes)::
     cexpr       ::= sexpr [("==" | "=" | "/=" | "<" | "<=" | ">" | ">=") sexpr]
     sexpr       ::= mexpr (("+" | "-") mexpr)*
     mexpr       ::= uexpr (("*" | "/" | "mod") uexpr)*
-    uexpr       ::= "-" uexpr | "pre" literal uexpr | "^" uexpr | atom
+    uexpr       ::= "-" uexpr | "pre" [literal] uexpr | "^" uexpr | atom
     atom        ::= IDENT ["(" expr ("," expr)* ")"]   % function call
                   | literal | "(" expr ")"
     literal     ::= INT | "true" | "false"
 
 ``=`` is accepted as a synonym of ``==`` so the paper's equations paste in
-directly.
+directly.  ``pre`` without a literal parses to an *uninitialized* delay
+(``Pre(None, ...)``) so the linter can point at it; the type checker
+rejects it.
+
+Each parsed statement carries a :class:`~repro.lang.ast.Span` covering its
+source extent, used by diagnostics.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.lang.ast import (
     Expr,
     Pre,
     Program,
+    Span,
     Statement,
     SyncConstraint,
     Var,
@@ -158,14 +164,25 @@ class _Parser:
         return statements
 
     def parse_statement(self) -> Statement:
+        start = self.peek()
         target = self.expect("IDENT").value
         if self.accept("^="):
             names = [target, self.expect("IDENT").value]
             while self.accept("^="):
                 names.append(self.expect("IDENT").value)
-            return SyncConstraint(names)
+            return SyncConstraint(names, span=self._span_from(start))
         self.expect(":=")
-        return Equation(target, self.parse_expr())
+        expr = self.parse_expr()
+        return Equation(target, expr, span=self._span_from(start))
+
+    def _span_from(self, start: Token) -> Span:
+        last = self._tokens[self._pos - 1]
+        return Span(
+            start.line,
+            start.column,
+            last.line,
+            last.column + len(last.value or last.kind),
+        )
 
     # expressions, lowest precedence first ---------------------------------
 
@@ -244,8 +261,14 @@ class _Parser:
         if self.accept("^"):
             return ClockOf(self.parse_unary())
         if self.accept("pre"):
-            init = self.parse_literal()
-            return Pre(init.value, self.parse_unary())
+            nxt = self.peek().kind
+            has_literal = nxt in ("INT", "true", "false") or (
+                nxt == "-" and self._tokens[self._pos + 1].kind == "INT"
+            )
+            if has_literal:
+                init = self.parse_literal()
+                return Pre(init.value, self.parse_unary())
+            return Pre(None, self.parse_unary())
         return self.parse_atom()
 
     def parse_literal(self) -> Const:

@@ -84,6 +84,8 @@ def _fmt_prec(expr: Expr):
         right = _fmt(expr.cond, _PREC_WHEN + 1)
         return "{} when {}".format(left, right), _PREC_WHEN
     if isinstance(expr, Pre):
+        if expr.init is None:
+            return "pre {}".format(_fmt(expr.expr, _PREC_UNARY)), _PREC_UNARY
         return (
             "pre {} {}".format(_literal(expr.init), _fmt(expr.expr, _PREC_UNARY)),
             _PREC_UNARY,

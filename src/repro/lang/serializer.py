@@ -75,7 +75,7 @@ def expr_to_dict(expr: Expr) -> Dict:
     if isinstance(expr, Pre):
         return {
             "op": "pre",
-            "init": _const_value_to_dict(expr.init),
+            "init": None if expr.init is None else _const_value_to_dict(expr.init),
             "expr": expr_to_dict(expr.expr),
         }
     if isinstance(expr, When):
@@ -111,7 +111,11 @@ def expr_from_dict(d: Dict) -> Expr:
     if op == "const":
         return Const(_const_value_from_dict(d))
     if op == "pre":
-        return Pre(_const_value_from_dict(d["init"]), expr_from_dict(d["expr"]))
+        init = d.get("init")
+        return Pre(
+            None if init is None else _const_value_from_dict(init),
+            expr_from_dict(d["expr"]),
+        )
     if op == "when":
         return When(expr_from_dict(d["expr"]), expr_from_dict(d["cond"]))
     if op == "default":

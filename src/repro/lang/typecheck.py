@@ -70,6 +70,10 @@ def infer_type(expr: Expr, env: Mapping[str, Type]) -> Type:
         inner = infer_type(expr.expr, env)
         if inner is EVENT:
             inner = BOOL  # the memorized value of an event is a boolean
+        if expr.init is None:
+            raise SignalTypeError(
+                "uninitialized pre (no initial value): {!r}".format(expr)
+            )
         init_ty = type_of_value(expr.init)
         if not _compatible(inner, init_ty):
             raise SignalTypeError(

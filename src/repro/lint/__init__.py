@@ -1,0 +1,57 @@
+"""Static desync-safety analysis (``repro lint``).
+
+A millisecond-scale static pass that proves — or refutes with a concrete
+witness — the properties the rest of the toolkit otherwise establishes by
+simulation and model checking: clock determinism (endochrony), freedom
+from write races, network-level causality, and sufficient FIFO capacity
+under affine clock assumptions.
+
+Public surface:
+
+- :func:`lint_program` / :func:`lint_network` — run the rule set;
+- :class:`LintReport` / :class:`Diagnostic` — findings + renderers
+  (text, JSON, SARIF 2.1.0);
+- :class:`PeriodicWord`, :func:`channel_bound`, :func:`infer_clock_words`
+  — the affine buffer-bound machinery;
+- :func:`fix_program` — the ``--fix`` autofixes;
+- :data:`RULES` — the rule catalogue (stable codes, severities).
+"""
+
+from repro.lint.bounds import (
+    PeriodicWord,
+    channel_bound,
+    delivered_reads,
+    infer_clock_words,
+)
+from repro.lint.diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    Rule,
+    make,
+)
+from repro.lint.engine import lint_network, lint_program, parse_rates
+from repro.lint.fixes import fix_component, fix_program
+
+__all__ = [
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "LintReport",
+    "PeriodicWord",
+    "RULES",
+    "Rule",
+    "WARNING",
+    "channel_bound",
+    "delivered_reads",
+    "fix_component",
+    "fix_program",
+    "infer_clock_words",
+    "lint_network",
+    "lint_program",
+    "make",
+    "parse_rates",
+]

@@ -1,0 +1,440 @@
+"""Static FIFO-capacity bounds from affine clock relations.
+
+The paper sizes channels *dynamically*: simulate the desynchronized
+program, count FIFO misses, grow, repeat (Section 5.2 — implemented by
+:mod:`repro.desync.estimator`).  When the clocks involved are *affine* —
+ultimately periodic activations, ``clock_divider``-style modular
+subsampling — the same answer is available in closed form, without
+simulating anything.
+
+Clocks are represented as ultimately periodic boolean words
+(:class:`PeriodicWord`, prefix + repeated cycle — the representation of
+the n-synchronous clock calculus).  A channel with write word ``w`` and
+read word ``r`` behaves like the paper's FIFO (a write at instant ``t`` is
+first readable at ``t+1``; a read succeeds iff the buffer was nonempty at
+the start of the instant — exactly :func:`repro.desync.fifo.n_fifo_direct`),
+so its occupancy is a deterministic automaton over the joint hyperperiod;
+the peak occupancy is the minimal sufficient capacity and the long-run
+rates decide boundedness (writer rate > reader rate ⟺ no finite bound).
+
+:func:`infer_clock_words` propagates input-rate assumptions through a
+component's equations by presence-abstract interpretation, recognizing
+the modular-counter sampling pattern of
+:func:`repro.lang.stdlib.clock_divider`.  Unknown (data-dependent)
+clocks simply stay unknown — the linter reports bounds only for channels
+whose two clocks were both derived.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    Var,
+    When,
+)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // _gcd(a, b) * b
+
+
+class PeriodicWord:
+    """An ultimately periodic boolean word: ``prefix`` then ``cycle`` forever."""
+
+    __slots__ = ("prefix", "cycle")
+
+    def __init__(self, prefix=(), cycle=(True,)):
+        self.prefix: Tuple[bool, ...] = tuple(bool(b) for b in prefix)
+        cycle = tuple(bool(b) for b in cycle)
+        if not cycle:
+            raise ValueError("periodic word needs a nonempty cycle")
+        self.cycle: Tuple[bool, ...] = cycle
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def always(cls) -> "PeriodicWord":
+        return cls((), (True,))
+
+    @classmethod
+    def never(cls) -> "PeriodicWord":
+        return cls((), (False,))
+
+    @classmethod
+    def periodic(cls, period: int, phase: int = 0) -> "PeriodicWord":
+        """Present once every ``period`` instants, first at ``phase``."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0 <= phase < period:
+            phase %= period
+        return cls((), tuple(i == phase for i in range(period)))
+
+    @classmethod
+    def parse(cls, spec: str) -> "PeriodicWord":
+        """``"3"`` -> every 3rd instant; ``"3:1"`` -> phase 1; ``"0"``/``"-"``
+        -> never; a string of 0/1 -> that cycle verbatim."""
+        spec = spec.strip()
+        if spec in ("0", "-", "never"):
+            return cls.never()
+        if set(spec) <= {"0", "1"} and len(spec) > 1:
+            return cls((), tuple(c == "1" for c in spec))
+        if ":" in spec:
+            period, phase = spec.split(":", 1)
+            return cls.periodic(int(period), int(phase))
+        return cls.periodic(int(spec))
+
+    # -- access -------------------------------------------------------------
+
+    def at(self, t: int) -> bool:
+        if t < len(self.prefix):
+            return self.prefix[t]
+        return self.cycle[(t - len(self.prefix)) % len(self.cycle)]
+
+    def rate(self) -> Fraction:
+        """Long-run fraction of present instants."""
+        return Fraction(sum(self.cycle), len(self.cycle))
+
+    def expand(self, prefix_len: int, cycle_len: int) -> "PeriodicWord":
+        """The same word re-laid-out with the given prefix/cycle lengths
+        (``cycle_len`` must be a multiple of the current cycle length,
+        ``prefix_len`` at least the current prefix length)."""
+        prefix = tuple(self.at(t) for t in range(prefix_len))
+        cycle = tuple(
+            self.at(prefix_len + t) for t in range(cycle_len)
+        )
+        return PeriodicWord(prefix, cycle)
+
+    def _aligned(self, other: "PeriodicWord"):
+        prefix_len = max(len(self.prefix), len(other.prefix))
+        cycle_len = _lcm(len(self.cycle), len(other.cycle))
+        return (
+            self.expand(prefix_len, cycle_len),
+            other.expand(prefix_len, cycle_len),
+        )
+
+    # -- algebra ------------------------------------------------------------
+
+    def __and__(self, other: "PeriodicWord") -> "PeriodicWord":
+        a, b = self._aligned(other)
+        return PeriodicWord(
+            tuple(x and y for x, y in zip(a.prefix, b.prefix)),
+            tuple(x and y for x, y in zip(a.cycle, b.cycle)),
+        )
+
+    def __or__(self, other: "PeriodicWord") -> "PeriodicWord":
+        a, b = self._aligned(other)
+        return PeriodicWord(
+            tuple(x or y for x, y in zip(a.prefix, b.prefix)),
+            tuple(x or y for x, y in zip(a.cycle, b.cycle)),
+        )
+
+    def normalized(self) -> "PeriodicWord":
+        """Smallest equivalent representation (minimal cycle, then prefix)."""
+        cycle = list(self.cycle)
+        for d in range(1, len(cycle) + 1):
+            if len(cycle) % d:
+                continue
+            if cycle == cycle[:d] * (len(cycle) // d):
+                cycle = cycle[:d]
+                break
+        prefix = list(self.prefix)
+        while prefix and prefix[-1] == cycle[-1]:
+            prefix.pop()
+            cycle = cycle[-1:] + cycle[:-1]
+        return PeriodicWord(tuple(prefix), tuple(cycle))
+
+    def __eq__(self, other):
+        if not isinstance(other, PeriodicWord):
+            return NotImplemented
+        a = self.normalized()
+        b = other.normalized()
+        return a.prefix == b.prefix and a.cycle == b.cycle
+
+    def __hash__(self):
+        n = self.normalized()
+        return hash((n.prefix, n.cycle))
+
+    def __repr__(self):
+        n = self.normalized()
+        return "PeriodicWord({}|{})".format(
+            "".join("1" if b else "0" for b in n.prefix),
+            "".join("1" if b else "0" for b in n.cycle),
+        )
+
+
+def channel_bound(
+    write: PeriodicWord, read: PeriodicWord
+) -> Optional[int]:
+    """Peak occupancy of a FIFO written at ``write`` and read at ``read``.
+
+    ``None`` means unbounded: the writer's long-run rate exceeds the
+    reader's, so no finite capacity avoids overflow.  Semantics match the
+    paper's FIFOs (:func:`repro.desync.fifo.n_fifo_direct`): a read at
+    instant ``t`` succeeds iff the count at the start of ``t`` is positive
+    — a same-instant write is not yet readable.
+    """
+    if write.rate() > read.rate():
+        return None
+    w, r = write._aligned(read)
+    start = len(w.prefix)
+    period = len(w.cycle)
+    count = 0
+    peak = 0
+
+    def step(t: int) -> None:
+        nonlocal count, peak
+        rd = r.at(t) and count > 0
+        wr = w.at(t)
+        count += int(wr) - int(rd)
+        if count > peak:
+            peak = count
+
+    for t in range(start):
+        step(t)
+    # long-run writer rate <= reader rate, so the boundary occupancy is
+    # non-increasing once reads stop starving; iterate hyperperiods until
+    # the boundary state repeats, then the peak is final
+    seen = set()
+    t = start
+    while count not in seen:
+        seen.add(count)
+        for _ in range(period):
+            step(t)
+            t += 1
+    return peak
+
+
+def delivered_reads(
+    write: PeriodicWord, read: PeriodicWord, horizon_periods: int = 4
+) -> PeriodicWord:
+    """The word of *successful* reads (``rd = r(t) and count > 0``).
+
+    This is the arrival clock downstream of a channel — feeding it into
+    the next channel of a pipeline propagates rates through multi-hop
+    topologies.  The result is ultimately periodic because the occupancy
+    automaton reaches a periodic steady state.
+    """
+    w, r = write._aligned(read)
+    start = len(w.prefix)
+    period = len(w.cycle)
+    count = 0
+    bits: List[bool] = []
+    boundary_counts: List[int] = []
+    t = 0
+    # iterate until the boundary occupancy repeats (or a safety cap for
+    # diverging channels — then the tail is "every read delivers")
+    cap = max(horizon_periods, 64)
+    while True:
+        if t >= start and (t - start) % period == 0:
+            if count in boundary_counts:
+                first = boundary_counts.index(count)
+                prefix_len = start + first * period
+                return PeriodicWord(
+                    tuple(bits[:prefix_len]), tuple(bits[prefix_len:t])
+                ).normalized()
+            boundary_counts.append(count)
+            if len(boundary_counts) > cap:
+                # diverging: buffer never empties again; reads all succeed
+                return PeriodicWord(tuple(bits[:t]), r.expand(start, period).cycle)
+        rd = r.at(t) and count > 0
+        wr = w.at(t)
+        bits.append(rd)
+        count += int(wr) - int(rd)
+        t += 1
+
+
+# ---------------------------------------------------------------------------
+# Clock-word inference over a component
+# ---------------------------------------------------------------------------
+
+
+_MAX_SAMPLE_EXPANSION = 4096
+
+
+def _modular_counter(eq: Equation) -> Optional[Tuple[int, int]]:
+    """Recognize ``x := (pre i x + 1) mod m`` -> ``(i, m)``.
+
+    This is the state equation of :func:`repro.lang.stdlib.clock_divider`
+    and of the modular producers in :mod:`repro.designs`.
+    """
+    e = eq.expr
+    if not (isinstance(e, App) and e.op == "mod" and len(e.args) == 2):
+        return None
+    body, m = e.args
+    if not (isinstance(m, Const) and isinstance(m.value, int) and m.value > 0):
+        return None
+    if not (isinstance(body, App) and body.op == "+" and len(body.args) == 2):
+        return None
+    p, one = body.args
+    if isinstance(one, Pre):  # allow 1 + pre i x as well
+        p, one = one, p
+    if not (isinstance(one, Const) and one.value == 1):
+        return None
+    if not (
+        isinstance(p, Pre)
+        and p.init is not None
+        and isinstance(p.expr, Var)
+        and p.expr.name == eq.target
+    ):
+        return None
+    return int(p.init), int(m.value)
+
+
+class WordInference:
+    """Presence-abstract interpretation: signal -> PeriodicWord (or None)."""
+
+    def __init__(self, comp: Component, rates: Mapping[str, PeriodicWord]):
+        self.comp = comp
+        self.words: Dict[str, PeriodicWord] = {}
+        self.equations: Dict[str, Equation] = {}
+        for eq in comp.equations():
+            # multi-driver components are racy (SIG002); first writer wins
+            self.equations.setdefault(eq.target, eq)
+        for name, word in rates.items():
+            if name in comp.signals():
+                self.words[name] = word
+        self._run()
+
+    def _run(self) -> None:
+        changed = True
+        rounds = 0
+        while changed and rounds < 2 * (len(self.comp.statements) + 1):
+            changed = False
+            rounds += 1
+            for eq in self.comp.equations():
+                if eq.target in self.words:
+                    continue
+                word = self._clock_word(eq.expr)
+                if word is not None:
+                    self.words[eq.target] = word
+                    changed = True
+            for sc in self.comp.sync_constraints():
+                known = [n for n in sc.names if n in self.words]
+                if known and len(known) < len(sc.names):
+                    w = self.words[known[0]]
+                    for n in sc.names:
+                        if n not in self.words:
+                            self.words[n] = w
+                            changed = True
+
+    # -- clock of an expression --------------------------------------------
+
+    def _clock_word(self, expr: Expr) -> Optional[PeriodicWord]:
+        if isinstance(expr, Var):
+            return self.words.get(expr.name)
+        if isinstance(expr, Const):
+            return None  # context-clocked: no clock of its own
+        if isinstance(expr, (Pre, ClockOf)):
+            return self._clock_word(expr.expr)
+        if isinstance(expr, Default):
+            left = self._clock_word(expr.left)
+            right = self._clock_word(expr.right)
+            if left is None or right is None:
+                return None
+            return (left | right).normalized()
+        if isinstance(expr, When):
+            sample = self._sample_word(expr.cond)
+            if sample is None:
+                return None
+            base = self._clock_word(expr.expr)
+            if base is None:
+                if isinstance(expr.expr, Const):
+                    # `const when c`: clocked by the sample alone
+                    return sample.normalized()
+                return None
+            return (base & sample).normalized()
+        if isinstance(expr, App):
+            # synchronous operands: any known operand word is the clock
+            for arg in expr.args:
+                word = self._clock_word(arg)
+                if word is not None:
+                    return word
+            return None
+        return None
+
+    # -- instants where a boolean condition is present and true -------------
+
+    def _sample_word(self, cond: Expr, depth: int = 0) -> Optional[PeriodicWord]:
+        if depth > 8:
+            return None
+        if isinstance(cond, Const):
+            return None  # handled by the caller via the base clock
+        if isinstance(cond, Var):
+            eq = self.equations.get(cond.name)
+            if eq is None:
+                return None
+            return self._sample_word(eq.expr, depth + 1)
+        if isinstance(cond, When) and isinstance(cond.expr, Const):
+            # `true when e` / `false when e`
+            if cond.expr.value is True:
+                inner = self._sample_word(cond.cond, depth + 1)
+                if inner is not None:
+                    return inner
+                return self._clock_word(cond.cond)
+            if cond.expr.value is False:
+                return PeriodicWord.never()
+        if isinstance(cond, Default):
+            left = self._sample_word(cond.left, depth + 1)
+            right = self._sample_word(cond.right, depth + 1)
+            if left is not None and right is not None:
+                return (left | right).normalized()
+            return None
+        if isinstance(cond, App) and cond.op == "==" and len(cond.args) == 2:
+            a, b = cond.args
+            if isinstance(a, Const):
+                a, b = b, a
+            if isinstance(a, Var) and isinstance(b, Const):
+                return self._counter_sample(a.name, int(b.value))
+        return None
+
+    def _counter_sample(self, name: str, k: int) -> Optional[PeriodicWord]:
+        """Word of instants where modular counter ``name`` equals ``k``."""
+        eq = self.equations.get(name)
+        if eq is None:
+            return None
+        counter = _modular_counter(eq)
+        if counter is None:
+            return None
+        init, modulus = counter
+        base = self.words.get(name)
+        if base is None:
+            return None
+        # the counter's value at its n-th present instant is (init+1+n) mod m;
+        # expand over a window long enough for presence-count to wrap
+        prefix_len = len(base.prefix)
+        cycle_len = len(base.cycle) * modulus
+        if prefix_len + cycle_len > _MAX_SAMPLE_EXPANSION:
+            return None
+        bits: List[bool] = []
+        n = 0
+        for t in range(prefix_len + cycle_len):
+            present = base.at(t)
+            bits.append(present and (init + 1 + n) % modulus == k % modulus)
+            if present:
+                n += 1
+        return PeriodicWord(
+            tuple(bits[:prefix_len]), tuple(bits[prefix_len:])
+        ).normalized()
+
+
+def infer_clock_words(
+    comp: Component, rates: Mapping[str, PeriodicWord]
+) -> Dict[str, PeriodicWord]:
+    """Clock words for every signal derivable from the given input rates."""
+    return dict(WordInference(comp, rates).words)

@@ -1,0 +1,244 @@
+"""Diagnostic model of the static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``SIG0xx`` for
+single-clocked/synchronous rules, ``GALS0xx`` for rules about the
+asynchronous deployment), a severity, a human message and — when the
+program came from source text — a :class:`~repro.lang.ast.Span`.
+
+A :class:`LintReport` is an ordered collection of findings with renderers
+for the three output formats of ``repro lint``:
+
+- ``text`` — one ``file:line:col: severity[CODE] message`` line each;
+- ``json`` — a machine-readable object (stable key order);
+- ``sarif`` — minimal SARIF 2.1.0, consumable by code-scanning UIs.
+
+Per-rule suppression is prefix-based: ``--select SIG`` keeps only the
+synchronous rules, ``--ignore GALS003`` drops the buffer-bound infos.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.lang.ast import Span
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+_SARIF_LEVEL = {ERROR: "error", WARNING: "warning", INFO: "note"}
+
+
+class Rule(NamedTuple):
+    """One entry of the rule catalogue (see ``docs/static-analysis.md``)."""
+
+    code: str
+    severity: str
+    title: str
+    fixable: bool = False
+
+
+RULES: Dict[str, Rule] = {
+    r.code: r
+    for r in [
+        Rule("SIG001", WARNING, "design is not input-deterministic "
+                                "(free clocks need an oracle)"),
+        Rule("SIG002", ERROR, "signal written by more than one equation "
+                              "(multi-driver race)"),
+        Rule("SIG003", ERROR, "instantaneous dependency cycle "
+                              "(no reaction order exists)"),
+        Rule("SIG004", ERROR, "uninitialized pre (no initial value)",
+             fixable=True),
+        Rule("SIG005", WARNING, "dead signal (defined but never read)"),
+        Rule("SIG006", WARNING, "unused input", fixable=True),
+        Rule("SIG007", ERROR, "undefined signal (non-input without a "
+                              "defining equation)"),
+        Rule("SIG008", WARNING, "dead clock (signal provably never present)"),
+        Rule("GALS001", ERROR, "inter-node instantaneous cycle through "
+                               "FIFO-free channel edges"),
+        Rule("GALS002", ERROR, "write-write race across GALS domain "
+                               "boundaries (shared signal has several "
+                               "producing nodes)"),
+        Rule("GALS003", INFO, "static FIFO capacity bound inferred from "
+                              "affine clocks"),
+        Rule("GALS004", WARNING, "declared channel capacity below the "
+                                 "static bound"),
+        Rule("GALS005", WARNING, "channel unbounded under the assumed "
+                                 "rates (writer outpaces reader)"),
+    ]
+}
+
+
+class Diagnostic(NamedTuple):
+    code: str
+    severity: str
+    message: str
+    component: str = ""          # component name, or "" for program level
+    signal: str = ""             # primary signal, or ""
+    span: Optional[Span] = None  # source region, when parsed from text
+    file: str = ""               # source path, or "" for built designs
+
+    def location(self) -> str:
+        """``file:line:col`` when a span is known, else what is known."""
+        parts = [self.file or "<design>"]
+        if self.span is not None:
+            parts.append(str(self.span.line))
+            parts.append(str(self.span.column))
+        return ":".join(parts)
+
+    def render(self) -> str:
+        where = self.location()
+        scope = " ({})".format(self.component) if self.component else ""
+        return "{}: {}[{}]{} {}".format(
+            where, self.severity, self.code, scope, self.message
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "component": self.component,
+            "signal": self.signal,
+            "file": self.file,
+        }
+        if self.span is not None:
+            out["line"] = self.span.line
+            out["column"] = self.span.column
+            out["end_line"] = self.span.end_line
+            out["end_column"] = self.span.end_column
+        return out
+
+
+def make(
+    code: str,
+    message: str,
+    component: str = "",
+    signal: str = "",
+    span: Optional[Span] = None,
+    file: str = "",
+) -> Diagnostic:
+    """Build a diagnostic with the severity of its registered rule."""
+    rule = RULES[code]
+    return Diagnostic(code, rule.severity, message, component, signal, span, file)
+
+
+def _matches(code: str, prefixes: Sequence[str]) -> bool:
+    return any(code.startswith(p) for p in prefixes)
+
+
+class LintReport:
+    """An ordered, renderable set of diagnostics for one program."""
+
+    def __init__(self, program: str, diagnostics: Iterable[Diagnostic]):
+        self.program = program
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(diagnostics)
+
+    # -- selection ----------------------------------------------------------
+
+    def filter(
+        self,
+        select: Sequence[str] = (),
+        ignore: Sequence[str] = (),
+    ) -> "LintReport":
+        """Keep codes matching a ``select`` prefix (all, when empty) and not
+        matching any ``ignore`` prefix."""
+        kept = [
+            d
+            for d in self.diagnostics
+            if (not select or _matches(d.code, select))
+            and not _matches(d.code, ignore)
+        ]
+        return LintReport(self.program, kept)
+
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(ERROR)
+
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    # -- renderers ----------------------------------------------------------
+
+    def render_text(self) -> str:
+        if not self.diagnostics:
+            return "{}: clean (no findings)".format(self.program)
+        lines = [d.render() for d in self.diagnostics]
+        counts = {
+            sev: len(self.by_severity(sev))
+            for sev in SEVERITIES
+            if self.by_severity(sev)
+        }
+        summary = ", ".join(
+            "{} {}{}".format(n, sev, "s" if n != 1 else "")
+            for sev, n in counts.items()
+        )
+        lines.append("{}: {}".format(self.program, summary))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "program": self.program,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_sarif(self) -> str:
+        """Minimal SARIF 2.1.0: one run, rule metadata, physical locations."""
+        used = sorted({d.code for d in self.diagnostics})
+        rules = [
+            {
+                "id": code,
+                "shortDescription": {"text": RULES[code].title},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL[RULES[code].severity]
+                },
+            }
+            for code in used
+        ]
+        results = []
+        for d in self.diagnostics:
+            result: Dict[str, object] = {
+                "ruleId": d.code,
+                "level": _SARIF_LEVEL[d.severity],
+                "message": {"text": d.message},
+            }
+            location: Dict[str, object] = {
+                "artifactLocation": {"uri": d.file or "<design>"}
+            }
+            if d.span is not None:
+                location["region"] = {
+                    "startLine": d.span.line,
+                    "startColumn": d.span.column,
+                    "endLine": d.span.end_line,
+                    "endColumn": d.span.end_column,
+                }
+            result["locations"] = [{"physicalLocation": location}]
+            results.append(result)
+        sarif = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri":
+                                "docs/static-analysis.md",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(sarif, indent=2, sort_keys=True)

@@ -1,0 +1,106 @@
+"""The lint engine: run every rule over a program or a network.
+
+:func:`lint_program` is the main entry point (the ``repro lint`` CLI is a
+thin wrapper around it).  :func:`lint_network` lints the program behind a
+live :class:`~repro.gals.network.AsyncNetwork` and additionally checks
+the network's *declared* channel capacities against the static bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast import Program
+from repro.lint.bounds import PeriodicWord
+from repro.lint.diagnostics import LintReport
+from repro.lint import rules as _rules
+
+
+def parse_rates(specs: Sequence[str]) -> dict:
+    """Parse ``name:spec`` rate assumptions (see ``PeriodicWord.parse``).
+
+    ``p_act:1`` — present every instant; ``x_rreq:2`` — every 2nd instant;
+    ``x_rreq:2:1`` — every 2nd instant starting at the 2nd; ``tick:1101``
+    — the literal cycle.
+    """
+    out = {}
+    for spec in specs:
+        name, _, word = spec.partition(":")
+        if not name or not word:
+            raise ValueError(
+                "bad rate {!r}: expected name:period[:phase] "
+                "or name:CYCLE".format(spec)
+            )
+        out[name] = PeriodicWord.parse(word)
+    return out
+
+
+def lint_program(
+    program: Program,
+    file: str = "",
+    rates: Optional[Mapping[str, PeriodicWord]] = None,
+    capacities: Optional[Mapping[str, int]] = None,
+    cut_channels: bool = True,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    buffered: Optional[Set[Tuple[str, str]]] = None,
+) -> LintReport:
+    """Run the full rule set over ``program``.
+
+    ``rates`` maps input/clock names to assumed presence words (enables
+    the GALS003/004/005 bound rules).  ``capacities`` declares per-signal
+    channel capacities to check against the bounds.  ``cut_channels``
+    states whether shared-signal edges will be deployed as FIFO channels
+    (the GALS reading; the default) or stay synchronous wires.
+    ``buffered`` overrides the set of ``(signal, consumer)`` edges that
+    carry a FIFO for the network-causality rule.
+    """
+    ctx = _rules._Context(
+        program,
+        file=file,
+        rates=rates,
+        capacities=capacities,
+        cut_channels=cut_channels,
+    )
+    diagnostics = []
+    for rule in _rules.ALL_RULES:
+        if rule is _rules.rule_network_causality:
+            diagnostics.extend(rule(ctx, buffered=buffered))
+        else:
+            diagnostics.extend(rule(ctx))
+    report = LintReport(program.name, diagnostics)
+    return report.filter(select=select, ignore=ignore)
+
+
+def lint_network(
+    network,
+    rates: Optional[Mapping[str, PeriodicWord]] = None,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> LintReport:
+    """Lint the program behind an :class:`~repro.gals.network.AsyncNetwork`.
+
+    The network's channel topology supplies the buffered-edge set for the
+    causality rule and its declared capacities feed the GALS004 check.
+    An unbounded-policy network has no declared capacities to check.
+    """
+    program = Program(
+        "network", [node.component for node in network.nodes]
+    )
+    buffered = set(network.channels.keys())
+    capacities = {}
+    for (sig, _consumer), channel in network.channels.items():
+        if channel.capacity is not None:
+            cap = capacities.get(sig)
+            capacities[sig] = (
+                channel.capacity if cap is None else min(cap, channel.capacity)
+            )
+    return lint_program(
+        program,
+        rates=rates,
+        capacities=capacities,
+        cut_channels=True,
+        select=select,
+        ignore=ignore,
+        buffered=buffered,
+    )

@@ -179,6 +179,11 @@ class Reactor:
                             raise SimulationError(
                                 "pre of a constant has no clock: {!r}".format(node)
                             )
+                        if node.init is None:
+                            raise SimulationError(
+                                "uninitialized pre cannot be simulated: "
+                                "{!r}".format(node)
+                            )
                         self._slot_of[id(node)] = len(self._pre_nodes)
                         self._pre_nodes.append(node)
         self._state: List[object] = [n.init for n in self._pre_nodes]

@@ -140,6 +140,11 @@ class ReactionPlan:
                         raise SimulationError(
                             "pre of a constant has no clock: {!r}".format(node)
                         )
+                    if node.init is None:
+                        raise SimulationError(
+                            "uninitialized pre cannot be simulated: "
+                            "{!r}".format(node)
+                        )
                     self.pre_slot_of[id(node)] = len(self.pre_nodes)
                     self.pre_nodes.append(node)
         self.init_state: Tuple[object, ...] = tuple(n.init for n in self.pre_nodes)

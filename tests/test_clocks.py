@@ -192,3 +192,37 @@ class TestHierarchy:
         r = Reactor(free_comp)
         out = r.react({"msgin": 1})
         assert "msgout" not in out
+
+class TestExtractionWithoutNormalization:
+    def test_core_form_accepted(self):
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := a when c |) end"
+        )
+        cons = extract_constraints(comp, normalize=False)
+        # x := a when c  ->  ^x = [c] * ^a  (a sampled intersection)
+        assert any("[c]" in repr(c.right) for c in cons)
+
+    def test_non_core_rejected(self):
+        import pytest
+
+        from repro.errors import ClockError
+
+        comp = parse_component(
+            "process C = (? integer a; ? boolean c; ! integer x;)"
+            "(| x := (a + 1) when c |) end"
+        )
+        with pytest.raises(ClockError):
+            extract_constraints(comp, normalize=False)
+
+    def test_event_signals_constrain_like_booleans(self):
+        comp = parse_component(
+            "process C = (? event tick; ? integer a; ! integer x;)"
+            "(| x := a | x ^= tick |) end"
+        )
+        cons = extract_constraints(comp)
+        rendered = [str(c) for c in cons]
+        assert rendered  # event-typed operands extract without error
+        analysis = analyze_clocks(comp)
+        rep = analysis.rep
+        assert rep["x"] == rep["tick"] == rep["a"]

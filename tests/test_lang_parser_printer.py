@@ -228,3 +228,56 @@ def _exprs(depth):
 @given(_exprs(3))
 def test_prop_print_parse_roundtrip(expr):
     assert parse_expression(format_expression(expr)) == expr
+
+class TestUninitializedPre:
+    def test_parse_and_print_round_trip(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := pre a |) end"
+        )
+        eq = comp.statements[0]
+        assert isinstance(eq.expr, Pre) and eq.expr.init is None
+        assert "pre a" in format_component(comp)
+        again = parse_component(format_component(comp))
+        assert again.statements == comp.statements
+        assert again.signals() == comp.signals()
+
+    def test_pre_with_literal_still_parses(self):
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := pre 0 a |) end"
+        )
+        assert comp.statements[0].expr.init == 0
+
+    def test_typecheck_rejects_uninitialized(self):
+        from repro.errors import SignalTypeError
+        from repro.lang import check_component
+
+        comp = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := pre a |) end"
+        )
+        with pytest.raises(SignalTypeError):
+            check_component(comp)
+
+
+class TestSourceSpans:
+    def test_equation_span_covers_statement(self):
+        src = (
+            "process C = (? integer a; ! integer y;)\n"
+            "(| y := a + 1\n"
+            " | y ^= a\n"
+            " |) end"
+        )
+        comp = parse_component(src)
+        eq, sync = comp.statements
+        assert eq.span.line == 2
+        assert sync.span.line == 3
+        assert eq.span.end_column > eq.span.column
+
+    def test_span_ignored_by_equality(self):
+        a = parse_component(
+            "process C = (? integer a; ! integer y;) (| y := a |) end"
+        )
+        b = parse_component(
+            "process C = (? integer a; ! integer y;)\n\n(| y := a |) end"
+        )
+        assert a.statements == b.statements  # spans excluded from equality
+        assert a.statements[0].span != b.statements[0].span

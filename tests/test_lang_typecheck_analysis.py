@@ -299,3 +299,62 @@ class TestNormalize:
         core = normalize_component(comp, to_core=True)
         assert core.inputs == comp.inputs
         assert core.outputs == comp.outputs
+
+class TestCycleCanonicalization:
+    def test_cycle_is_rotation_canonical_and_sorted(self):
+        comp = parse_component(
+            "process C = (! integer x;)"
+            "(| x := z + 1 | z := y + 1 | y := x + 1 |)"
+            " where integer y, z; end"
+        )
+        assert instantaneous_cycles(comp) == [["x", "z", "y"]]
+
+    def test_statement_order_does_not_change_report(self):
+        a = parse_component(
+            "process C = (! integer x;)"
+            "(| x := z + 1 | z := y + 1 | y := x + 1 |)"
+            " where integer y, z; end"
+        )
+        b = parse_component(
+            "process C = (! integer x;)"
+            "(| y := x + 1 | x := z + 1 | z := y + 1 |)"
+            " where integer y, z; end"
+        )
+        assert instantaneous_cycles(a) == instantaneous_cycles(b)
+
+    def test_two_disjoint_cycles_sorted(self):
+        comp = parse_component(
+            "process C = (! integer x;)"
+            "(| x := y | y := x | b := a | a := b |)"
+            " where integer y, a, b; end"
+        )
+        assert instantaneous_cycles(comp) == [["a", "b"], ["x", "y"]]
+
+
+class TestSharedSignalsMultiProducer:
+    def test_all_producers_recorded(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer x;) (| x := a |) end\n"
+            "process R = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+            "process Q = (? integer x; ! integer y;) (| y := x |) end\n"
+        )
+        s = [x for x in shared_signals(prog) if x.name == "x"][0]
+        assert s.producer == "P"  # first writer, for the transform
+        assert s.producers == ("P", "R")
+        assert s.consumers == ("Q",)  # no producer is its own consumer
+
+    def test_namespaced_locals_not_shared(self):
+        # Two components each use a local `t`; after namespacing the
+        # flattened program must not report P__t/Q__t as shared edges.
+        prog = parse_program(
+            "process P = (? integer a; ! integer x;)"
+            " (| t := a + 1 | x := t |) where integer t; end\n"
+            "process Q = (? integer x; ! integer y;)"
+            " (| t := x * 2 | y := t |) where integer t; end\n"
+        )
+        flat = flatten_program(prog, namespace_locals=True)
+        names = {eq.target for eq in flat.statements
+                 if isinstance(eq, Equation)}
+        assert "P__t" in names and "Q__t" in names
+        shared_names = {s.name for s in shared_signals(prog)}
+        assert shared_names == {"x"}

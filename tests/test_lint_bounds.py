@@ -1,0 +1,189 @@
+"""Tests for the affine buffer-bound machinery (repro.lint.bounds) and its
+cross-validation against the dynamic Section 5.2 estimator: on every
+design the static bound must dominate the simulated minimal bound, and on
+purely periodic designs the two must coincide."""
+
+import re
+from fractions import Fraction
+
+import pytest
+
+from repro import designs
+from repro.desync import estimate_buffer_sizes
+from repro.lint import (
+    PeriodicWord,
+    channel_bound,
+    delivered_reads,
+    infer_clock_words,
+    lint_program,
+    parse_rates,
+)
+from repro.sim import stimuli
+
+
+class TestPeriodicWord:
+    def test_parse_forms(self):
+        assert PeriodicWord.parse("1") == PeriodicWord.always()
+        assert PeriodicWord.parse("0") == PeriodicWord.never()
+        assert PeriodicWord.parse("2").rate() == Fraction(1, 2)
+        assert PeriodicWord.parse("1101").rate() == Fraction(3, 4)
+        assert PeriodicWord.parse("3:1").at(1)
+        assert not PeriodicWord.parse("3:1").at(0)
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(ValueError):
+            PeriodicWord.parse("abc")
+        with pytest.raises(ValueError):
+            parse_rates(["noseparator"])
+
+    def test_and_or(self):
+        a = PeriodicWord.parse("10")
+        b = PeriodicWord.parse("1100")
+        assert (a & b).rate() == Fraction(1, 4)
+        assert (a | b).rate() == Fraction(3, 4)
+
+    def test_normalized_minimal_cycle(self):
+        w = PeriodicWord(cycle=(True, False, True, False))
+        assert w.normalized().cycle == (True, False)
+
+
+class TestChannelBound:
+    def test_matched_rates_bound_one(self):
+        assert channel_bound(PeriodicWord.always(), PeriodicWord.always()) == 1
+
+    def test_burst_against_slow_reader(self):
+        write = PeriodicWord.parse("111000")
+        read = PeriodicWord.parse("2")
+        assert channel_bound(write, read) == 2
+
+    def test_writer_outruns_reader_unbounded(self):
+        assert channel_bound(
+            PeriodicWord.always(), PeriodicWord.parse("2")
+        ) is None
+
+    def test_phase_matters(self):
+        # same rates, but the reader starts late: occupancy peaks higher
+        write = PeriodicWord.parse("2")
+        late_read = PeriodicWord.parse("2:1")
+        b = channel_bound(write, late_read)
+        assert b is not None and b >= 1
+
+    def test_delivered_reads_shift(self):
+        # 1:1 rates through a same-instant-invisible FIFO: delivery lags
+        # the write by one instant (the n_fifo_direct semantics)
+        d = delivered_reads(PeriodicWord.always(), PeriodicWord.always())
+        assert d.rate() == Fraction(1)
+
+
+class TestWordInference:
+    def test_producer_clock_propagates(self):
+        prog = designs.producer_consumer()
+        comp = prog.component("P")
+        words = infer_clock_words(comp, {"p_act": PeriodicWord.parse("2")})
+        assert words["x"].rate() == Fraction(1, 2)
+
+    def test_modular_counter_sampling(self):
+        from repro.lang.stdlib import clock_divider
+
+        comp = clock_divider("tick", "slow", ratio=3)
+        words = infer_clock_words(comp, {"tick": PeriodicWord.always()})
+        assert words["slow"].rate() == Fraction(1, 3)
+
+
+def _static_bounds(prog, rates):
+    """Run the lint bound rule; returns {signal: max bound} and warnings."""
+    report = lint_program(prog, rates=parse_rates(rates))
+    bounds = {}
+    unbounded = set()
+    for d in report.diagnostics:
+        if d.code == "GALS003":
+            m = re.search(r"needs capacity (\d+)", d.message)
+            bounds[d.signal] = max(bounds.get(d.signal, 0), int(m.group(1)))
+        elif d.code == "GALS005":
+            unbounded.add(d.signal)
+    return bounds, unbounded
+
+
+CROSS_CASES = [
+    # (design, external inputs, rreq inputs)
+    ("producer_consumer", ["p_act"], ["x_rreq"]),
+    ("producer_accumulator", ["p_act"], ["x_rreq"]),
+    ("modular_producer_consumer", ["p_act"], ["x_rreq"]),
+    ("boolean_producer_consumer", ["p_act"], ["x_rreq"]),
+    ("pipeline", ["p_act"], ["x0_rreq", "x1_rreq", "x2_rreq"]),
+    ("request_response", ["c_act"], ["req_rreq", "rsp_rreq"]),
+    ("fan_out", ["p_act"], ["x_Q1_rreq", "x_Q2_rreq"]),
+]
+
+
+class TestStaticVsDynamic:
+    @pytest.mark.parametrize("name,ext,rreqs", CROSS_CASES)
+    def test_static_bound_dominates_and_matches_periodic(
+        self, name, ext, rreqs
+    ):
+        prog = getattr(designs, name)()
+        drivers = ext + rreqs
+        static, unbounded = _static_bounds(
+            prog, ["{}:1".format(n) for n in drivers]
+        )
+        assert not unbounded
+        assert static, "no static bounds inferred for {}".format(name)
+
+        def factory():
+            return stimuli.merge(
+                *[stimuli.periodic(n, 1) for n in drivers]
+            )
+
+        dynamic = estimate_buffer_sizes(
+            prog, factory, horizon=40, initial=1
+        ).sizes
+        for sig, simulated in dynamic.items():
+            assert sig in static
+            assert static[sig] >= simulated
+            # all clocks periodic here: the bounds must coincide
+            assert static[sig] == simulated
+
+    def test_bursty_producer_static_matches_dynamic(self):
+        prog = designs.producer_consumer()
+        static, unbounded = _static_bounds(
+            prog, ["p_act:111000", "x_rreq:2"]
+        )
+        assert not unbounded
+        assert static == {"x": 2}
+
+        def factory():
+            return stimuli.merge(
+                stimuli.bursty("p_act", burst=3, gap=3),
+                stimuli.periodic("x_rreq", 2),
+            )
+
+        dynamic = estimate_buffer_sizes(
+            prog, factory, horizon=60, initial=1
+        ).sizes
+        assert static["x"] == dynamic["x"] == 2
+
+    def test_drift_detected_statically(self):
+        prog = designs.producer_consumer()
+        static, unbounded = _static_bounds(prog, ["p_act:1", "x_rreq:2"])
+        assert unbounded == {"x"}
+        assert "x" not in static
+
+    def test_declared_capacity_checked(self):
+        prog = designs.producer_consumer()
+        report = lint_program(
+            prog,
+            rates=parse_rates(["p_act:111000", "x_rreq:2"]),
+            capacities={"x": 1},
+        )
+        gals4 = [d for d in report.diagnostics if d.code == "GALS004"]
+        assert gals4 and gals4[0].signal == "x"
+
+    def test_token_ring_declines_honestly(self):
+        # token presence is state-dependent, not affine: the analyzer
+        # must emit no bound at all rather than a wrong one
+        prog = designs.token_ring()
+        rates = ["inj_tick:1", "s1_tick:1", "s2_tick:1", "s3_tick:1",
+                 "tok0_rreq:1", "tok1_rreq:1", "tok2_rreq:1", "tok3_rreq:1"]
+        static, unbounded = _static_bounds(prog, rates)
+        assert static == {}
+        assert not unbounded

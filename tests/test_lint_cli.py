@@ -1,0 +1,118 @@
+"""Tests for the ``repro lint`` CLI: target resolution, formats,
+suppression, exit codes, and ``--fix``."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def race_file(tmp_path):
+    path = tmp_path / "race.sig"
+    path.write_text(
+        "process P = (? integer a; ! integer x;) (| x := a |) end\n"
+        "process R = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+        "process Q = (? integer x; ! integer y;) (| y := x |) end\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def fixable_file(tmp_path):
+    path = tmp_path / "fixme.sig"
+    path.write_text(
+        "process P = (? integer a; ? integer unused; ! integer y;)"
+        " (| y := pre a |) end\n"
+    )
+    return str(path)
+
+
+class TestTargets:
+    def test_design_name_clean_exit_zero(self, capsys):
+        rc = main(["lint", "producer_consumer"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_all_designs_clean(self, capsys):
+        rc = main(["lint", "--all-designs"])
+        assert rc == 0
+
+    def test_file_with_race_exits_one(self, race_file, capsys):
+        rc = main(["lint", race_file])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "GALS002" in out
+        assert ":1:" in out or ":2:" in out  # source span rendered
+
+    def test_example_module(self, capsys):
+        path = os.path.join("examples", "quickstart.py")
+        rc = main(["lint", path])
+        assert rc == 0
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "no_such_design"])
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+
+class TestFormatsAndSuppression:
+    def test_json_output(self, race_file, capsys):
+        rc = main(["lint", race_file, "--format", "json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert any(d["code"] == "GALS002" for d in data["diagnostics"])
+
+    def test_sarif_output_file(self, race_file, tmp_path, capsys):
+        out = str(tmp_path / "report.sarif")
+        rc = main(["lint", race_file, "--format", "sarif", "--output", out])
+        assert rc == 1
+        sarif = json.loads(open(out).read())
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert any(r["ruleId"] == "GALS002" for r in results)
+        uri = results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("race.sig")
+
+    def test_ignore_silences_and_exit_goes_green(self, race_file, capsys):
+        rc = main(["lint", race_file, "--ignore", "GALS002"])
+        assert rc == 0
+
+    def test_select_prefix(self, fixable_file, capsys):
+        rc = main(["lint", fixable_file, "--select", "SIG006"])
+        assert rc == 0  # SIG006 is a warning; the SIG004 error is deselected
+        out = capsys.readouterr().out
+        assert "SIG006" in out and "SIG004" not in out
+
+    def test_rate_assumptions_emit_bounds(self, capsys):
+        rc = main(["lint", "producer_consumer",
+                   "--rate", "p_act:1", "--rate", "x_rreq:1"])
+        assert rc == 0
+        assert "GALS003" in capsys.readouterr().out
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "producer_consumer", "--rate", "nocolon"])
+
+
+class TestFix:
+    def test_fix_rewrites_and_reexits_clean(self, fixable_file, capsys):
+        assert main(["lint", fixable_file]) == 1
+        rc = main(["lint", fixable_file, "--fix"])
+        assert rc == 0
+        text = open(fixable_file).read()
+        assert "pre 0 a" in text
+        assert "unused" not in text
+
+    def test_fix_idempotent(self, fixable_file, capsys):
+        main(["lint", fixable_file, "--fix"])
+        before = open(fixable_file).read()
+        rc = main(["lint", fixable_file, "--fix"])
+        assert rc == 0
+        assert open(fixable_file).read() == before

@@ -1,0 +1,275 @@
+"""Tests for the static desync-safety analyzer (repro.lint): rules,
+diagnostics, report formats, suppression, and the --fix rewrites."""
+
+import json
+
+import pytest
+
+from repro import designs
+from repro.desync import desynchronize
+from repro.gals import AsyncNetwork
+from repro.lang import parse_program
+from repro.lint import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    LintReport,
+    fix_program,
+    lint_network,
+    lint_program,
+    make,
+)
+
+
+def codes(report):
+    return sorted({d.code for d in report.diagnostics})
+
+
+class TestRuleCatalogue:
+    def test_all_codes_registered(self):
+        assert set(RULES) == {
+            "SIG001", "SIG002", "SIG003", "SIG004", "SIG005", "SIG006",
+            "SIG007", "SIG008",
+            "GALS001", "GALS002", "GALS003", "GALS004", "GALS005",
+        }
+
+    def test_severities(self):
+        assert RULES["SIG002"].severity is ERROR
+        assert RULES["SIG001"].severity is WARNING
+        assert RULES["GALS003"].severity is INFO
+
+    def test_fixable_flags(self):
+        fixable = {code for code, rule in RULES.items() if rule.fixable}
+        assert fixable == {"SIG004", "SIG006"}
+
+
+class TestRaceRules:
+    def test_cross_component_race_is_gals002(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer x;) (| x := a |) end\n"
+            "process R = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+            "process Q = (? integer x; ! integer y;) (| y := x |) end\n"
+        )
+        report = lint_program(prog)
+        assert "GALS002" in codes(report)
+        d = [d for d in report.diagnostics if d.code == "GALS002"][0]
+        assert d.signal == "x"
+        assert d.span is not None  # parsed source carries spans
+        assert report.has_errors()
+
+    def test_cross_component_race_is_sig002_when_synchronous(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer x;) (| x := a |) end\n"
+            "process R = (? integer a; ! integer x;) (| x := a + 1 |) end\n"
+        )
+        report = lint_program(prog, cut_channels=False)
+        assert "SIG002" in codes(report)
+        assert "GALS002" not in codes(report)
+
+    def test_duplicate_equation_in_one_component(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer x;)"
+            " (| x := a | x := a + 1 |) end\n"
+        )
+        report = lint_program(prog)
+        assert "SIG002" in codes(report)
+
+
+class TestCausalityRules:
+    def test_intra_component_cycle_is_sig003(self):
+        prog = parse_program(
+            "process C = (! integer x;) (| x := y + 1 | y := x - 1 |)"
+            " where integer y; end\n"
+        )
+        report = lint_program(prog)
+        sig3 = [d for d in report.diagnostics if d.code == "SIG003"]
+        assert len(sig3) == 1
+        assert "x -> y -> x" in sig3[0].message
+
+    def test_inter_node_cycle_through_unbuffered_edges(self):
+        prog = parse_program(
+            "process A = (? integer x; ! integer y;) (| y := x + 1 |) end\n"
+            "process B = (? integer y; ! integer x;) (| x := y * 2 |) end\n"
+        )
+        # every edge a FIFO (the default GALS deployment): no cycle
+        assert "GALS001" not in codes(lint_program(prog))
+        # no edge buffered: the loop closes instantaneously
+        report = lint_program(prog, buffered=set())
+        gals1 = [d for d in report.diagnostics if d.code == "GALS001"]
+        assert len(gals1) == 1
+        assert report.has_errors()
+
+    def test_one_fifo_on_the_loop_breaks_the_cycle(self):
+        prog = parse_program(
+            "process A = (? integer x; ! integer y;) (| y := x + 1 |) end\n"
+            "process B = (? integer y; ! integer x;) (| x := y * 2 |) end\n"
+        )
+        report = lint_program(prog, buffered={("y", "B")})
+        assert "GALS001" not in codes(report)
+
+
+class TestEndochronyRule:
+    def test_free_clock_flagged(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer x; ! integer y;)"
+            " (| x := a | y := 1 when c |) where boolean c; end\n"
+        )
+        report = lint_program(prog, ignore=("SIG007",))
+        sig1 = [d for d in report.diagnostics if d.code == "SIG001"]
+        assert sig1 and sig1[0].severity is WARNING
+
+    def test_endochronous_component_clean(self):
+        prog = parse_program(
+            "process P = (? event tick; ! integer x;)"
+            " (| x := (pre 0 x) + 1 | x ^= tick |) end\n"
+        )
+        assert "SIG001" not in codes(lint_program(prog))
+
+
+class TestHygieneRules:
+    def test_uninitialized_pre(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer y;) (| y := pre a |) end\n"
+        )
+        report = lint_program(prog)
+        assert "SIG004" in codes(report)
+        assert report.has_errors()
+
+    def test_dead_local_and_unused_input(self):
+        prog = parse_program(
+            "process P = (? integer a; ? integer unused; ! integer y;)"
+            " (| y := a | dead := a * 2 |) where integer dead; end\n"
+        )
+        report = lint_program(prog)
+        assert {"SIG005", "SIG006"} <= set(codes(report))
+        assert not report.has_errors()  # hygiene findings are warnings
+
+    def test_undefined_signal(self):
+        prog = parse_program(
+            "process P = (! integer y;) (| y := ghost + 1 |)"
+            " where integer ghost; end\n"
+        )
+        report = lint_program(prog)
+        assert "SIG007" in codes(report)
+
+    def test_sync_constrained_activation_input_not_unused(self):
+        # an input used only in a sync constraint still matters
+        prog = parse_program(
+            "process P = (? event tick; ! integer x;)"
+            " (| x := (pre 0 x) + 1 | x ^= tick |) end\n"
+        )
+        assert "SIG006" not in codes(lint_program(prog))
+
+
+class TestCleanCorpus:
+    DESIGNS = (
+        "producer_consumer", "producer_accumulator",
+        "modular_producer_consumer", "boolean_producer_consumer",
+        "pipeline", "request_response", "fan_out", "token_ring",
+    )
+
+    @pytest.mark.parametrize("name", DESIGNS)
+    def test_design_lints_clean(self, name):
+        prog = getattr(designs, name)()
+        report = lint_program(prog)
+        noisy = [d for d in report.diagnostics if d.severity is not INFO]
+        assert not noisy, [d.render() for d in noisy]
+
+    def test_desynchronized_network_lints_clean(self):
+        res = desynchronize(designs.producer_consumer())
+        report = lint_program(res.program)
+        assert not report.has_errors(), report.render_text()
+
+
+class TestLintNetwork:
+    def test_network_channels_break_cycles_and_declare_capacities(self):
+        net = AsyncNetwork.from_program(
+            designs.producer_consumer(), schedules={}, capacities={"x": 2}
+        )
+        report = lint_network(net)
+        assert "GALS001" not in codes(report)
+        assert not report.has_errors()
+
+
+class TestReportFormats:
+    def _report(self):
+        prog = parse_program(
+            "process P = (? integer a; ! integer y;) (| y := pre a |) end\n"
+        )
+        return lint_program(prog, file="demo.sig")
+
+    def test_text_render(self):
+        text = self._report().render_text()
+        assert "SIG004" in text and "demo.sig" in text
+        assert "error" in text
+
+    def test_json_round_trips(self):
+        data = json.loads(self._report().to_json())
+        assert data["diagnostics"][0]["code"] == "SIG004"
+
+    def test_sarif_shape(self):
+        sarif = json.loads(self._report().to_sarif())
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        result = run["results"][0]
+        assert result["ruleId"] == "SIG004"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "demo.sig"
+        assert loc["region"]["startLine"] >= 1
+
+    def test_select_and_ignore_prefixes(self):
+        prog = parse_program(
+            "process P = (? integer a; ? integer u; ! integer y;)"
+            " (| y := pre a |) end\n"
+        )
+        full = lint_program(prog)
+        assert {"SIG004", "SIG006"} <= set(codes(full))
+        only_races = lint_program(prog, select=("SIG004",))
+        assert codes(only_races) == ["SIG004"]
+        muted = lint_program(prog, ignore=("SIG",))
+        assert codes(muted) == []
+
+    def test_make_applies_registered_severity(self):
+        d = make("SIG002", "two writers", signal="x")
+        assert d.severity is ERROR
+        assert "SIG002" in d.render()
+
+    def test_empty_report_is_clean(self):
+        report = LintReport("p", [])
+        assert not report.has_errors()
+        assert "clean" in report.render_text()
+
+
+class TestFixes:
+    def test_fix_pre_and_unused_input(self):
+        prog = parse_program(
+            "process P = (? integer a; ? integer unused; ! integer y;)"
+            " (| y := pre a |) end\n"
+        )
+        fixed, n = fix_program(prog)
+        assert n == 2
+        report = lint_program(fixed)
+        assert "SIG004" not in codes(report)
+        assert "SIG006" not in codes(report)
+
+    def test_fix_is_idempotent(self):
+        prog = parse_program(
+            "process P = (? integer a; ? integer unused; ! integer y;)"
+            " (| y := pre a |) end\n"
+        )
+        fixed, n = fix_program(prog)
+        again, m = fix_program(fixed)
+        assert n == 2 and m == 0
+        assert again is fixed
+
+    def test_fix_uses_type_appropriate_init(self):
+        prog = parse_program(
+            "process P = (? boolean b; ! boolean y;) (| y := pre b |) end\n"
+        )
+        fixed, n = fix_program(prog)
+        assert n == 1
+        eq = fixed.components[0].statements[0]
+        assert eq.expr.init is False
