@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick soak-quick recover-quick lint
+.PHONY: test test-fast bench bench-quick bench-a11 soak-quick recover-quick lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
@@ -26,6 +26,15 @@ bench-quick:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
 		bench_a3_mc_scaling.py bench_fig4_estimation.py \
 		bench_a8_symbolic_image.py -q -s
+
+# batched soak-lane execution benchmark (experiment A11): sequential
+# per-lane reactors vs simulate_batch (shared specialized plan + lane
+# memo, plus the unspecialized cross-lane vector tier), byte-identity
+# asserted per cell; writes benchmarks/out/A11_batched_soak.txt and
+# BENCH_A11_batched_soak.json
+bench-a11:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a11_batched_soak.py -q -s
 
 # reduced-horizon fault-injection soak (experiment A7); writes
 # benchmarks/out/A7_fault_soak.txt and BENCH_A7_fault_soak.json

@@ -12,12 +12,24 @@ print the convergence series of experiment F4.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.lang.analysis import flatten_program
 from repro.lang.ast import Program
 from repro.perf import PERF
+from repro.perf.sweep import sweep
+from repro.sim.batch import simulate_batch
 from repro.sim.engine import Reactor
+from repro.sim.plan import shared_plan
 from repro.sim.runner import simulate
 from repro.desync.transform import DesyncResult, desynchronize
 
@@ -95,7 +107,11 @@ class DesignCache:
         result = entry[0]
         reactor = entry[1]
         if reactor is None:
-            reactor = Reactor(flatten_program(result.program), oracle=oracle)
+            # the process-wide plan cache makes revisits of a sizes vector
+            # (and rebuilds across DesignCache instances) near-free, and
+            # selects the specialized generated-code path by default
+            comp = flatten_program(result.program)
+            reactor = Reactor(comp, oracle=oracle, plan=shared_plan(comp))
             entry[1] = reactor
         else:
             reactor.reset()
@@ -110,9 +126,49 @@ def _sizes_key(kind: str, sizes: Dict[str, int]) -> tuple:
     return (kind, tuple(sorted(sizes.items())))
 
 
+def _chunked(items: list, width: int) -> List[list]:
+    return [items[i : i + width] for i in range(0, len(items), width)]
+
+
+def _fold_lane_counts(result: DesyncResult, report) -> tuple:
+    """Per-channel worst miss (max over lanes) and alarm total (sum)."""
+    misses: Dict[str, int] = {}
+    alarms: Dict[str, int] = {}
+    for ch in result.channels:
+        worst = max(report.max_values(ch.reg, 0))
+        misses[ch.signal] = max(misses.get(ch.signal, 0), worst)
+        alarms[ch.signal] = alarms.get(ch.signal, 0) + sum(
+            report.presence_counts(ch.alarm)
+        )
+    return misses, alarms
+
+
+def _lane_chunk_task(shared, factories) -> tuple:
+    """Sweep task for ``workers > 1``: rebuild the instrumented network in
+    the worker (plans cache per process) and run its lane chunk."""
+    program, sizes, kind, read_requests, signals, horizon, oracle = shared
+    result = desynchronize(
+        program,
+        capacities=dict(sizes),
+        kind=kind,
+        instrument=True,
+        read_requests=read_requests,
+        signals=signals,
+    )
+    comp = flatten_program(result.program)
+    report = simulate_batch(
+        comp,
+        [factory() for factory in factories],
+        n=horizon,
+        oracle=oracle,
+        plan=shared_plan(comp),
+    )
+    return _fold_lane_counts(result, report)
+
+
 def estimate_buffer_sizes(
     program: Program,
-    stimulus_factory: StimulusFactory,
+    stimulus_factory: Union[StimulusFactory, Sequence[StimulusFactory]],
     horizon: int,
     initial: Union[int, Dict[str, int]] = 1,
     max_iterations: int = 16,
@@ -122,6 +178,7 @@ def estimate_buffer_sizes(
     oracle=None,
     cache: Optional[DesignCache] = None,
     max_capacity: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> EstimationReport:
     """Run the Section 5.2 estimation loop.
 
@@ -129,6 +186,16 @@ def estimate_buffer_sizes(
     "given environment"): it has to drive the program's inputs plus each
     channel's read request (``<x>_rreq`` unless remapped via
     ``read_requests``).  ``horizon`` is the simulated length per iteration.
+
+    A *sequence* of factories estimates against several environments at
+    once: each iteration runs every factory as an independent lane of one
+    compiled plan (:func:`repro.sim.batch.simulate_batch`), dispatched
+    through :func:`repro.perf.sweep.sweep`; the observed miss counters
+    are the worst (max) over lanes and alarms are summed, so the grown
+    sizes cover every simulated environment.  ``workers > 1`` splits the
+    lanes of each iteration into that many sweep chunks across a process
+    pool (the program, factories and oracle must then pickle).  The
+    single-factory path is unchanged.
 
     Convergence means the last simulation raised no alarm; the final
     ``sizes`` then satisfy the Lemma 2 condition *for the simulated
@@ -152,6 +219,13 @@ def estimate_buffer_sizes(
     """
     if cache is None:
         cache = DesignCache()
+    if callable(stimulus_factory):
+        factories: Optional[List[StimulusFactory]] = None
+    else:
+        factories = list(stimulus_factory)
+        if len(factories) == 1:
+            # one environment: identical to the classic path
+            stimulus_factory, factories = factories[0], None
     # initial sizes need the channel list; build once to discover channels
     probe: DesyncResult = desynchronize(
         program, capacities=1 if isinstance(initial, dict) else initial,
@@ -168,30 +242,78 @@ def estimate_buffer_sizes(
     converged = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        result, reactor = cache.prepared(
-            _sizes_key(kind, sizes),
-            lambda: desynchronize(
-                program,
-                capacities=dict(sizes),
-                kind=kind,
-                instrument=True,
-                read_requests=read_requests,
-                signals=signals,
-            ),
-            oracle,
-        )
-        trace = simulate(
-            result.program, stimulus_factory(), n=horizon, reactor=reactor
-        )
-        misses: Dict[str, int] = {}
-        alarms: Dict[str, int] = {}
-        for ch in result.channels:
-            regs = trace.values(ch.reg)
-            worst = max(regs) if regs else 0
-            misses[ch.signal] = max(misses.get(ch.signal, 0), worst)
-            alarms[ch.signal] = alarms.get(ch.signal, 0) + trace.presence_count(
-                ch.alarm
+        if factories is not None and workers is not None and workers > 1:
+            # parallel lanes: each worker rebuilds the network (its own
+            # process-wide plan cache absorbs the repeats) and runs one
+            # chunk of environments
+            width = max(1, -(-len(factories) // workers))
+            report = sweep(
+                _lane_chunk_task,
+                _chunked(factories, width),
+                workers=workers,
+                shared=(
+                    program, dict(sizes), kind, read_requests, signals,
+                    horizon, oracle,
+                ),
             )
+            misses = {}
+            alarms = {}
+            for chunk_misses, chunk_alarms in report.values():
+                for sig, worst in chunk_misses.items():
+                    misses[sig] = max(misses.get(sig, 0), worst)
+                for sig, n in chunk_alarms.items():
+                    alarms[sig] = alarms.get(sig, 0) + n
+        elif factories is not None:
+            result, reactor = cache.prepared(
+                _sizes_key(kind, sizes),
+                lambda: desynchronize(
+                    program,
+                    capacities=dict(sizes),
+                    kind=kind,
+                    instrument=True,
+                    read_requests=read_requests,
+                    signals=signals,
+                ),
+                oracle,
+            )
+
+            def _batch_task(chunk):
+                batch = simulate_batch(
+                    reactor.component,
+                    [factory() for factory in chunk],
+                    n=horizon,
+                    oracle=oracle,
+                    plan=reactor.plan,
+                )
+                return _fold_lane_counts(result, batch)
+
+            report = sweep(_batch_task, [factories])
+            (misses, alarms), = report.values()
+        else:
+            result, reactor = cache.prepared(
+                _sizes_key(kind, sizes),
+                lambda: desynchronize(
+                    program,
+                    capacities=dict(sizes),
+                    kind=kind,
+                    instrument=True,
+                    read_requests=read_requests,
+                    signals=signals,
+                ),
+                oracle,
+            )
+            trace = simulate(
+                result.program, stimulus_factory(), n=horizon, reactor=reactor
+            )
+            misses = {}
+            alarms = {}
+            for ch in result.channels:
+                regs = trace.values(ch.reg)
+                worst = max(regs) if regs else 0
+                misses[ch.signal] = max(misses.get(ch.signal, 0), worst)
+                alarms[ch.signal] = alarms.get(ch.signal, 0) + trace.presence_count(
+                    ch.alarm
+                )
         history.append(EstimationStep(iteration, dict(sizes), misses, alarms))
         if all(v == 0 for v in misses.values()):
             converged = True

@@ -114,6 +114,30 @@ def _net_from(program, workload, net_kwargs) -> AsyncNetwork:
     )
 
 
+def _classify(
+    reference: NetworkTrace,
+    subject: NetworkTrace,
+    signals: Optional[Iterable[str]],
+) -> Tuple[Dict[str, str], bool]:
+    """Per-signal divergence classes plus the Definition 4 verdict over
+    the shared projection — the comparison core of every soak variant."""
+    names = (
+        sorted(set(reference.behavior.vars()) | set(subject.behavior.vars()))
+        if signals is None else list(signals)
+    )
+    classification = compare_flows(reference.behavior, subject.behavior, names)
+    shared = [
+        n for n in names
+        if n in reference.behavior and n in subject.behavior
+    ]
+    flow_ok = all(
+        c == FLOW_EQUIVALENT for c in classification.values()
+    ) and equivalence.flow_equivalent(
+        reference.behavior.project(shared), subject.behavior.project(shared)
+    )
+    return classification, flow_ok
+
+
 def soak(
     program: Program,
     workload,
@@ -132,29 +156,33 @@ def soak(
     same activations.  ``signals`` restricts the classification (default:
     every signal recorded by the reference run).
     """
-    reference_net = _net_from(program, workload, net_kwargs)
+    reference = _net_from(program, workload, net_kwargs).run(
+        horizon, max_events=max_events
+    )
+    return _soak_against(
+        reference, program, workload, plan, horizon, signals, estimate,
+        max_events, net_kwargs,
+    )
+
+
+def _soak_against(
+    reference: NetworkTrace,
+    program: Program,
+    workload,
+    plan: FaultPlan,
+    horizon: float,
+    signals,
+    estimate,
+    max_events: int,
+    net_kwargs: Dict,
+    estimate_cache=None,
+) -> SoakReport:
+    """One faulted deployment compared against an already-run reference."""
     faulted_net = _net_from(program, workload, net_kwargs)
     weave_faults(faulted_net, plan)
-
-    reference = reference_net.run(horizon, max_events=max_events)
     faulted = faulted_net.run(horizon, max_events=max_events)
 
-    names = (
-        sorted(set(reference.behavior.vars()) | set(faulted.behavior.vars()))
-        if signals is None else list(signals)
-    )
-    classification = compare_flows(
-        reference.behavior, faulted.behavior, names
-    )
-    shared = [
-        n for n in names
-        if n in reference.behavior and n in faulted.behavior
-    ]
-    flow_ok = all(
-        c == FLOW_EQUIVALENT for c in classification.values()
-    ) and equivalence.flow_equivalent(
-        reference.behavior.project(shared), faulted.behavior.project(shared)
-    )
+    classification, flow_ok = _classify(reference, faulted, signals)
 
     counts = faulted.fault_counts()
     PERF.merge({k: v for k, v in counts.items() if isinstance(v, int)}, "faults")
@@ -167,7 +195,7 @@ def soak(
     inflation = None
     if estimate is not None:
         inflation = capacity_inflation(
-            program, workload, estimate, seed=plan.seed
+            program, workload, estimate, seed=plan.seed, cache=estimate_cache
         )
 
     return SoakReport(
@@ -180,6 +208,47 @@ def soak(
         fault_counts=counts,
         inflation=inflation,
     )
+
+
+def soak_batch(
+    program: Program,
+    workload,
+    plans: Iterable[FaultPlan],
+    horizon: float = 50.0,
+    signals: Optional[Iterable[str]] = None,
+    estimate: Optional[EstimateConfig] = None,
+    max_events: int = 100000,
+    **net_kwargs,
+) -> List[SoakReport]:
+    """Soak many fault plans against **one** shared reference run.
+
+    Network runs are deterministic in the workload, so the zero-fault
+    reference is identical for every plan; running it once instead of
+    once per plan halves the event-simulation work of a scenario sweep
+    (and the capacity-inflation estimates share one
+    :class:`~repro.desync.estimator.DesignCache`).  Each plan's report is
+    byte-identical to what :func:`soak` would return for it.  Tasks are
+    dispatched through :func:`repro.perf.sweep.sweep`, so per-plan
+    counter deltas stay attributable.
+    """
+    from repro.perf.sweep import sweep
+
+    reference = _net_from(program, workload, net_kwargs).run(
+        horizon, max_events=max_events
+    )
+    estimate_cache = None
+    if estimate is not None:
+        from repro.desync.estimator import DesignCache
+
+        estimate_cache = DesignCache()
+
+    def _one(plan: FaultPlan) -> SoakReport:
+        return _soak_against(
+            reference, program, workload, plan, horizon, signals, estimate,
+            max_events, net_kwargs, estimate_cache=estimate_cache,
+        )
+
+    return sweep(_one, list(plans)).values()
 
 
 # -- verified recovery --------------------------------------------------------
@@ -286,34 +355,38 @@ def recovery_soak(
     reordering and even node crashes leave the run flow-equivalent to
     the zero-fault reference.
     """
+    reference = _net_from(program, workload, net_kwargs).run(
+        horizon, max_events=max_events
+    )
+    return _recovery_against(
+        reference, program, workload, plan, config, horizon, signals,
+        max_events, net_kwargs,
+    )
+
+
+def _recovery_against(
+    reference: NetworkTrace,
+    program: Program,
+    workload,
+    plan: FaultPlan,
+    config,
+    horizon: float,
+    signals,
+    max_events: int,
+    net_kwargs: Dict,
+) -> RecoveryReport:
+    """One hardened faulted deployment vs an already-run reference."""
     from repro.resilience import RecoveryConfig, harden
 
     if config is None:
         config = RecoveryConfig()
-    reference_net = _net_from(program, workload, net_kwargs)
     recovered_net = _net_from(program, workload, net_kwargs)
     weave_faults(recovered_net, plan)
     hardened = harden(recovered_net, config)
 
-    reference = reference_net.run(horizon, max_events=max_events)
     recovered = recovered_net.run(horizon, max_events=max_events)
 
-    names = (
-        sorted(set(reference.behavior.vars()) | set(recovered.behavior.vars()))
-        if signals is None else list(signals)
-    )
-    classification = compare_flows(
-        reference.behavior, recovered.behavior, names
-    )
-    shared = [
-        n for n in names
-        if n in reference.behavior and n in recovered.behavior
-    ]
-    flow_ok = all(
-        c == FLOW_EQUIVALENT for c in classification.values()
-    ) and equivalence.flow_equivalent(
-        reference.behavior.project(shared), recovered.behavior.project(shared)
-    )
+    classification, flow_ok = _classify(reference, recovered, signals)
 
     recovery: Dict[str, object] = {
         "frames": 0, "retransmits": 0, "acks": 0, "dup_frames": 0,
@@ -358,6 +431,34 @@ def recovery_soak(
     )
 
 
+def recovery_soak_batch(
+    program: Program,
+    workload,
+    plans: Iterable[FaultPlan],
+    config=None,
+    horizon: float = 50.0,
+    signals: Optional[Iterable[str]] = None,
+    max_events: int = 100000,
+    **net_kwargs,
+) -> List[RecoveryReport]:
+    """:func:`recovery_soak` for many fault plans sharing **one**
+    reference run (see :func:`soak_batch` for the rationale); every
+    report is byte-identical to its standalone counterpart."""
+    from repro.perf.sweep import sweep
+
+    reference = _net_from(program, workload, net_kwargs).run(
+        horizon, max_events=max_events
+    )
+
+    def _one(plan: FaultPlan) -> RecoveryReport:
+        return _recovery_against(
+            reference, program, workload, plan, config, horizon, signals,
+            max_events, net_kwargs,
+        )
+
+    return sweep(_one, list(plans)).values()
+
+
 # -- capacity inflation under jitter -----------------------------------------
 
 
@@ -392,10 +493,18 @@ def capacity_inflation(
     workload,
     config: EstimateConfig = EstimateConfig(),
     seed: int = 0,
+    cache=None,
 ) -> CapacityInflation:
-    """Section 5.2 buffer estimation, with and without read jitter."""
-    from repro.desync.estimator import estimate_buffer_sizes
+    """Section 5.2 buffer estimation, with and without read jitter.
 
+    ``cache`` (a :class:`~repro.desync.estimator.DesignCache`) is shared
+    by the base and jittered estimates — and, via :func:`soak_batch`,
+    across every plan of a batched soak — so the instrumented networks
+    compile once per sizes vector."""
+    from repro.desync.estimator import DesignCache, estimate_buffer_sizes
+
+    if cache is None:
+        cache = DesignCache()
     base = estimate_buffer_sizes(
         program,
         workload.stimulus_factory,
@@ -403,6 +512,7 @@ def capacity_inflation(
         initial=config.initial,
         kind=config.kind,
         max_iterations=config.max_iterations,
+        cache=cache,
     )
     jittered = estimate_buffer_sizes(
         program,
@@ -413,6 +523,7 @@ def capacity_inflation(
         initial=config.initial,
         kind=config.kind,
         max_iterations=config.max_iterations,
+        cache=cache,
     )
     return CapacityInflation(
         base=dict(base.sizes),

@@ -33,6 +33,7 @@ from repro.errors import SimulationError
 from repro.lang.analysis import shared_signals
 from repro.lang.ast import Component, Program
 from repro.sim.engine import Reactor
+from repro.sim.plan import shared_plan
 from repro.tags.behavior import Behavior
 from repro.tags.trace import SignalTrace
 
@@ -284,7 +285,13 @@ class AsyncNetwork:
         producers: Dict[str, str] = {}
         consumers: Dict[str, List[str]] = {}
         for node in self.nodes:
-            self._reactors[node.name] = Reactor(node.component)
+            # soaks build one fresh network per scenario from the *same*
+            # node components; the shared plan cache (keyed by component
+            # content) makes the per-network reactor builds near-free and
+            # picks the specialized fast path unless REPRO_NO_SPECIALIZE
+            self._reactors[node.name] = Reactor(
+                node.component, plan=shared_plan(node.component)
+            )
             self._schedules[node.name] = node.schedule
             iface = set(node.component.inputs) | set(node.component.outputs)
             defined = node.component.defined_names()

@@ -4,10 +4,22 @@ checker and the BDD backend.
 A single process-global registry (:data:`PERF`) accumulates named integer
 counters and wall-time phases so benchmark deltas are attributable:
 
-- ``sim.reactions`` / ``sim.sweeps`` / ``sim.residual_passes`` — how many
-  reactions the plan executor ran and how many fixpoint passes each one
-  needed (first pass per propagation is a *sweep*, re-passes triggered by
-  the residual worklist are ``residual_passes``);
+- ``sim.<kind>.reactions`` / ``sim.<kind>.sweeps`` /
+  ``sim.<kind>.residual_passes`` — how many reactions the plan executor
+  ran and how many fixpoint passes each one needed (first pass per
+  propagation is a *sweep*, re-passes triggered by the residual worklist
+  are ``residual_passes``); ``<kind>`` attributes the work to the
+  closure plan (``plan``) or the specialized generated code
+  (``plan.spec``);
+- ``plan.cache_hits`` / ``plan.cache_misses`` — the process-wide
+  compiled-plan cache (:func:`repro.sim.plan.shared_plan`);
+- ``batch.<kind>.*`` — the same executor counters for reactions run
+  through :func:`repro.sim.batch.simulate_batch` (including
+  ``batch.plan.vector_instants``, instants the cross-lane numpy
+  executor of :mod:`repro.sim.vector` solved for all lanes at once),
+  plus ``batch.runs`` / ``batch.lanes`` / ``batch.instants`` (campaign
+  volume), ``batch.memo_hits`` (reactions shared across lanes by the
+  run-wide ``(state, inputs)`` memo) and ``batch.vector_runs``;
 - ``mc.reactions`` / ``mc.memo_hits`` / ``mc.memo_misses`` — explicit
   model-checker work and reaction-memo effectiveness;
 - ``bdd.apply_hits`` / ``bdd.apply_misses`` / ``bdd.cache_clears`` /

@@ -16,9 +16,23 @@ calculus resolves instants.  See :mod:`repro.sim.engine`.
 """
 
 from repro.sim.engine import ABSENT, Reactor
-from repro.sim.plan import ReactionPlan
+from repro.sim.plan import ReactionPlan, shared_plan
+from repro.sim.specialize import SpecializedPlan, specialize
+from repro.sim.batch import BatchReport, simulate_batch
 from repro.sim.trace import SimTrace
 from repro.sim.runner import simulate
 from repro.sim import stimuli
 
-__all__ = ["ABSENT", "ReactionPlan", "Reactor", "SimTrace", "simulate", "stimuli"]
+__all__ = [
+    "ABSENT",
+    "BatchReport",
+    "ReactionPlan",
+    "Reactor",
+    "SimTrace",
+    "SpecializedPlan",
+    "shared_plan",
+    "simulate",
+    "simulate_batch",
+    "specialize",
+    "stimuli",
+]

@@ -135,7 +135,15 @@ class Reactor:
         ``False`` to force the reference interpreter.
     plan:
         A pre-compiled :class:`~repro.sim.plan.ReactionPlan` for this
-        component, to share compilation across reactors.
+        component (or a structurally equal one, e.g. from
+        :func:`repro.sim.plan.shared_plan`), to share compilation across
+        reactors.
+    specialize:
+        When ``True``, compile the plan to generated straight-line Python
+        (:class:`repro.sim.specialize.SpecializedPlan`) — observationally
+        identical, several times faster.  Overridden by the
+        ``REPRO_NO_SPECIALIZE=1`` environment variable.  Ignored when an
+        explicit ``plan`` is passed or ``compiled`` is ``False``.
     """
 
     def __init__(
@@ -145,6 +153,7 @@ class Reactor:
         check: bool = True,
         compiled: bool = True,
         plan=None,
+        specialize: bool = False,
     ):
         if check:
             check_component(component)
@@ -156,13 +165,25 @@ class Reactor:
         self._inputs = set(component.inputs)
         self._plan = None
         if plan is not None:
-            if plan.component is not component:
+            pc = plan.component
+            if pc is not component and not (
+                pc.inputs == component.inputs
+                and pc.outputs == component.outputs
+                and pc.locals == component.locals
+                and pc.statements == component.statements
+            ):
                 raise SimulationError("plan was compiled for another component")
             self._plan = plan
         elif compiled:
             from repro.sim.plan import ReactionPlan
+            from repro.sim.specialize import specialization_enabled
 
-            self._plan = ReactionPlan(component)
+            if specialize and specialization_enabled(True):
+                from repro.sim.specialize import SpecializedPlan
+
+                self._plan = SpecializedPlan(component)
+            else:
+                self._plan = ReactionPlan(component)
         if self._plan is not None:
             # the plan discovers pre registers with the same traversal, so
             # state slots line up with the interpreter's

@@ -111,6 +111,11 @@ def _set_value(ctx: _Ctx, i: int, v: object, names) -> None:
 class ReactionPlan:
     """A component compiled to a static per-instant evaluation schedule."""
 
+    #: counter-attribution tag: drivers merge this plan's counters into the
+    #: process registry under ``sim.<kind>.*`` (``plan`` here, ``plan.spec``
+    #: for :class:`repro.sim.specialize.SpecializedPlan`)
+    kind = "plan"
+
     def __init__(self, component: Component):
         self.component = component
         self.names: List[str] = list(component.signals())
@@ -172,6 +177,9 @@ class ReactionPlan:
                 schedule.append(("sync", sc))
             if pos < len(ordered):
                 schedule.append(("eq", ordered[pos]))
+        # retained for the specializer, which regenerates each step from
+        # its source statement (repro.sim.specialize)
+        self.schedule: Tuple[Tuple[str, object], ...] = tuple(schedule)
         steps: List[Callable[[_Ctx], bool]] = []
         reads: List[frozenset] = []  # signals whose facts can re-trigger a step
         for kind, st in schedule:
@@ -575,6 +583,21 @@ class ReactionPlan:
         )
         return outputs, tuple(self._next_state(ctx, state))
 
+    def react_slots(
+        self,
+        inputs: Mapping[str, object],
+        state,
+        oracle,
+        instant_index: int,
+        absent_marker,
+    ) -> Tuple[List[int], List[object], List[object]]:
+        """Like :meth:`react`, but returns the raw slot-indexed
+        ``(statuses, values, new_state)`` with no output-dict build — the
+        lane format of :mod:`repro.sim.batch` (statuses are the internal
+        small ints; values of non-present slots are unspecified)."""
+        ctx = self._run(inputs, state, oracle, instant_index, absent_marker)
+        return ctx.status, ctx.value, self._next_state(ctx, state)
+
     def _run(self, inputs, state, oracle, instant_index, absent_marker) -> _Ctx:
         names = self.names
         ctx = _Ctx(
@@ -668,13 +691,11 @@ class ReactionPlan:
         fixpoint closes in near-linear work for causal programs.
         """
         steps = self.steps
-        n_steps = len(steps)
         settled = ctx.settled
         dependents = self.dependents
         dirty = ctx.dirty
         queued = ctx.queued
         nq = 0
-        residual = 0
         if initial:
             # facts recorded before the sweep (the inputs) are visible to
             # every step of the sweep; only changes made *during* it can
@@ -692,7 +713,18 @@ class ReactionPlan:
                                 queued[d] = 1
                                 nq += 1
             self.counters["sweeps"] += 1
-        # residual worklist: re-run only fact-consumers, in schedule order
+        self._residual(ctx, nq)
+
+    def _residual(self, ctx: _Ctx, nq: int) -> None:
+        """The residual worklist: re-run only fact-consumers, in schedule
+        order, until quiescence (``nq`` steps are already queued)."""
+        steps = self.steps
+        n_steps = len(steps)
+        settled = ctx.settled
+        dependents = self.dependents
+        dirty = ctx.dirty
+        queued = ctx.queued
+        residual = 0
         while True:
             while dirty:
                 i = dirty.pop()
@@ -730,3 +762,84 @@ class ReactionPlan:
         return "ReactionPlan({!r}: {} signals, {} steps, {} registers)".format(
             self.component.name, self.n_signals, len(self.steps), len(self.pre_nodes)
         )
+
+
+# -- shared plan cache --------------------------------------------------------
+#
+# Compiling a plan walks the AST once per equation; specializing adds a
+# codegen + compile() pass on top.  Soaks, sweeps and the estimator build
+# the *same* components over and over (one fresh AsyncNetwork per task), so
+# plans are cached process-wide by component *content* — the canonical
+# serialized form, which ignores identity and source spans — under a
+# bounded LRU.  Hits/misses are exported through repro.perf as
+# ``plan.cache_hits`` / ``plan.cache_misses``.
+
+_PLAN_CACHE_CAPACITY = 128
+_plan_cache: "OrderedDict[Tuple[str, bool], ReactionPlan]" = None  # type: ignore
+
+
+def component_key(component: Component) -> str:
+    """A content hash of ``component``: equal for structurally equal
+    components regardless of object identity or source locations."""
+    import hashlib
+    import json
+
+    from repro.lang.serializer import component_to_dict
+
+    payload = json.dumps(
+        component_to_dict(component), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def shared_plan(
+    component: Component, specialize: Optional[bool] = None
+) -> ReactionPlan:
+    """The process-wide cached plan for ``component``.
+
+    ``specialize`` selects the generated-source fast path
+    (:class:`repro.sim.specialize.SpecializedPlan`); ``None`` means "yes
+    unless ``REPRO_NO_SPECIALIZE`` is set" — callers that just want the
+    fastest correct plan should pass nothing.  Plain and specialized
+    plans are cached under separate keys.  The cache can be emptied with
+    :func:`clear_plan_cache` (useful around benchmarks)."""
+    global _plan_cache
+    from collections import OrderedDict
+
+    from repro.perf import PERF
+    from repro.sim.specialize import specialization_enabled
+
+    if _plan_cache is None:
+        _plan_cache = OrderedDict()
+    want_spec = specialization_enabled(specialize)
+    key = (component_key(component), want_spec)
+    plan = _plan_cache.get(key)
+    if plan is not None:
+        _plan_cache.move_to_end(key)
+        PERF.incr("plan.cache_hits")
+        return plan
+    PERF.incr("plan.cache_misses")
+    if want_spec:
+        from repro.sim.specialize import SpecializedPlan
+
+        plan = SpecializedPlan(component)
+    else:
+        plan = ReactionPlan(component)
+    _plan_cache[key] = plan
+    while len(_plan_cache) > _PLAN_CACHE_CAPACITY:
+        _plan_cache.popitem(last=False)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (benchmarks use this to time cold builds)."""
+    global _plan_cache
+    _plan_cache = None
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Current cache occupancy (hit/miss counts live in ``repro.perf``)."""
+    return {
+        "size": 0 if _plan_cache is None else len(_plan_cache),
+        "capacity": _PLAN_CACHE_CAPACITY,
+    }

@@ -48,6 +48,8 @@ def simulate(
             for key, value in plan.counters_snapshot().items()
         }
         trace.stats.update(delta)
-        PERF.merge(delta, prefix="sim")
+        # attribution: sim.plan.* for closure plans, sim.plan.spec.* for
+        # specialized ones — so bench deltas name the path that produced them
+        PERF.merge(delta, prefix="sim." + plan.kind)
     PERF.add_time("sim.simulate", elapsed)
     return trace

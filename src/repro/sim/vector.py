@@ -1,0 +1,734 @@
+"""Cross-lane vectorized reaction execution.
+
+:mod:`repro.sim.batch` runs N independent lanes through one shared plan.
+With the scalar engines the cost is still ``N x per-instant Python
+work``: every lane pays the full sweep, and on desynchronized designs
+whose clocks need least-clock completion the specialized plan degrades
+to the closure fixpoint anyway.  This module collapses that cost by
+executing *all* lanes of one instant simultaneously: statuses, values
+and pending bits are ``(n_signals, lanes)`` numpy arrays, and every
+compiled evaluator from :class:`~repro.sim.plan.ReactionPlan` is
+mirrored by a masked array closure, so the per-instant interpretation
+overhead is paid once per *batch* instead of once per *lane*.
+
+Presence statuses are kept **one-hot** — three boolean matrices
+``stP``/``stA``/``stC`` (unknown = none set) — so evaluators read status
+predicates as live views instead of recomputing ``== P`` comparisons per
+node, and each branch mask *is* the output status bit.  On small lane
+counts numpy's per-call overhead dominates, so the representation is
+chosen to minimize array-op count, not element work.
+
+Correctness strategy — mirror, never approximate:
+
+- each vector evaluator reproduces the corresponding ``ev_*``/``force_*``
+  closure of :mod:`repro.sim.plan` branch for branch, with an evaluation
+  mask threaded through so backward forces only fire in lanes where the
+  scalar engine would have evaluated that subtree;
+- status/value writes go through masked versions of ``_set_status`` /
+  ``_set_value``; a write the scalar engine would reject flags the lane
+  in a per-lane *error mask* instead of raising;
+- the fixpoint re-sweeps the schedule until no array changes (the
+  propagation is monotone and confluent, so it reaches the same fixpoint
+  as the scalar worklist), then applies least-clock completion and
+  re-sweeps once more;
+- any anomalous lane — contradiction, violated sync constraint, missing
+  value, unknown input — is **redone scalar** for that instant via
+  ``plan.react_slots``, which reproduces the exact scalar behavior and
+  error message; the lane then continues in scalar mode.  Byte-identity
+  with :func:`repro.sim.runner.simulate` is therefore preserved even
+  where the vector path cannot decide locally.
+- anything that threatens the ``int64`` encoding (wide constants or
+  inputs, arithmetic near the guard bounds, a value a recorder cannot
+  hold) raises :class:`VectorBail` and the whole batch restarts on the
+  scalar path from scratch — slow but exact.
+
+Eligibility is conservative: numpy importable, no oracle (vector lanes
+never consult one), every signal bool/int-typed, every constant and
+``pre`` initializer canonical, only unary/binary builtins (all current
+builtins are).  :func:`vector_executor` returns ``None`` otherwise and
+the caller falls back to the scalar lane loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.lang.ast import (
+    App,
+    ClockOf,
+    Const,
+    Default,
+    Equation,
+    Expr,
+    Pre,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.sim.engine import ABSENT
+from repro.sim.plan import ReactionPlan
+
+_P, _A = 1, 2  # recorder encoding of the determined statuses
+
+#: |v| bound for values entering the int64 lanes (inputs, consts, state)
+_LIMIT_STORE = 1 << 62
+#: per-operand bound for + and - (sum stays inside the store bound)
+_LIMIT_ADD = 1 << 61
+#: per-operand bound for * (product stays inside the store bound)
+_LIMIT_MUL = 1 << 31
+
+
+class VectorUnsupported(Exception):
+    """This design cannot be compiled to the vector executor."""
+
+
+class VectorBail(Exception):
+    """Mid-run demotion: redo the whole batch on the scalar path."""
+
+
+def _make_ops(np) -> Dict[str, Tuple[int, Callable]]:
+    """Vectorized builtins: ``(arity, fn(ctx, *operands, use_mask))``.
+
+    Operands arrive sanitized (zeroed outside ``use``); division flags
+    zero divisors in the ctx error mask (the scalar redo then raises the
+    real ``ZeroDivisionError``); arithmetic guards raise
+    :class:`VectorBail` when a magnitude could overflow int64.
+    """
+
+    def guard(v, lim, use):
+        if bool((use & (np.abs(v) > lim)).any()):
+            raise VectorBail("operand magnitude beyond the int64 guard")
+
+    def add(c, a, b, use):
+        guard(a, _LIMIT_ADD, use)
+        guard(b, _LIMIT_ADD, use)
+        return a + b
+
+    def sub(c, a, b, use):
+        guard(a, _LIMIT_ADD, use)
+        guard(b, _LIMIT_ADD, use)
+        return a - b
+
+    def mul(c, a, b, use):
+        guard(a, _LIMIT_MUL, use)
+        guard(b, _LIMIT_MUL, use)
+        return a * b
+
+    def div(c, a, b, use):
+        zero = use & (b == 0)
+        if bool(zero.any()):
+            c.err |= zero  # scalar redo raises the ZeroDivisionError
+        bb = np.where(b == 0, 1, b)
+        q = np.abs(a) // np.abs(bb)
+        return np.where((a >= 0) == (bb >= 0), q, -q)
+
+    def mod(c, a, b, use):
+        return a - div(c, a, b, use) * b
+
+    return {
+        "not": (1, lambda c, a, use: a == 0),
+        "neg": (1, lambda c, a, use: -a),
+        "and": (2, lambda c, a, b, use: a & b),
+        "or": (2, lambda c, a, b, use: a | b),
+        "xor": (2, lambda c, a, b, use: a ^ b),
+        "+": (2, add),
+        "-": (2, sub),
+        "*": (2, mul),
+        "/": (2, div),
+        "mod": (2, mod),
+        "min": (2, lambda c, a, b, use: np.minimum(a, b)),
+        "max": (2, lambda c, a, b, use: np.maximum(a, b)),
+        "==": (2, lambda c, a, b, use: a == b),
+        "/=": (2, lambda c, a, b, use: a != b),
+        "<": (2, lambda c, a, b, use: a < b),
+        "<=": (2, lambda c, a, b, use: a <= b),
+        ">": (2, lambda c, a, b, use: a > b),
+        ">=": (2, lambda c, a, b, use: a >= b),
+    }
+
+
+class _VCtx:
+    """Per-batch solver state: one column per lane, one-hot statuses."""
+
+    __slots__ = (
+        "stP", "stA", "value", "pend", "state", "err", "changed",
+        "p_true", "p_false", "_consts", "_np", "lanes",
+    )
+
+    def __init__(self, np, n_signals: int, n_pre: int, lanes: int, init_vec):
+        self._np = np
+        self.lanes = lanes
+        self.stP = np.zeros((n_signals, lanes), dtype=bool)
+        self.stA = np.zeros((n_signals, lanes), dtype=bool)
+        self.value = np.zeros((n_signals, lanes), dtype=np.int64)
+        self.pend = np.ones((n_signals, lanes), dtype=bool)
+        if n_pre:
+            self.state = np.repeat(init_vec[:, None], lanes, axis=1)
+        else:
+            self.state = np.zeros((0, lanes), dtype=np.int64)
+        self.err = np.zeros(lanes, dtype=bool)
+        self.changed = False
+        self.p_true = np.ones(lanes, dtype=bool)
+        self.p_false = np.zeros(lanes, dtype=bool)
+        self._consts: Dict[int, object] = {}
+
+    def const(self, v: int):
+        arr = self._consts.get(v)
+        if arr is None:
+            arr = self._np.full(self.lanes, v, dtype=self._np.int64)
+            self._consts[v] = arr
+        return arr
+
+
+def _vset_p(c: _VCtx, i: int, m) -> None:
+    """Masked ``_set_status(..., P)``: contradictions flag the lane
+    instead of raising (the scalar redo reproduces the exact error)."""
+    row = c.stP[i]
+    mm = m & ~row
+    if not mm.any():
+        return
+    bad = mm & c.stA[i]
+    if bad.any():
+        c.err |= bad
+        mm = mm & ~bad
+        if not mm.any():
+            return
+    row[mm] = True
+    c.changed = True
+
+
+def _vset_a(c: _VCtx, i: int, m) -> None:
+    """Masked ``_set_status(..., A)``."""
+    row = c.stA[i]
+    mm = m & ~row
+    if not mm.any():
+        return
+    bad = mm & c.stP[i]
+    if bad.any():
+        c.err |= bad
+        mm = mm & ~bad
+        if not mm.any():
+            return
+    row[mm] = True
+    c.changed = True
+
+
+def _vset_value(c: _VCtx, i: int, v, m) -> None:
+    """Masked ``_set_value``: conflicting rewrites flag the lane."""
+    pr = c.pend[i]
+    vr = c.value[i]
+    bad = m & ~pr & (vr != v)
+    if bad.any():
+        c.err |= bad
+    mm = m & pr
+    if not mm.any():
+        return
+    vr[mm] = v[mm]
+    pr[mm] = False
+    c.changed = True
+
+
+class VectorExecutor:
+    """A :class:`ReactionPlan` recompiled to masked lane-array closures.
+
+    Build once per plan (cache via :func:`vector_executor`); run batches
+    with :meth:`run_batch`.  Construction raises
+    :class:`VectorUnsupported` when the design leaves the int64-encodable
+    fragment.
+    """
+
+    def __init__(self, plan: ReactionPlan, exact, np):
+        self.plan = plan
+        self.np = np
+        self.exact = exact
+        if any(e is None for e in exact):
+            raise VectorUnsupported("non-bool/int signal")
+        self._ops = _make_ops(np)
+        self.state_classes = []
+        for v in plan.init_state:
+            if v.__class__ not in (bool, int) or abs(int(v)) > _LIMIT_STORE:
+                raise VectorUnsupported("non-canonical pre initializer")
+            self.state_classes.append(v.__class__)
+        self._init_vec = np.array(
+            [int(v) for v in plan.init_state], dtype=np.int64
+        )
+        steps = []
+        for kind, st in plan.schedule:
+            if kind == "eq":
+                steps.append(self._compile_equation(st))
+            else:
+                steps.append(self._compile_sync(st))
+        self.steps: Tuple[Callable, ...] = tuple(steps)
+        self.pre_steps: Tuple[Tuple[int, Callable], ...] = tuple(
+            (k, self._compile_eval(node.expr))
+            for k, _ev, node in plan.pre_updaters
+        )
+        self.input_slots = tuple(plan.input_slot.values())
+        self._sweep_cap = 4 * len(steps) + 16
+
+    # -- expression compilation (mirrors ReactionPlan._compile_eval) --------
+    #
+    # Every evaluator returns ``(isP, isA, isC, value, pending)`` lane
+    # arrays (unknown = none of the three bits).  Status arrays may be
+    # *live views* of ctx rows: any mask derived from a sub-evaluation's
+    # status is snapshotted before the next sub-evaluation runs (whose
+    # forces may mutate those rows) — exactly the point where the scalar
+    # engine froze its status scalar.
+
+    def _compile_eval(self, expr: Expr) -> Callable:
+        np = self.np
+        if isinstance(expr, Var):
+            i = self.plan.slot[expr.name]
+
+            def ev_var(c, m, _i=i):
+                return c.stP[_i], c.stA[_i], c.p_false, c.value[_i], c.pend[_i]
+
+            return ev_var
+        if isinstance(expr, Const):
+            v = expr.value
+            if v.__class__ not in (bool, int) or abs(int(v)) > _LIMIT_STORE:
+                raise VectorUnsupported("non-canonical constant")
+            iv = int(v)
+
+            def ev_const(c, m, _v=iv):
+                return c.p_false, c.p_false, c.p_true, c.const(_v), c.p_false
+
+            return ev_const
+        if isinstance(expr, Pre):
+            sub = self._compile_eval(expr.expr)
+            k = self.plan.pre_slot_of[id(expr)]
+
+            def ev_pre(c, m, _sub=sub, _k=k):
+                sP, sA, sC, _, _ = _sub(c, m)
+                return sP, sA, sC, c.state[_k], ~(sP | sC)
+
+            return ev_pre
+        if isinstance(expr, ClockOf):
+            sub = self._compile_eval(expr.expr)
+
+            def ev_clock(c, m, _sub=sub):
+                sP, sA, sC, _, _ = _sub(c, m)
+                return sP, sA, sC, c.const(1), ~(sP | sC)
+
+            return ev_clock
+        if isinstance(expr, Default):
+            left = self._compile_eval(expr.left)
+            right = self._compile_eval(expr.right)
+
+            def ev_default(c, m, _l=left, _r=right):
+                lP, lA, lC, vl, pl = _l(c, m)
+                # snapshot the left's mutable P/A bits: the right branch's
+                # forces may write the very rows these views alias (C bits
+                # are never stored rows, so lC needs no copy)
+                lP = lP & c.p_true
+                lA = lA & c.p_true
+                lPC = lP | lC
+                # the scalar engine only evaluates the right branch when
+                # the left is absent or unknown
+                rP, rA, rC, vr, pr = _r(c, m & ~lPC)
+                sP = lP | (rP & ~lPC)
+                sA = lA & rA
+                sC = lC | (lA & rC)
+                v = np.where(lPC, vl, vr)
+                p = np.where(lPC, pl, np.where(lA, pr, c.p_true))
+                return sP, sA, sC, v, p
+
+            return ev_default
+        if isinstance(expr, When):
+            cond = self._compile_eval(expr.cond)
+            base = self._compile_eval(expr.expr)
+
+            def ev_when(c, m, _c=cond, _e=base):
+                cP, cA, cC, vc, pc = _c(c, m)
+                cPC = cP | cC
+                cA = cA & c.p_true  # snapshot before the base evaluates
+                eP, eA, eC, ve, pe = _e(c, m)
+                m1 = cA | eA
+                known = cPC & ~m1 & ~pc
+                live = known & (vc != 0)
+                mc = live & eC
+                md = live & ~eC
+                sP = (mc & ~cC) | (md & eP)
+                sA = m1 | (known & ~live)
+                sC = mc & cC
+                p = np.where(mc | md, pe, c.p_true)
+                return sP, sA, sC, ve, p
+
+            return ev_when
+        if isinstance(expr, App):
+            entry = self._ops.get(expr.op)
+            if entry is None or entry[0] != len(expr.args):
+                raise VectorUnsupported("builtin {!r}/{}".format(
+                    expr.op, len(expr.args)
+                ))
+            fn = entry[1]
+            if len(expr.args) == 1:
+                a1 = self._compile_eval(expr.args[0])
+
+                def ev_app1(c, m, _a1=a1, _fn=fn):
+                    P1, A1, C1, v1, p1 = _a1(c, m)
+                    PC1 = P1 | C1
+                    use = m & PC1 & ~p1
+                    a = np.where(use, v1, 0)
+                    v = _fn(c, a, use)
+                    p = np.where(PC1, p1, c.p_true)
+                    return P1, A1, C1, v, p
+
+                return ev_app1
+            a1 = self._compile_eval(expr.args[0])
+            a2 = self._compile_eval(expr.args[1])
+            f1 = self._compile_force(expr.args[0])
+            f2 = self._compile_force(expr.args[1])
+
+            def ev_app2(c, m, _a1=a1, _a2=a2, _f1=f1, _f2=f2, _fn=fn):
+                P1, A1, C1, v1, p1 = _a1(c, m)
+                P1 = P1 & c.p_true  # snapshot: the second operand's
+                A1 = A1 & c.p_true  # forces may mutate these rows
+                P2, A2, C2, v2, p2 = _a2(c, m)
+                m_p = P1 | P2
+                bad = m & m_p & (A1 | A2)
+                mp = m & m_p
+                if bad.any():
+                    c.err |= bad  # "not synchronous": redone scalar
+                    mp = mp & ~bad
+                if mp.any():
+                    U1 = ~(P1 | A1 | C1)
+                    _f1(c, _P, mp & U1)
+                    _f2(c, _P, mp & ~U1 & ~(P2 | A2 | C2))
+                m_a = ~m_p & (A1 | A2)
+                ma = m & m_a
+                if ma.any():
+                    _f1(c, _A, ma & ~A1)
+                    _f2(c, _A, ma & ~A2)
+                m_c = ~m_p & ~m_a & C1 & C2
+                use = (mp | (m & m_c)) & ~p1 & ~p2
+                a = np.where(use, v1, 0)
+                b = np.where(use, v2, 0)
+                v = _fn(c, a, b, use)
+                p = np.where(m_p | m_c, p1 | p2, c.p_true)
+                return m_p, m_a, m_c, v, p
+
+            return ev_app2
+        raise VectorUnsupported("cannot vectorize {!r}".format(expr))
+
+    def _compile_force(self, expr: Expr) -> Callable:
+        """Masked backward presence propagation (mirrors _compile_force)."""
+        if isinstance(expr, Var):
+            i = self.plan.slot[expr.name]
+
+            def force_var(c, st, m, _i=i):
+                if st == _P:
+                    _vset_p(c, _i, m)
+                else:
+                    _vset_a(c, _i, m)
+
+            return force_var
+        if isinstance(expr, Const):
+            def force_const(c, st, m):
+                return None
+
+            return force_const
+        if isinstance(expr, (Pre, ClockOf)):
+            return self._compile_force(expr.expr)
+        if isinstance(expr, App):
+            subs = tuple(self._compile_force(a) for a in expr.args)
+
+            def force_app(c, st, m, _subs=subs):
+                for f in _subs:
+                    f(c, st, m)
+
+            return force_app
+        if isinstance(expr, When):
+            fe = self._compile_force(expr.expr)
+            fc = self._compile_force(expr.cond)
+
+            def force_when(c, st, m, _fe=fe, _fc=fc):
+                if st == _P:
+                    _fe(c, _P, m)
+                    _fc(c, _P, m)
+
+            return force_when
+        if isinstance(expr, Default):
+            fl = self._compile_force(expr.left)
+            fr = self._compile_force(expr.right)
+
+            def force_default(c, st, m, _fl=fl, _fr=fr):
+                if st == _A:
+                    _fl(c, _A, m)
+                    _fr(c, _A, m)
+
+            return force_default
+        raise VectorUnsupported("cannot vectorize force {!r}".format(expr))
+
+    # -- step compilation ----------------------------------------------------
+
+    def _compile_equation(self, eq: Equation) -> Callable:
+        ev = self._compile_eval(eq.expr)
+        force = self._compile_force(eq.expr)
+        ti = self.plan.slot[eq.target]
+
+        def step(c, m, _ev=ev, _force=force, _ti=ti):
+            sP, sA, sC, v, p = _ev(c, m)
+            # all masks snapshotted before the target rows mutate (the
+            # expression may read the target, e.g. a presence loop)
+            mP = m & sP
+            mA = m & sA
+            mC = m & sC
+            mU = m & ~(sP | sA | sC)
+            mPv = mP & ~p
+            _vset_p(c, _ti, mP)
+            _vset_value(c, _ti, v, mPv)
+            _vset_a(c, _ti, mA)
+            tP = c.stP[_ti]
+            tA = c.stA[_ti]
+            m1 = mC & tP & ~p
+            _vset_value(c, _ti, v, m1)
+            if mU.any():
+                _force(c, _P, mU & tP)
+                _force(c, _A, mU & tA)
+            return mPv | mA | m1 | (mC & tA)
+
+        return step
+
+    def _compile_sync(self, sc: SyncConstraint) -> Callable:
+        idxs = tuple(self.plan.slot[n] for n in sc.names)
+
+        def step(c, m, _idxs=idxs):
+            stP = c.stP
+            stA = c.stA
+            has_p = stP[_idxs[0]]
+            has_a = stA[_idxs[0]]
+            for i in _idxs[1:]:
+                has_p = has_p | stP[i]
+                has_a = has_a | stA[i]
+            bad = m & has_p & has_a
+            mp = m & has_p
+            if bad.any():
+                c.err |= bad  # violated constraint: redone scalar
+                mp = mp & ~bad
+            ma = m & has_a & ~has_p
+            if mp.any():
+                for i in _idxs:
+                    _vset_p(c, i, mp)
+            if ma.any():
+                for i in _idxs:
+                    _vset_a(c, i, ma)
+            return mp | ma
+
+        return step
+
+    # -- per-instant driver --------------------------------------------------
+
+    def _fixpoint(self, c: _VCtx, active, settled) -> None:
+        """Re-sweep the schedule until no array changes.
+
+        Per-lane ``settled`` masks mirror the scalar engine's settled
+        bits, so quiescent steps cost one ``any()`` per sweep.  The
+        propagation is monotone (statuses leave U once, values fill
+        once), so this reaches the same fixpoint as the scalar worklist.
+        """
+        sweeps = 0
+        while True:
+            c.changed = False
+            m_base = active & ~c.err
+            for k, step in enumerate(self.steps):
+                done = settled[k]
+                m = m_base & ~done
+                if not m.any():
+                    continue
+                fin = step(c, m)
+                done |= fin & m
+            sweeps += 1
+            if not c.changed:
+                return
+            if sweeps > self._sweep_cap:
+                raise VectorBail("fixpoint did not quiesce")
+
+    def _solve(self, c: _VCtx, active, settled) -> None:
+        self._fixpoint(c, active, settled)
+        m_base = active & ~c.err
+        if len(c.stP):
+            und = ~(c.stP | c.stA)
+            u = m_base & und.any(axis=0)
+            if u.any():
+                # least-clock completion: everything unknown is absent;
+                # contradictions it uncovers become error lanes (the
+                # scalar redo raises NonDeterministicClockError)
+                c.stA[und & u] = True
+                c.changed = True
+                self._fixpoint(c, active, settled)
+            m_base = active & ~c.err
+            miss = m_base & (c.stP & c.pend).any(axis=0)
+            if miss.any():
+                c.err |= miss  # "present signals without a value"
+
+    def _advance(self, c: _VCtx, active) -> None:
+        m = active & ~c.err
+        for k, ev in self.pre_steps:
+            sP, _sA, _sC, v, p = ev(c, m)
+            mp = m & sP
+            badp = mp & p
+            if badp.any():
+                c.err |= badp  # "pre operand present without a value"
+            wr = mp & ~c.err
+            if wr.any():
+                c.state[k][wr] = v[wr]
+
+    def _apply_inputs(self, c: _VCtx, act, vec, rows_per_lane, t) -> None:
+        islot = self.plan.input_slot
+        exact = self.exact
+        stP = c.stP
+        stA = c.stA
+        value = c.value
+        pend = c.pend
+        for k in vec:
+            for name, val in rows_per_lane[k][t].items():
+                i = islot.get(name)
+                if i is None:
+                    c.err[k] = True  # "unknown input": redone scalar
+                    break
+                if val is ABSENT:
+                    stA[i, k] = True
+                else:
+                    if val.__class__ is not exact[i]:
+                        raise VectorBail("non-canonical input value")
+                    iv = int(val)
+                    if iv > _LIMIT_STORE or iv < -_LIMIT_STORE:
+                        raise VectorBail("wide input value")
+                    stP[i, k] = True
+                    value[i, k] = iv
+                    pend[i, k] = False
+        for i in self.input_slots:
+            rowP = stP[i]
+            rowA = stA[i]
+            mm = act & ~rowP & ~rowA
+            rowA[mm] = True
+
+    # -- batch driver --------------------------------------------------------
+
+    def run_batch(self, rows_per_lane, capture_errors, lanes, errors, demotion):
+        """Drive every lane to completion; record into ``lanes``.
+
+        ``rows_per_lane`` are materialized row lists (restartable on
+        :class:`VectorBail`); ``lanes`` are numpy lane recorders from
+        :mod:`repro.sim.batch`; ``demotion`` is the recorder's demotion
+        exception type (re-raised as :class:`VectorBail`).  Error lanes
+        are redone scalar for the failing instant, reproducing the exact
+        scalar exception; surviving redo lanes continue in scalar mode.
+        """
+        np = self.np
+        plan = self.plan
+        counters = plan.counters
+        react_slots = plan.react_slots
+        state_classes = self.state_classes
+        L = len(rows_per_lane)
+        c = _VCtx(np, plan.n_signals, len(plan.pre_nodes), L, self._init_vec)
+        settled = np.zeros((len(self.steps), L), dtype=bool)
+        active = np.ones(L, dtype=bool)
+        scalar_state: Dict[int, List[object]] = {}
+        t = 0
+        while True:
+            vec = [k for k in range(L) if active[k]]
+            for k in list(vec):
+                if t >= len(rows_per_lane[k]):
+                    active[k] = False
+                    vec.remove(k)
+            live_scalar = [
+                k for k in sorted(scalar_state)
+                if t < len(rows_per_lane[k])
+            ]
+            for k in list(scalar_state):
+                if t >= len(rows_per_lane[k]):
+                    del scalar_state[k]
+            if not vec and not live_scalar:
+                break
+            # lanes that fell back to scalar mode keep their own loop
+            for k in live_scalar:
+                row = rows_per_lane[k][t]
+                try:
+                    statuses, values, new_st = react_slots(
+                        row, scalar_state[k], None, t, ABSENT
+                    )
+                except SimulationError as exc:
+                    if not capture_errors:
+                        raise
+                    errors[k] = (type(exc).__name__, str(exc))
+                    del scalar_state[k]
+                    continue
+                try:
+                    lanes[k].record(statuses, values)
+                except demotion:
+                    raise VectorBail("recorder demotion")
+                scalar_state[k] = new_st
+            if vec:
+                act = np.zeros(L, dtype=bool)
+                act[vec] = True
+                c.stP.fill(False)
+                c.stA.fill(False)
+                c.pend.fill(True)
+                c.err.fill(False)
+                settled.fill(False)
+                state_prev = c.state.copy()
+                self._apply_inputs(c, act, vec, rows_per_lane, t)
+                self._solve(c, act, settled)
+                self._advance(c, act)
+                counters["reactions"] += len(vec)
+                counters["vector_instants"] = (
+                    counters.get("vector_instants", 0) + 1
+                )
+                ok = act & ~c.err
+                if ok.any():
+                    # UPAC ints for the recorders: after the solve every
+                    # healthy lane is determined, so status is P or A
+                    st_mat = 2 - c.stP
+                for k in vec:
+                    if ok[k]:
+                        lanes[k].record_raw(st_mat[:, k], c.value[:, k])
+                        continue
+                    # anomalous lane: redo this instant scalar for the
+                    # exact trace row or the exact exception
+                    st_list = [
+                        cls(int(x))
+                        for cls, x in zip(state_classes, state_prev[:, k])
+                    ]
+                    try:
+                        statuses, values, new_st = react_slots(
+                            rows_per_lane[k][t], st_list, None, t, ABSENT
+                        )
+                    except SimulationError as exc:
+                        if not capture_errors:
+                            raise
+                        errors[k] = (type(exc).__name__, str(exc))
+                        active[k] = False
+                        continue
+                    try:
+                        lanes[k].record(statuses, values)
+                    except demotion:
+                        raise VectorBail("recorder demotion")
+                    active[k] = False
+                    scalar_state[k] = new_st
+            t += 1
+
+
+def vector_executor(
+    plan: ReactionPlan, exact, np
+) -> Optional[VectorExecutor]:
+    """The cached vector executor for ``plan`` (``None`` if unsupported)."""
+    cached = plan.__dict__.get("_vector_exec", False)
+    if cached is not False:
+        return cached
+    try:
+        vx: Optional[VectorExecutor] = VectorExecutor(plan, exact, np)
+    except VectorUnsupported:
+        vx = None
+    plan.__dict__["_vector_exec"] = vx
+    return vx
+
+
+__all__ = [
+    "VectorBail",
+    "VectorExecutor",
+    "VectorUnsupported",
+    "vector_executor",
+]

@@ -19,6 +19,7 @@ from typing import (
     List,
     NamedTuple,
     Optional,
+    Tuple,
 )
 
 from repro.gals import schedules
@@ -396,6 +397,97 @@ def soak_sweep(
     return sweep(_soak_task, list(specs), workers=workers, shared=shared)
 
 
+def _soak_summary(name: str, report) -> Dict[str, Any]:
+    """The :func:`_soak_task` summary shape, from an existing report."""
+    from repro.sim.cosim import FLOW_EQUIVALENT
+
+    worst = None
+    for signal in sorted(report.classification):
+        verdict = report.classification[signal]
+        if verdict != FLOW_EQUIVALENT:
+            worst = verdict
+            break
+    return {
+        "scenario": name,
+        "flow_equivalent": report.flow_equivalent,
+        "class": worst,
+        "divergent_signals": len(report.divergent),
+        "faults": dict(report.fault_counts),
+    }
+
+
+def _group_specs(specs: list, group_key) -> List[Tuple[Any, List[int]]]:
+    """Partition spec indices by ``group_key(spec)``, preserving first-seen
+    group order (lane batches must not reorder deterministic summaries)."""
+    groups: Dict[Any, List[int]] = {}
+    order: List[Any] = []
+    for i, spec in enumerate(specs):
+        key = group_key(spec)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    return [(key, groups[key]) for key in order]
+
+
+def _batched_soak_task(shared: Dict[str, Any], group) -> List[Dict[str, Any]]:
+    """One lane batch: every plan of one workload against a single shared
+    reference run (runs inside sweep workers)."""
+    from repro.faults.soak import soak_batch
+
+    workload_spec, horizon, named_plans = group
+    reports = soak_batch(
+        shared["program"],
+        workload_from_spec(dict(workload_spec)),
+        [plan for _, plan in named_plans],
+        horizon=horizon,
+        **shared["net_kwargs"],
+    )
+    return [
+        _soak_summary(name, report)
+        for (name, _), report in zip(named_plans, reports)
+    ]
+
+
+def batched_soak_sweep(
+    program,
+    specs: Iterable[FaultScenarioSpec],
+    horizon: float = 50.0,
+    workers: Optional[int] = None,
+    **net_kwargs,
+) -> List[Dict[str, Any]]:
+    """:func:`soak_sweep` with lane batching: specs sharing a workload
+    (and horizon) become ONE sweep task whose zero-fault reference runs
+    once for all of its fault plans (:func:`repro.faults.soak.soak_batch`).
+
+    Returns the same summary dicts as :func:`soak_sweep`, in the original
+    spec order — byte-identical to the unbatched sweep, just cheaper.
+    """
+    spec_list = list(specs)
+    grouped = _group_specs(
+        spec_list,
+        lambda s: (
+            tuple(sorted(s.workload.items())),
+            s.horizon if s.horizon is not None else horizon,
+        ),
+    )
+    tasks = [
+        (
+            key[0],
+            key[1],
+            [(spec_list[i].name, spec_list[i].plan) for i in indices],
+        )
+        for key, indices in grouped
+    ]
+    shared = {"program": program, "net_kwargs": net_kwargs}
+    report = sweep(_batched_soak_task, tasks, workers=workers, shared=shared)
+    out: List[Optional[Dict[str, Any]]] = [None] * len(spec_list)
+    for (key, indices), summaries in zip(grouped, report.values()):
+        for i, summary in zip(indices, summaries):
+            out[i] = summary
+    return out  # type: ignore[return-value]
+
+
 # -- recovery scenarios (experiment A9) ---------------------------------------
 
 
@@ -484,3 +576,64 @@ def recovery_sweep(
         "net_kwargs": net_kwargs,
     }
     return sweep(_recovery_task, list(specs), workers=workers, shared=shared)
+
+
+def _batched_recovery_task(shared: Dict[str, Any], group) -> List[Dict[str, Any]]:
+    """One recovery lane batch (runs inside sweep workers)."""
+    from repro.faults.soak import recovery_soak_batch
+
+    workload_spec, config, horizon, named_plans = group
+    reports = recovery_soak_batch(
+        shared["program"],
+        workload_from_spec(dict(workload_spec)),
+        [plan for _, plan in named_plans],
+        config=config if config is not None else shared["config"],
+        horizon=horizon,
+        **shared["net_kwargs"],
+    )
+    out = []
+    for (name, _), report in zip(named_plans, reports):
+        summary = report.summary()
+        summary["scenario"] = name
+        out.append(summary)
+    return out
+
+
+def batched_recovery_sweep(
+    program,
+    specs: Iterable[RecoveryScenarioSpec],
+    config=None,
+    horizon: float = 40.0,
+    workers: Optional[int] = None,
+    **net_kwargs,
+) -> List[Dict[str, Any]]:
+    """:func:`recovery_sweep` with lane batching: specs sharing a
+    workload, recovery config and horizon become one sweep task with a
+    single shared reference run
+    (:func:`repro.faults.soak.recovery_soak_batch`).  Summaries come back
+    in spec order, byte-identical to the unbatched sweep."""
+    spec_list = list(specs)
+    grouped = _group_specs(
+        spec_list,
+        lambda s: (
+            tuple(sorted(s.workload.items())),
+            s.config,
+            s.horizon if s.horizon is not None else horizon,
+        ),
+    )
+    tasks = [
+        (
+            key[0],
+            key[1],
+            key[2],
+            [(spec_list[i].name, spec_list[i].plan) for i in indices],
+        )
+        for key, indices in grouped
+    ]
+    shared = {"program": program, "config": config, "net_kwargs": net_kwargs}
+    report = sweep(_batched_recovery_task, tasks, workers=workers, shared=shared)
+    out: List[Optional[Dict[str, Any]]] = [None] * len(spec_list)
+    for (key, indices), summaries in zip(grouped, report.values()):
+        for i, summary in zip(indices, summaries):
+            out[i] = summary
+    return out  # type: ignore[return-value]

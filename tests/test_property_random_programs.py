@@ -177,6 +177,48 @@ def test_prop_engine_matches_denotation(comp, rows):
         )
 
 
+@settings(max_examples=60, deadline=None)
+@given(random_component(), random_stimulus(10))
+def test_prop_interpreter_plan_specialized_batch_agree(comp, rows):
+    """The four execution paths — reference interpreter, compiled plan,
+    specialized generated code, batched lanes (numpy and object) — produce
+    identical traces: same presence statuses (a signal is in the row iff
+    present), same values, same rejection errors."""
+    import os
+    from unittest import mock
+
+    from repro.sim.batch import simulate_batch
+
+    def run(reactor):
+        out = []
+        try:
+            for row in rows:
+                out.append(reactor.react(row))
+        except SimulationError as exc:
+            out.append(("rejected", type(exc).__name__, str(exc)))
+        return out
+
+    ref = run(Reactor(comp, check=False, compiled=False))
+    plan_out = run(Reactor(comp, check=False))
+    spec_out = run(Reactor(comp, check=False, specialize=True))
+    assert repr(plan_out) == repr(ref)
+    assert repr(spec_out) == repr(ref)
+
+    rejected = bool(ref) and isinstance(ref[-1], tuple)
+    rows_ok = ref[:-1] if rejected else ref
+    for env in ({}, {"REPRO_NO_NUMPY": "1"}):
+        with mock.patch.dict(os.environ, env):
+            report = simulate_batch(
+                comp, [iter(rows), iter(rows)], capture_errors=True
+            )
+        for lane in range(2):
+            if rejected:
+                assert report.errors[lane] == (ref[-1][1], ref[-1][2])
+            else:
+                assert report.errors[lane] is None
+            assert repr(report.traces[lane].instants) == repr(rows_ok)
+
+
 @settings(max_examples=40, deadline=None)
 @given(random_component(), random_stimulus(10))
 def test_prop_engine_deterministic(comp, rows):
