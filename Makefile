@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick bench-a11 soak-quick recover-quick lint
+.PHONY: test test-fast bench bench-quick bench-a11 bench-a12 serve-smoke soak-quick recover-quick lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
@@ -35,6 +35,21 @@ bench-quick:
 bench-a11:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
 		bench_a11_batched_soak.py -q -s
+
+# verification-service benchmark (experiment A12): one mixed 10k-job
+# batch (400 in quick mode) through the scheduler at 1/2/4 workers,
+# byte-identity vs sequential execution asserted per run, plus a
+# warm-cache rerun with a >=90% hit-rate floor; writes
+# benchmarks/out/A12_service.txt and BENCH_A12_service.json
+bench-a12:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a12_service.py -q -s
+
+# end-to-end service gate: boot a real server on an ephemeral port,
+# push a mixed batch over the socket API, assert byte-identity vs
+# sequential execution and a fully cache-served warm resubmission
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.service.smoke
 
 # reduced-horizon fault-injection soak (experiment A7); writes
 # benchmarks/out/A7_fault_soak.txt and BENCH_A7_fault_soak.json

@@ -491,6 +491,109 @@ def cmd_recover(args) -> int:
     return 0 if report.healthy else 1
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import ResultCache, Scheduler, ServiceServer
+
+    scheduler = Scheduler(
+        workers=args.workers,
+        cache=ResultCache(args.cache_capacity),
+        use_processes=None if not args.inline else False,
+    )
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+    host, port = server.address
+    print("repro-service listening on {}:{} ({} worker{}, cache {})".format(
+        host, port, args.workers, "s" if args.workers != 1 else "",
+        args.cache_capacity))
+
+    def _terminate(signum, frame):
+        # same graceful path as Ctrl-C: unwind serve_forever so the
+        # scheduler (and its worker processes) shut down too
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def _parse_job_shorthand(text: str):
+    """``kind:design[:k=v,...]`` — e.g. ``lint:producer_consumer`` or
+    ``soak:producer_consumer:seed=3,drop=0.2``.  ``@`` inside a value
+    stands for ``:`` (rate words), ``+`` separates list items."""
+    fields = text.split(":", 2)
+    if len(fields) < 2:
+        raise SystemExit(
+            "bad job {!r}: want kind:design[:k=v,...]".format(text))
+    kind, design = fields[0], fields[1]
+    params = {}
+    if len(fields) > 2 and fields[2]:
+        for pair in fields[2].split(","):
+            key, eq, raw = pair.partition("=")
+            if not eq:
+                raise SystemExit("bad job param {!r} in {!r}".format(pair, text))
+            items = [v.replace("@", ":") for v in raw.split("+")]
+            values = []
+            for item in items:
+                if item in ("true", "false"):
+                    values.append(item == "true")
+                else:
+                    try:
+                        values.append(int(item))
+                    except ValueError:
+                        try:
+                            values.append(float(item))
+                        except ValueError:
+                            values.append(item)
+            params[key] = values if len(values) > 1 else values[0]
+    return {"kind": kind, "design": design, "params": params}
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    jobs = [_parse_job_shorthand(spec) for spec in args.jobs]
+    for path in args.file or []:
+        with open(path) as fh:
+            loaded = json.load(fh)
+        jobs.extend(loaded if isinstance(loaded, list) else [loaded])
+    if not jobs:
+        raise SystemExit("submit: no jobs (give kind:design[:k=v,...] "
+                         "specs or --file)")
+    if args.priority:
+        for job in jobs:
+            job.setdefault("priority", args.priority)
+    with ServiceClient(args.host, args.connect) as client:
+        ids = client.submit(jobs)
+        print("submitted {} job(s): {} .. {}".format(len(ids), ids[0], ids[-1]))
+        if not args.wait:
+            return 0
+        summaries = client.wait(ids, timeout=args.timeout)
+        payload = []
+        failed = 0
+        for summary in summaries:
+            line = "{id}  {state:<9} {kind:<9}".format(**summary)
+            if summary.get("cache_hit"):
+                line += "  [cached]"
+            if summary.get("error"):
+                line += "  {}".format(summary["error"])
+            if summary["state"] != "done":
+                failed += 1
+            print(line)
+            if args.json:
+                payload.append(client.result(summary["id"]))
+        if args.json:
+            _emit_json(args.json, payload)
+        return 1 if failed else 0
+
+
 def cmd_coverage(args) -> int:
     from repro.sim.coverage import measure_coverage
 
@@ -690,6 +793,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON digest to PATH ('-' for stdout)",
     )
     p.set_defaults(fn=cmd_recover)
+
+    p = sub.add_parser(
+        "serve", help="run the verification-job service (socket API)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7712,
+                   help="TCP port (0 picks an ephemeral one)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--cache-capacity", type=int, default=4096,
+                   help="result-cache entries kept (LRU)")
+    p.add_argument("--inline", action="store_true",
+                   help="execute jobs in-process instead of a worker pool")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit verification jobs to a running service"
+    )
+    p.add_argument(
+        "jobs", nargs="*",
+        help="job shorthand kind:design[:k=v,...] — e.g. "
+             "lint:producer_consumer:rates=p_act@1+x_rreq@2 or "
+             "soak:producer_consumer:seed=3,drop=0.2",
+    )
+    p.add_argument("--file", action="append",
+                   help="JSON file with a job spec or a list of them")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--connect", type=int, default=7712, metavar="PORT")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the jobs finish; exit 1 on failures")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--json", metavar="PATH",
+                   help="with --wait: dump result envelopes ('-' = stdout)")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("coverage", help="measure stimulus coverage")
     p.add_argument("file")

@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 
 class PerfCounters:
@@ -108,6 +108,18 @@ class PerfCounters:
         out: Dict[str, object] = dict(self._counts)
         out.update({k: round(v, 6) for k, v in self._times.items()})
         return out
+
+    def dump(self) -> "Tuple[Dict[str, float], Dict[str, float]]":
+        """Exact internal state, for :meth:`restore` — unlike
+        :meth:`snapshot` nothing is rounded or flattened."""
+        return (dict(self._counts), dict(self._times))
+
+    def restore(self, state: "Tuple[Dict[str, float], Dict[str, float]]") -> None:
+        """Reinstate a state captured by :meth:`dump` (the sweep executor
+        uses the pair to isolate each sequential task's counters)."""
+        counts, times = state
+        self._counts = dict(counts)
+        self._times = dict(times)
 
     def reset(self, prefix: Optional[str] = None) -> None:
         """Zero all counters, or only those under ``prefix``."""

@@ -43,13 +43,16 @@ from repro.perf import PERF
 
 
 class TaskResult(NamedTuple):
-    """One sweep point: its position, return value, wall time, and the
-    perf-counter delta its execution produced."""
+    """One sweep point: its position, return value, wall time, the
+    perf-counter delta its execution produced, and — when the sweep ran
+    with ``on_error="capture"`` — the error that ended it (``None`` for a
+    successful task; a captured task's ``value`` is ``None``)."""
 
     index: int
     value: Any
     seconds: float
     counters: Dict[str, Any]
+    error: Optional[str] = None
 
 
 class SweepReport(NamedTuple):
@@ -63,14 +66,24 @@ class SweepReport(NamedTuple):
         """Task return values, in submission order."""
         return [r.value for r in self.results]
 
+    def errors(self) -> List[Tuple[int, str]]:
+        """Captured per-task errors, in submission order."""
+        return [(r.index, r.error) for r in self.results if r.error]
+
     def totals(self) -> Dict[str, Any]:
-        """Per-task counters summed across the sweep."""
+        """Per-task counters summed across the sweep.
+
+        Accumulation is exact; float totals are rounded once at the end
+        (rounding on every addition used to compound error across large
+        sweeps)."""
         out: Dict[str, Any] = {}
         for r in self.results:
             for key, val in r.counters.items():
-                prev = out.get(key, 0)
-                out[key] = round(prev + val, 6) if isinstance(val, float) else prev + val
-        return out
+                out[key] = out.get(key, 0) + val
+        return {
+            key: round(val, 6) if isinstance(val, float) else val
+            for key, val in out.items()
+        }
 
 
 class _NoShared:
@@ -97,33 +110,87 @@ def _call(fn: Callable, shared: Any, item: Any) -> Any:
     return fn(item)
 
 
-def _run_task(index: int, item: Any) -> TaskResult:
+def _format_error(exc: BaseException) -> str:
+    return "{}: {}".format(type(exc).__name__, exc)
+
+
+def _run_task(index: int, item: Any, capture_errors: bool = False) -> TaskResult:
     """Executed in a worker: run one point with a clean counter registry
     so its snapshot is exactly this task's delta."""
     PERF.reset()
     t0 = time.perf_counter()
-    value = _call(_worker_fn, _worker_shared, item)
+    value = None
+    error = None
+    if capture_errors:
+        try:
+            value = _call(_worker_fn, _worker_shared, item)
+        except Exception as exc:
+            error = _format_error(exc)
+    else:
+        value = _call(_worker_fn, _worker_shared, item)
     seconds = time.perf_counter() - t0
-    return TaskResult(index, value, seconds, PERF.snapshot())
+    return TaskResult(index, value, seconds, PERF.snapshot(), error)
 
 
 def _snapshot_delta(
     after: Dict[str, Any], before: Dict[str, Any]
 ) -> Dict[str, Any]:
+    """Per-key difference of two snapshots, exact until a single final
+    rounding.  Keys present only in ``before`` (a counter that shrank or
+    vanished, e.g. after a mid-task ``PERF.reset()``) yield negative
+    deltas rather than being silently dropped."""
     out: Dict[str, Any] = {}
-    for key, val in after.items():
-        delta = val - before.get(key, 0)
+    for key in sorted(set(after) | set(before)):
+        delta = after.get(key, 0) - before.get(key, 0)
         if delta:
             out[key] = round(delta, 6) if isinstance(delta, float) else delta
     return out
 
 
 def _merge_back(counters: Dict[str, Any]) -> None:
-    """Fold a worker's per-task delta into the coordinator's registry."""
-    PERF.merge({k: v for k, v in counters.items() if isinstance(v, int)})
+    """Fold a worker's per-task delta into the coordinator's registry.
+
+    Every numeric delta is folded: ints and non-time floats through the
+    counter table, ``time.*`` floats through the phase table.  (Only
+    ``time.``-prefixed floats used to survive the merge, so any float
+    counter a task accumulated was silently dropped and coordinator
+    ``PERF`` disagreed with a sequential run.)"""
     for key, val in counters.items():
+        if isinstance(val, bool) or not isinstance(val, (int, float)):
+            continue
         if key.startswith("time.") and isinstance(val, float):
             PERF.add_time(key[len("time."):], val)
+        elif val:
+            PERF.incr(key, val)
+
+
+def _run_task_inline(
+    fn: Callable, shared: Any, index: int, item: Any, capture_errors: bool
+) -> TaskResult:
+    """Run one point in-process under the same isolation a pool worker
+    gets: the task starts from a clean registry (so a mid-task
+    ``PERF.reset()`` behaves identically at any worker count), its
+    snapshot is exactly its delta, and the coordinator's counters are
+    restored and the delta folded back afterwards."""
+    baseline = PERF.dump()
+    PERF.reset()
+    t0 = time.perf_counter()
+    value = None
+    error = None
+    try:
+        value = _call(fn, shared, item)
+    except Exception as exc:
+        if not capture_errors:
+            task_counters = PERF.snapshot()
+            PERF.restore(baseline)
+            _merge_back(task_counters)
+            raise
+        error = _format_error(exc)
+    seconds = time.perf_counter() - t0
+    task_counters = PERF.snapshot()
+    PERF.restore(baseline)
+    _merge_back(task_counters)
+    return TaskResult(index, value, seconds, task_counters, error)
 
 
 def sweep(
@@ -131,6 +198,7 @@ def sweep(
     items: Iterable[Any],
     workers: Optional[int] = None,
     shared: Any = _NO_SHARED,
+    on_error: str = "raise",
 ) -> SweepReport:
     """Run ``fn`` over every item; return a :class:`SweepReport`.
 
@@ -141,7 +209,16 @@ def sweep(
     the pool initializer.  Results always come back in submission
     order, and each worker's perf-counter deltas are merged into the
     coordinating process's :data:`repro.perf.PERF`.
+
+    ``on_error="raise"`` (the default) propagates the first task
+    exception in submission order; ``on_error="capture"`` records it in
+    the task's :attr:`TaskResult.error` slot instead and keeps the
+    sweep — and the pool — alive for the remaining points.
     """
+    if on_error not in ("raise", "capture"):
+        raise ValueError("on_error must be 'raise' or 'capture', not {!r}"
+                         .format(on_error))
+    capture = on_error == "capture"
     points = list(items)
     has_shared = shared is not _NO_SHARED
     n_workers = 1 if workers is None else max(1, min(workers, len(points) or 1))
@@ -149,18 +226,7 @@ def sweep(
     results: List[TaskResult] = []
     if n_workers <= 1:
         for index, item in enumerate(points):
-            before = PERF.snapshot()
-            t_task = time.perf_counter()
-            value = _call(fn, shared, item)
-            seconds = time.perf_counter() - t_task
-            results.append(
-                TaskResult(
-                    index,
-                    value,
-                    seconds,
-                    _snapshot_delta(PERF.snapshot(), before),
-                )
-            )
+            results.append(_run_task_inline(fn, shared, index, item, capture))
     else:
         with ProcessPoolExecutor(
             max_workers=n_workers,
@@ -168,7 +234,7 @@ def sweep(
             initargs=(fn, shared if has_shared else None, has_shared),
         ) as pool:
             futures = [
-                pool.submit(_run_task, index, item)
+                pool.submit(_run_task, index, item, capture)
                 for index, item in enumerate(points)
             ]
             # collecting in submission order makes the report (and any

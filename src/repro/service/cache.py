@@ -1,0 +1,87 @@
+"""Content-addressed result cache for the verification service.
+
+One bounded LRU maps :func:`repro.service.jobs.job_key` — the hash of a
+job's resolved design content plus kind plus parameters — to the result
+envelope :func:`repro.service.runner.execute` produced for it.  Because
+job results are deterministic functions of their key, serving a hit is
+*exactly* as good as re-running the job, so a resubmitted design costs a
+hash and a dict lookup.
+
+The cache sits between the scheduler thread and however many socket
+request handlers the server spawns, so every access takes the lock.
+Hit/miss/eviction counts are kept locally (:meth:`ResultCache.stats`) and
+exported through :data:`repro.perf.PERF` as ``service.cache_hits`` /
+``service.cache_misses`` / ``service.cache_evictions``; the compiled
+plans under the jobs get the same treatment from
+:func:`repro.sim.plan.plan_cache_stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.perf import PERF
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of job-result envelopes."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached envelope for ``key``, or ``None`` (counted as a
+        miss — call only when a hit would actually be served)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                PERF.incr("service.cache_hits")
+                return entry
+            self._misses += 1
+            PERF.incr("service.cache_misses")
+            return None
+
+    def put(self, key: str, envelope: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = envelope
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                PERF.incr("service.cache_evictions")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry; cumulative statistics survive."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }

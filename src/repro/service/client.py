@@ -1,0 +1,124 @@
+"""Client for the verification service's line-JSON socket API.
+
+Thin by design: every method is one request line and one (or, for
+:meth:`watch`, many) response lines, so the protocol documented in
+:mod:`repro.service.server` stays the source of truth.  Used by the
+``repro submit`` CLI, the smoke gate and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- protocol -----------------------------------------------------------
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One op, one reply; raises :class:`ServiceError` on ``ok: false``."""
+        payload = {"op": op}
+        payload.update(fields)
+        self._send(payload)
+        reply = self._recv()
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "request failed"))
+        return reply
+
+    # -- convenience --------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.request("ping")["service"]
+
+    def submit(self, jobs: Iterable[Dict[str, Any]]) -> List[str]:
+        return self.request("submit", jobs=list(jobs))["ids"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("status", id=job_id)["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Job summary plus result envelope (``envelope`` may be ``None``
+        while the job is still in flight)."""
+        return self.request("result", id=job_id)
+
+    def list(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        fields = {} if state is None else {"state": state}
+        return self.request("list", **fields)["jobs"]
+
+    def cancel(self, job_id: str) -> bool:
+        return self.request("cancel", id=job_id)["cancelled"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def wait(
+        self,
+        job_ids: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        fields: Dict[str, Any] = {}
+        if job_ids is not None:
+            fields["ids"] = list(job_ids)
+        if timeout is not None:
+            fields["timeout"] = timeout
+        reply = self.request("wait", **fields)
+        if not reply["finished"]:
+            raise ServiceError("wait timed out")
+        return reply["jobs"]
+
+    def watch(
+        self,
+        job_ids: Optional[Iterable[str]] = None,
+        callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Stream progress events until every watched job is terminal;
+        returns the events (after feeding each to ``callback``)."""
+        fields: Dict[str, Any] = {}
+        if job_ids is not None:
+            fields["ids"] = list(job_ids)
+        payload = {"op": "watch"}
+        payload.update(fields)
+        self._send(payload)
+        events = []
+        while True:
+            reply = self._recv()
+            if not reply.get("ok"):
+                raise ServiceError(reply.get("error", "watch failed"))
+            if reply.get("done"):
+                return events
+            events.append(reply)
+            if callback is not None:
+                callback(reply)
+
+    def shutdown(self) -> None:
+        self.request("shutdown")

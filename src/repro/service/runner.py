@@ -1,0 +1,280 @@
+"""Deterministic per-job execution for the verification service.
+
+:func:`execute` is the one entry point: a **module-level, picklable**
+function from a job-spec dict to a JSON envelope, so the scheduler can
+install it in a persistent process pool through the same initializer
+machinery :mod:`repro.perf.sweep` uses, or call it inline.
+
+The determinism contract every handler honors:
+
+- no wall-clock, process id, or environment-dependent values in the
+  ``result`` payload (wall time lives next to the envelope in the
+  scheduler's :class:`~repro.service.scheduler.JobRecord`, outside the
+  digest);
+- all dict-shaped output is either naturally ordered or sorted before it
+  is returned, and the digest is taken over :func:`canonical_json`;
+- randomness only ever comes from seeds carried in ``params``.
+
+Byte-identity of :func:`execute` output across worker counts and
+scheduling orders is asserted by ``tests/test_service.py``, the
+``make serve-smoke`` gate and experiment A12.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from repro.service.jobs import (
+    job_key,
+    resolve_program,
+    result_digest,
+    spec_from_dict,
+)
+
+
+def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job; return its result envelope.
+
+    The envelope is ``{"kind", "key", "digest", "result"}`` where
+    ``digest`` is the content hash of ``result`` — what the byte-identity
+    gates compare — and ``key`` is the cache address.
+    """
+    spec = spec_from_dict(spec_dict)
+    program = resolve_program(spec.design)
+    handler = _HANDLERS[spec.kind]
+    result = handler(program, dict(spec.params))
+    return {
+        "kind": spec.kind,
+        "key": job_key(spec),
+        "digest": result_digest(result),
+        "result": result,
+    }
+
+
+# -- stimulus specs -----------------------------------------------------------
+
+def stimulus_factory(specs: Iterable[str]):
+    """A zero-argument factory for the CLI-style stimulus grammar
+    ``name:period[:phase[:value]]`` (value ``true``/``false``/int/
+    ``count``); no specs means silence."""
+    from repro.sim import stimuli
+
+    specs = list(specs)
+
+    def build():
+        import itertools
+
+        parts = []
+        for spec in specs:
+            fields = spec.split(":")
+            if len(fields) < 2:
+                raise ValueError(
+                    "bad stimulus {!r}: want name:period[:phase[:value]]".format(spec)
+                )
+            name, period = fields[0], int(fields[1])
+            phase = int(fields[2]) if len(fields) > 2 else 0
+            if len(fields) > 3:
+                raw = fields[3]
+                if raw == "count":
+                    values = stimuli.counter()
+                elif raw in ("true", "false"):
+                    values = itertools.repeat(raw == "true")
+                else:
+                    values = itertools.repeat(int(raw))
+                parts.append(stimuli.periodic(name, period, values=values, phase=phase))
+            else:
+                parts.append(stimuli.periodic(name, period, phase=phase))
+        if not parts:
+            return stimuli.silence()
+        return stimuli.merge(*parts)
+
+    return build
+
+
+# -- handlers -----------------------------------------------------------------
+
+def _as_list(value) -> list:
+    """Normalize list-shaped params: the CLI shorthand yields a bare
+    scalar when only one item was given."""
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def _run_lint(program, params: Dict[str, Any]) -> Dict[str, Any]:
+    """``lint``: the full SIG*/GALS* rule set.
+
+    Params: ``rates`` (list of ``name:word`` presence assumptions),
+    ``synchronous`` (treat shared signals as wires, not channels),
+    ``select`` / ``ignore`` (rule-code prefixes).
+    """
+    import json
+
+    from repro.lint import lint_program, parse_rates
+
+    rates = parse_rates(_as_list(params.get("rates"))) or None
+    report = lint_program(
+        program,
+        file=program.name,
+        rates=rates,
+        cut_channels=not params.get("synchronous", False),
+        select=tuple(_as_list(params.get("select"))),
+        ignore=tuple(_as_list(params.get("ignore"))),
+    )
+    payload = json.loads(report.to_json())
+    return {
+        "program": report.program,
+        "diagnostics": payload["diagnostics"],
+        "codes": report.codes(),
+        "errors": len(report.errors),
+        "clean": not report.diagnostics,
+    }
+
+
+def _run_estimate(program, params: Dict[str, Any]) -> Dict[str, Any]:
+    """``estimate``: the Section 5.2 buffer-size loop.
+
+    Params: ``stim`` (stimulus specs; default a steady ``p_act:1`` /
+    ``x_rreq:2`` environment), ``horizon`` (default 8), ``initial``,
+    ``kind`` (``direct``/``rreq``), ``max_iterations``, ``max_capacity``.
+    """
+    from repro.desync.estimator import estimate_buffer_sizes
+
+    report = estimate_buffer_sizes(
+        program,
+        stimulus_factory(_as_list(params.get("stim")) or ["p_act:1", "x_rreq:2"]),
+        horizon=int(params.get("horizon", 8)),
+        initial=params.get("initial", 1),
+        kind=params.get("kind", "direct"),
+        max_iterations=int(params.get("max_iterations", 16)),
+        max_capacity=params.get("max_capacity"),
+    )
+    return {
+        "converged": report.converged,
+        "iterations": report.iterations,
+        "sizes": dict(sorted(report.sizes.items())),
+        "history": [
+            {
+                "iteration": step.iteration,
+                "sizes": dict(sorted(step.sizes.items())),
+                "misses": dict(sorted(step.misses.items())),
+                "alarms": dict(sorted(step.alarms.items())),
+            }
+            for step in report.history
+        ],
+    }
+
+
+def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
+    """``verify``: a "``never`` is never present" obligation.
+
+    Params: ``never`` (signal, default ``alarm``), ``backend``
+    (``explicit``/``symbolic``/``bounded``), ``int_values``,
+    ``always`` / ``never_input`` (pinned inputs), ``max_states``
+    (explicit), ``depth`` (bounded).
+    """
+    from repro.lang import flatten_program
+    from repro.mc import (
+        bounded_never_present,
+        check_never_present,
+        compile_lts,
+        input_alphabet,
+    )
+
+    never = params.get("never", "alarm")
+    backend = params.get("backend", "explicit")
+    flat = flatten_program(program)
+    alphabet = input_alphabet(
+        flat,
+        int_values=tuple(_as_list(params.get("int_values")) or (0, 1)),
+        always_present=tuple(_as_list(params.get("always"))),
+        never_present=tuple(_as_list(params.get("never_input"))),
+    )
+    if backend == "symbolic":
+        from repro.mc.symbolic import SymbolicChecker
+
+        chk = SymbolicChecker(flat, alphabet=alphabet)
+        ce = chk.check_never_present(never)
+        return {
+            "backend": backend,
+            "never": never,
+            "verdict": "proven" if ce is None else "refuted",
+            "states": chk.state_count(),
+            "iterations": chk.iterations,
+            "counterexample": None if ce is None else ce.render(),
+        }
+    if backend == "bounded":
+        depth = int(params.get("depth", 6))
+        res = bounded_never_present(flat, never, depth=depth, alphabet=alphabet)
+        return {
+            "backend": backend,
+            "never": never,
+            "verdict": "safe_up_to_bound" if res.safe_up_to_bound else "refuted",
+            "depth": depth,
+            "explored": res.explored,
+            "counterexample": (
+                None if res.counterexample is None else res.counterexample.render()
+            ),
+        }
+    if backend != "explicit":
+        raise ValueError("unknown verify backend {!r}".format(backend))
+    lts = compile_lts(
+        flat, alphabet=alphabet, max_states=int(params.get("max_states", 20000))
+    )
+    ce = check_never_present(lts, never)
+    return {
+        "backend": backend,
+        "never": never,
+        "verdict": "proven" if ce is None else "refuted",
+        "states": lts.num_states(),
+        "transitions": lts.num_transitions(),
+        "counterexample": None if ce is None else ce.render(),
+    }
+
+
+def _run_soak(program, params: Dict[str, Any]) -> Dict[str, Any]:
+    """``soak``: seeded fault injection against the zero-fault reference.
+
+    Params: fault rates (``drop``/``duplicate``/``reorder``/``window``/
+    ``jitter``/``corrupt``/``stall``/``stall_period``), ``seed``,
+    ``horizon`` (default 12), and the steady-workload periods
+    ``period`` / ``reader_period``.
+    """
+    from repro.faults import soak, uniform_plan
+    from repro.workloads import scenarios
+
+    plan = uniform_plan(
+        seed=int(params.get("seed", 0)),
+        drop=float(params.get("drop", 0.0)),
+        duplicate=float(params.get("duplicate", 0.0)),
+        reorder=float(params.get("reorder", 0.0)),
+        window=int(params.get("window", 2)),
+        jitter=float(params.get("jitter", 0.0)),
+        corrupt=float(params.get("corrupt", 0.0)),
+        stall=float(params.get("stall", 0.0)),
+        stall_period=float(params.get("stall_period", 1.0)),
+    )
+    workload = scenarios.steady(
+        producer_period=int(params.get("period", 1)),
+        reader_period=int(params.get("reader_period", 1)),
+    )
+    report = soak(program, workload, plan, horizon=float(params.get("horizon", 12.0)))
+    return {
+        "flow_equivalent": report.flow_equivalent,
+        "classification": dict(sorted(report.classification.items())),
+        "fault_counts": {
+            k: v
+            for k, v in sorted(report.fault_counts.items())
+            if isinstance(v, (int, bool))
+        },
+    }
+
+
+_HANDLERS = {
+    "lint": _run_lint,
+    "estimate": _run_estimate,
+    "verify": _run_verify,
+    "soak": _run_soak,
+}

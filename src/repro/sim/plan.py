@@ -30,6 +30,7 @@ via ``Reactor(..., compiled=False)``.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import NonDeterministicClockError, SimulationError
@@ -772,10 +773,19 @@ class ReactionPlan:
 # plans are cached process-wide by component *content* — the canonical
 # serialized form, which ignores identity and source spans — under a
 # bounded LRU.  Hits/misses are exported through repro.perf as
-# ``plan.cache_hits`` / ``plan.cache_misses``.
+# ``plan.cache_hits`` / ``plan.cache_misses`` and, with evictions, through
+# :func:`plan_cache_stats`.
+#
+# The cache is shared state between whatever threads build reactors — in
+# particular the verification service's scheduler thread and its socket
+# request handlers — so every access happens under ``_plan_lock``.
+# Compilation itself stays inside the lock: racing threads would otherwise
+# duplicate the expensive AST walk only for one result to be discarded.
 
 _PLAN_CACHE_CAPACITY = 128
 _plan_cache: "OrderedDict[Tuple[str, bool], ReactionPlan]" = None  # type: ignore
+_plan_lock = threading.RLock()
+_plan_stats = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def component_key(component: Component) -> str:
@@ -809,37 +819,51 @@ def shared_plan(
     from repro.perf import PERF
     from repro.sim.specialize import specialization_enabled
 
-    if _plan_cache is None:
-        _plan_cache = OrderedDict()
     want_spec = specialization_enabled(specialize)
     key = (component_key(component), want_spec)
-    plan = _plan_cache.get(key)
-    if plan is not None:
-        _plan_cache.move_to_end(key)
-        PERF.incr("plan.cache_hits")
-        return plan
-    PERF.incr("plan.cache_misses")
-    if want_spec:
-        from repro.sim.specialize import SpecializedPlan
+    with _plan_lock:
+        if _plan_cache is None:
+            _plan_cache = OrderedDict()
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            _plan_cache.move_to_end(key)
+            _plan_stats["hits"] += 1
+            PERF.incr("plan.cache_hits")
+            return plan
+        _plan_stats["misses"] += 1
+        PERF.incr("plan.cache_misses")
+        if want_spec:
+            from repro.sim.specialize import SpecializedPlan
 
-        plan = SpecializedPlan(component)
-    else:
-        plan = ReactionPlan(component)
-    _plan_cache[key] = plan
-    while len(_plan_cache) > _PLAN_CACHE_CAPACITY:
-        _plan_cache.popitem(last=False)
-    return plan
+            plan = SpecializedPlan(component)
+        else:
+            plan = ReactionPlan(component)
+        _plan_cache[key] = plan
+        while len(_plan_cache) > _PLAN_CACHE_CAPACITY:
+            _plan_cache.popitem(last=False)
+            _plan_stats["evictions"] += 1
+            PERF.incr("plan.cache_evictions")
+        return plan
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (benchmarks use this to time cold builds)."""
+    """Drop every cached plan (benchmarks use this to time cold builds).
+
+    Hit/miss/eviction statistics are cumulative for the process and
+    survive a clear."""
     global _plan_cache
-    _plan_cache = None
+    with _plan_lock:
+        _plan_cache = None
 
 
 def plan_cache_stats() -> Dict[str, int]:
-    """Current cache occupancy (hit/miss counts live in ``repro.perf``)."""
-    return {
-        "size": 0 if _plan_cache is None else len(_plan_cache),
-        "capacity": _PLAN_CACHE_CAPACITY,
-    }
+    """Occupancy plus cumulative hit/miss/eviction counts (the counts are
+    also exported through ``repro.perf`` as ``plan.cache_*``)."""
+    with _plan_lock:
+        return {
+            "size": 0 if _plan_cache is None else len(_plan_cache),
+            "capacity": _PLAN_CACHE_CAPACITY,
+            "hits": _plan_stats["hits"],
+            "misses": _plan_stats["misses"],
+            "evictions": _plan_stats["evictions"],
+        }
