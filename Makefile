@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick bench-a11 bench-a12 serve-smoke soak-quick recover-quick lint
+.PHONY: test test-fast bench bench-quick bench-a11 bench-a12 bench-a13 serve-smoke soak-quick recover-quick lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
@@ -44,6 +44,16 @@ bench-a11:
 bench-a12:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
 		bench_a12_service.py -q -s
+
+# checker-scaling benchmark (experiment A13): the GALS relay chain at
+# >=100x the A3/A6 state-space envelope, explicit vs symbolic vs
+# assume-guarantee composition with byte-identical verdicts, run cold
+# then warm against the persistent store with a >=90% store-served
+# floor; writes benchmarks/out/A13_mc_scaling.txt and
+# BENCH_A13_mc_scaling.json
+bench-a13:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a13_mc_scaling.py -q -s
 
 # end-to-end service gate: boot a real server on an ephemeral port,
 # push a mixed batch over the socket API, assert byte-identity vs

@@ -338,6 +338,133 @@ def cmd_verify(args) -> int:
     return 1
 
 
+def _mc_target(target: str):
+    """A Signal source path, or corpus shorthand ``name[:k=v,...]``."""
+    import os
+
+    if os.path.exists(target):
+        return _load(target)
+    from repro.service.jobs import resolve_program
+
+    name, _, rest = target.partition(":")
+    params = {}
+    for pair in (p for p in rest.split(",") if p):
+        key, eq, raw = pair.partition("=")
+        if not eq:
+            raise SystemExit("bad design param {!r} in {!r}".format(pair, target))
+        try:
+            params[key] = int(raw)
+        except ValueError:
+            params[key] = raw == "true" if raw in ("true", "false") else raw
+    try:
+        return resolve_program({"name": name, "args": params})
+    except ValueError as exc:
+        raise SystemExit("mc verify: {}".format(exc))
+
+
+def cmd_mc(args) -> int:
+    """The persistent verification store: stats, prune, clear, verify."""
+    import json
+
+    from repro.mc.store import MCStore, STORE_ENV, default_store
+
+    store = MCStore(args.store) if args.store else default_store()
+    if args.mc_command != "verify" and store is None:
+        raise SystemExit(
+            "mc {}: no store configured (pass --store DIR or set "
+            "{})".format(args.mc_command, STORE_ENV)
+        )
+    if args.mc_command == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.mc_command == "prune":
+        evicted = store.prune(args.limit)
+        print("evicted {} entry(ies); {} byte(s) on disk".format(
+            evicted, store.stats()["bytes"]))
+        return 0
+    if args.mc_command == "clear":
+        print("removed {} entry(ies)".format(store.clear()))
+        return 0
+
+    # verify — the store-aware sibling of `repro verify`
+    from repro.mc import compile_lts, check_never_present, input_alphabet
+
+    prog = _mc_target(args.target)
+    before = store.stats() if store is not None else None
+    int_values = tuple(int(v) for v in args.int_values.split(","))
+    always = args.always or ()
+    never_input = args.never_input or ()
+    flat = flatten_program(prog)
+    if args.backend == "compose":
+        from repro.mc.compose import verify_composed
+
+        contracts = {}
+        for pair in args.contract or ():
+            sig, eq, cname = pair.partition("=")
+            if not eq:
+                raise SystemExit(
+                    "bad --contract {!r}: want SIGNAL=NAME".format(pair))
+            contracts[sig] = cname
+        cert = verify_composed(
+            prog, args.never, contracts=contracts, int_values=int_values,
+            always_present=always, never_present=never_input,
+            max_states=args.max_states, store=store,
+        )
+        print(cert.render())
+        rc = 0 if cert.holds else 1
+    elif args.backend == "symbolic":
+        from repro.mc.symbolic import SymbolicChecker
+
+        alphabet = input_alphabet(
+            flat, int_values=int_values, always_present=always,
+            never_present=never_input,
+        )
+        chk = SymbolicChecker(flat, alphabet=alphabet, store=store)
+        ce = chk.check_never_present(args.never)
+        print("symbolic: {} reachable states, {} iterations".format(
+            chk.state_count(), chk.iterations))
+        print("PROVEN: {!r} is never present".format(args.never)
+              if ce is None else ce.render())
+        rc = 0 if ce is None else 1
+    elif args.backend == "bounded":
+        from repro.mc import bounded_never_present
+
+        alphabet = input_alphabet(
+            flat, int_values=int_values, always_present=always,
+            never_present=never_input,
+        )
+        res = bounded_never_present(
+            flat, args.never, depth=args.depth, alphabet=alphabet)
+        print("bounded to depth {}: {} reactions".format(
+            args.depth, res.explored))
+        print("SAFE up to depth {}".format(args.depth)
+              if res.safe_up_to_bound else res.counterexample.render())
+        rc = 0 if res.safe_up_to_bound else 1
+    else:
+        alphabet = input_alphabet(
+            flat, int_values=int_values, always_present=always,
+            never_present=never_input,
+        )
+        lts = compile_lts(
+            flat, alphabet=alphabet, max_states=args.max_states, store=store)
+        print("explored {} states / {} transitions{}".format(
+            lts.num_states(), lts.num_transitions(),
+            " [store hit]" if lts.stats.get("store") == "hit" else ""))
+        ce = check_never_present(lts, args.never)
+        print("PROVEN: {!r} is never present".format(args.never)
+              if ce is None else ce.render())
+        rc = 0 if ce is None else 1
+    if store is not None:
+        after = store.stats()
+        print("store: {} hit(s), {} miss(es), {} put(s); {} entries".format(
+            after["hits"] - before["hits"],
+            after["misses"] - before["misses"],
+            after["puts"] - before["puts"],
+            after["entries"],
+        ))
+    return rc
+
+
 _FAULT_DESIGNS = {
     "prodcons": "producer_consumer",
     "prodacc": "producer_accumulator",
@@ -590,7 +717,10 @@ def cmd_submit(args) -> int:
             if args.json:
                 payload.append(client.result(summary["id"]))
         if args.json:
-            _emit_json(args.json, payload)
+            # results plus the server-side statistics snapshot, so one
+            # artifact carries the service.* cache counters and the
+            # persistent mc.store.* counters of this batch
+            _emit_json(args.json, {"jobs": payload, "stats": client.stats()})
         return 1 if failed else 0
 
 
@@ -711,6 +841,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--never-input", action="append", help="tie an input off")
     p.add_argument("--max-states", type=int, default=200000)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "mc",
+        help="persistent verification store (stats/prune/clear) and "
+        "store-aware model checking",
+    )
+    msub = p.add_subparsers(dest="mc_command", required=True)
+
+    def _mc_store_arg(parser):
+        parser.add_argument(
+            "--store", metavar="DIR",
+            help="store root (default: $REPRO_MC_STORE)",
+        )
+        parser.set_defaults(fn=cmd_mc)
+
+    mp = msub.add_parser("stats", help="store footprint and hit counters")
+    _mc_store_arg(mp)
+    mp = msub.add_parser("prune", help="evict LRU entries down to a byte cap")
+    mp.add_argument("--limit", type=int, metavar="BYTES",
+                    help="target size (default: the store's own cap)")
+    _mc_store_arg(mp)
+    mp = msub.add_parser("clear", help="drop every store entry")
+    _mc_store_arg(mp)
+    mp = msub.add_parser(
+        "verify",
+        help="store-aware 'never present' check "
+        "(warm reruns are served from the store)",
+    )
+    mp.add_argument(
+        "target", help="Signal file, or corpus design name[:k=v,...] "
+        "(e.g. gals_relay_chain:stages=8)",
+    )
+    mp.add_argument("--never", required=True,
+                    help="signal that must never occur")
+    mp.add_argument(
+        "--backend",
+        choices=("explicit", "symbolic", "bounded", "compose"),
+        default="explicit",
+    )
+    mp.add_argument(
+        "--contract", action="append", metavar="SIGNAL=NAME",
+        help="channel contract for --backend compose "
+        "(NAME: free or alternating)",
+    )
+    mp.add_argument("--depth", type=int, default=12,
+                    help="bound for --backend bounded")
+    mp.add_argument("--int-values", default="0,1")
+    mp.add_argument("--always", action="append",
+                    help="pin an input present")
+    mp.add_argument("--never-input", action="append",
+                    help="tie an input off")
+    mp.add_argument("--max-states", type=int, default=200000)
+    _mc_store_arg(mp)
 
     p = sub.add_parser(
         "faults", help="fault-injection soak of a GALS deployment"

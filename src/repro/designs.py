@@ -320,3 +320,90 @@ def watchdog_counter(name: str = "W", inp: str = "x") -> Component:
     b.define(n, pre(0, n) + 1)
     b.sync(n, inp_v)
     return b.build()
+
+
+def value_dup_checker(name: str = "D", inp: str = "x") -> Component:
+    """Flags ``dup`` when ``inp`` repeats its previous value.
+
+    The receiver-dedup registers of the A9 ack protocol recast as a
+    standalone observer: ``lastp`` remembers the previous value of
+    ``inp``, ``seenp`` whether there was one, and ``dup`` fires on any
+    instant where the new value equals the remembered one.  On an
+    alternating-bit stream ``dup`` never fires — the tail obligation of
+    :func:`gals_relay_chain`.
+    """
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, BOOL)
+    dup = b.output("dup", BOOL)
+    seen = b.local("seen", BOOL)
+    seenp = b.let("seenp", BOOL, pre(False, seen))
+    lastp = b.let("lastp", BOOL, pre(False, inp_v))
+    b.define(seen, inp_v | ~inp_v)  # true at every arrival
+    bad = b.let("bad", BOOL, seenp & ~(inp_v ^ lastp))
+    b.define(dup, Const(True).when(bad))
+    b.sync(inp_v, seen)
+    return b.build()
+
+
+def inverting_relay(
+    name: str = "R", inp: str = "x", out: str = "y"
+) -> Component:
+    """A *registered* inverting relay: ``out = not pre(False, inp)`` at
+    the clock of ``inp`` — one register of pipeline state per stage, and
+    (like :func:`toggle_producer`) it maps an alternating-bit stream to
+    an alternating-bit stream starting ``True``."""
+    b = ComponentBuilder(name)
+    inp_v = b.input(inp, BOOL)
+    out_v = b.output(out, BOOL)
+    b.define(out_v, ~pre(False, inp_v))
+    return b.build()
+
+
+def gals_relay_chain(stages: int = 2) -> Program:
+    """The A13 scaling family: an all-boolean GALS pipeline of ``stages``
+    FIFO-coupled relay nodes.
+
+    ``toggle_producer`` emits an alternating-bit stream ``x0`` on its
+    free activation clock; each stage ``i`` pushes ``x<i>`` through a
+    :func:`~repro.desync.fifo.simultaneous_one_place_fifo` (read port
+    polled by the free-running request ``f<i>_rreq``) into an
+    :func:`inverting_relay` producing ``x<i+1>``; a
+    :func:`value_dup_checker` watches the tail.  Verified with every
+    ``f<i>_rreq`` pinned ``always_present`` (the polled-reader
+    environment), the design carries the two A13 obligations:
+
+    - ``never f0_alarm`` — a polled simultaneous FIFO never refuses a
+      write, provable from the first channel alone (free contracts);
+    - ``never dup`` — the stream still alternates after ``stages``
+      asynchronous hops, provable from one tiny local check per
+      component under alternating-bit contracts on every cut signal
+      (:class:`repro.mc.compose.AlternatingBitContract`).
+
+    The monolithic state space multiplies by roughly the three booleans
+    per stage (FIFO occupancy + FIFO data + relay register), so raising
+    ``stages`` scales it past any monolithic envelope while every local
+    check stays constant-size.
+    """
+    from repro.desync.fifo import simultaneous_one_place_fifo
+
+    comps: List[Component] = [toggle_producer(out="x0")]
+    for i in range(stages):
+        fifo, _ = simultaneous_one_place_fifo(
+            name="F{}".format(i), dtype=BOOL, prefix="f{}_".format(i)
+        )
+        comps.append(fifo.rename({"f{}_msgin".format(i): "x{}".format(i)}))
+        comps.append(
+            inverting_relay(
+                "R{}".format(i),
+                inp="f{}_msgout".format(i),
+                out="x{}".format(i + 1),
+            )
+        )
+    comps.append(value_dup_checker(inp="x{}".format(stages)))
+    return Program("relay_chain_{}".format(stages), comps)
+
+
+def gals_relay_chain_rreqs(stages: int = 2) -> List[str]:
+    """The read-request inputs of :func:`gals_relay_chain` — pin these
+    ``always_present`` for the polled-reader environment A13 uses."""
+    return ["f{}_rreq".format(i) for i in range(stages)]

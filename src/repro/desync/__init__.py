@@ -17,6 +17,7 @@
 
 from repro.desync.fifo import (
     one_place_fifo,
+    simultaneous_one_place_fifo,
     n_fifo_chain,
     n_fifo_direct,
     FifoPorts,
@@ -50,6 +51,7 @@ from repro.desync.conditions import (
 
 __all__ = [
     "one_place_fifo",
+    "simultaneous_one_place_fifo",
     "n_fifo_chain",
     "n_fifo_direct",
     "FifoPorts",

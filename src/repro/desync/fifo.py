@@ -17,6 +17,9 @@ Three constructions:
   pointers and an occupancy counter; it realizes the bounded-FIFO
   denotation (Definition 9) exactly: write accepted iff ``count < n``,
   read offered iff ``count > 0``, same-instant read+write allowed.
+- :func:`simultaneous_one_place_fifo` — Definition 9 at capacity 1
+  without the integer pointers: an all-boolean 1-place buffer with the
+  same-instant read+write rule, the channel of the A13 scaling family.
 
 All constructors return a :class:`~repro.lang.ast.Component` plus a
 :class:`FifoPorts` record naming the interface signals.
@@ -120,6 +123,76 @@ def one_place_fifo(
         alarm=p + "alarm",
         ok=p + "ok",
         tick=p + "tick" if external_tick else "",
+        capacity=1,
+    )
+    return b.build(), ports
+
+
+def simultaneous_one_place_fifo(
+    name: str = "Fifo1S",
+    dtype: Type = BOOL,
+    prefix: str = "",
+) -> Tuple[Component, FifoPorts]:
+    """A 1-place buffer with the *simultaneous* read+write rule of the
+    bounded-FIFO denotation (Definition 9), at capacity 1.
+
+    Same interface as :func:`one_place_fifo` (the FIFO ticks when
+    accessed), but a write is accepted iff the slot is free *or is being
+    freed this very instant* (``wr = wpres & (~fullp | rd)``), matching
+    :func:`n_fifo_direct`'s ``count < n or rd`` rule without its integer
+    pointer registers.  The read still returns the *old* occupant, so
+    FIFO order is preserved.  Being single-register and value-type
+    parametric with a ``BOOL`` default, this is the channel model the
+    all-boolean A13 scaling family (:func:`repro.designs.
+    gals_relay_chain`) threads between its stages: a relay that polls
+    ``rreq`` every instant can never lose a write, so ``never alarm`` is
+    provable per channel in isolation (a free-contract local check),
+    while :func:`one_place_fifo`'s stricter rule would alarm on every
+    back-to-back write.
+    """
+    p = prefix
+    b = ComponentBuilder(name)
+    msgin = b.input(p + "msgin", dtype)
+    rreq = b.input(p + "rreq", EVENT)
+    msgout = b.output(p + "msgout", dtype)
+    full = b.output(p + "full", BOOL)
+    alarm = b.output(p + "alarm", EVENT)
+    ok = b.output(p + "ok", EVENT)
+    tick = b.let(p + "tick", EVENT, msgin.clock().default(rreq))
+
+    wpres = b.let(
+        p + "wpres",
+        BOOL,
+        Const(True).when(msgin.clock()).default(Const(False).when(tick)),
+    )
+    rpres = b.let(
+        p + "rpres",
+        BOOL,
+        Const(True).when(rreq).default(Const(False).when(tick)),
+    )
+    fullp = b.let(p + "fullp", BOOL, pre(False, full))
+    rd = b.let(p + "rd", BOOL, rpres & fullp)
+    wr = b.let(p + "wr", BOOL, wpres & (~fullp | rd))
+    b.define(full, wr | (fullp & ~rd))
+
+    data = b.local(p + "data", dtype)
+    b.define(
+        data,
+        msgin.when(wr).default(pre(_init_for(dtype), data).when(tick)),
+    )
+    b.sync(data, tick)
+    b.define(msgout, pre(_init_for(dtype), data).when(rd))
+    b.define(alarm, Const(True).when(wpres & fullp & ~rd))
+    b.define(ok, Const(True).when(wr))
+
+    ports = FifoPorts(
+        msgin=p + "msgin",
+        msgout=p + "msgout",
+        rreq=p + "rreq",
+        full=p + "full",
+        alarm=p + "alarm",
+        ok=p + "ok",
+        tick="",
         capacity=1,
     )
     return b.build(), ports

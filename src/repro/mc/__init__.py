@@ -10,7 +10,11 @@ signal is raised" (Section 5.2).  This package rebuilds that capability:
 - :mod:`repro.mc.safety` — invariant checking with counterexample input
   sequences, signal-reachability queries, deadlock detection;
 - :mod:`repro.mc.equiv` — trace equivalence and bisimulation between
-  compiled designs.
+  compiled designs;
+- :mod:`repro.mc.store` — persistent, content-addressed cache of
+  compiled LTSs, symbolic fixpoints and verdicts (warm re-verification);
+- :mod:`repro.mc.compose` — assume-guarantee decomposition along
+  GALS/FIFO boundaries with per-channel contracts.
 """
 
 from repro.mc.lts import LTS, Transition
@@ -44,6 +48,21 @@ from repro.mc.harness import (
     cross_check_never_present,
 )
 from repro.mc.symbolic import SymbolicChecker
+from repro.mc.store import (
+    MCStore,
+    default_store,
+    design_content_key,
+    store_key,
+)
+from repro.mc.compose import (
+    AlternatingBitContract,
+    ChannelContract,
+    ComposeCertificate,
+    FreeContract,
+    LocalCheck,
+    verify_composed,
+)
+from repro.mc.lts import lts_from_dict, lts_to_dict
 
 __all__ = [
     "LTS",
@@ -73,4 +92,16 @@ __all__ = [
     "BackendVerdict",
     "CrossCheckReport",
     "cross_check_never_present",
+    "MCStore",
+    "default_store",
+    "design_content_key",
+    "store_key",
+    "AlternatingBitContract",
+    "ChannelContract",
+    "ComposeCertificate",
+    "FreeContract",
+    "LocalCheck",
+    "verify_composed",
+    "lts_from_dict",
+    "lts_to_dict",
 ]

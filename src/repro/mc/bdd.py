@@ -843,6 +843,84 @@ class BDD:
         finally:
             self._op_depth -= 1
 
+    # -- serialization -------------------------------------------------------
+
+    #: format stamp carried by every :meth:`dump` payload; :meth:`load`
+    #: rejects anything else, so on-disk caches can never feed a newer
+    #: engine a stale encoding
+    DUMP_FORMAT = "bdd-v1"
+
+    def dump(self, roots: Sequence[int]) -> Dict[str, object]:
+        """Serialize the cones of ``roots`` to a JSON-safe dict.
+
+        Nodes are keyed by *variable name*, not level: levels move under
+        :meth:`sift`, and the loading manager may hold a different order
+        altogether, so names are the only stable identity.  The node list
+        is in bottom-up topological order (children precede parents);
+        references are ``0``/``1`` for the terminals and ``k + 2`` for
+        the ``k``-th list entry.  The dumping manager's current variable
+        order rides along so a fresh manager can reproduce it.
+        """
+        nodes = self._nodes
+        index: Dict[int, int] = {}
+        entries: List[List[object]] = []
+        # iterative post-order: children are emitted before their parent
+        for root in roots:
+            if root <= 1 or root in index:
+                continue
+            stack: List[Tuple[int, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node <= 1 or node in index:
+                    continue
+                level, low, high = nodes[node]
+                if expanded:
+                    lo = low if low <= 1 else index[low] + 2
+                    hi = high if high <= 1 else index[high] + 2
+                    index[node] = len(entries)
+                    entries.append([self._names[level], lo, hi])
+                else:
+                    stack.append((node, True))
+                    stack.append((high, False))
+                    stack.append((low, False))
+        refs = [r if r <= 1 else index[r] + 2 for r in roots]
+        return {
+            "format": self.DUMP_FORMAT,
+            "order": list(self._names),
+            "nodes": entries,
+            "roots": refs,
+        }
+
+    def load(self, payload: Dict[str, object]) -> List[int]:
+        """Rebuild a :meth:`dump` payload in *this* manager.
+
+        Reconstruction goes bottom-up through :meth:`ite` on the named
+        variables, so it is correct under any current variable order (the
+        result is simply re-canonicalized).  Unregistered variables are
+        registered in the dumped order first; a manager that already
+        holds the same registration order — e.g. a fresh
+        :class:`~repro.mc.symbolic.SymbolicChecker` on the same design —
+        therefore reproduces the exact hash-consed structure.  Returned
+        roots are **not** pinned; callers holding them across a
+        :meth:`gc` must pin them.
+        """
+        if payload.get("format") != self.DUMP_FORMAT:
+            raise ValueError(
+                "unsupported BDD dump format {!r} (want {!r})".format(
+                    payload.get("format"), self.DUMP_FORMAT
+                )
+            )
+        for name in payload.get("order", ()):
+            self.variable(name)
+        built: List[int] = []
+
+        def ref(r: int) -> int:
+            return r if r <= 1 else built[r - 2]
+
+        for name, lo, hi in payload["nodes"]:
+            built.append(self.ite(self.variable(name), ref(hi), ref(lo)))
+        return [ref(r) for r in payload["roots"]]
+
     # -- inspection ----------------------------------------------------------
 
     def any_sat(self, f: int) -> Optional[Dict[str, bool]]:

@@ -141,6 +141,7 @@ def compile_lts(
     oracle=None,
     memo: Optional[ReactionMemo] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> LTS:
     """Explore the full reachable state space of ``design``.
 
@@ -152,6 +153,13 @@ def compile_lts(
     ``max_states`` (the design is not finite-state, or the bound is too
     small) and when the design needs a clock oracle.
 
+    ``store`` (an :class:`repro.mc.store.MCStore`) persists the compiled
+    LTS across processes, keyed by design content and alphabet —
+    ``max_states``, ``memo`` and ``workers`` change wall time, never the
+    result, so they stay out of the key (a stored LTS larger than
+    ``max_states`` still raises).  Oracle-driven compilations bypass the
+    store: an oracle is arbitrary code outside the content hash.
+
     The returned LTS carries exploration counters in ``lts.stats``.
     """
     comp = flatten_program(design) if isinstance(design, Program) else design
@@ -159,6 +167,28 @@ def compile_lts(
         alphabet = boolean_alphabet(comp)
     if not alphabet:
         alphabet = [{}]
+    key = None
+    if store is not None and oracle is None:
+        from repro.mc.lts import lts_from_dict
+        from repro.mc.store import design_content_key, store_key
+
+        key = store_key(
+            "explicit-lts",
+            design_content_key(comp),
+            {"alphabet": alphabet},
+        )
+        payload = store.get(key, kind="explicit-lts")
+        if payload is not None:
+            lts = lts_from_dict(payload)
+            if lts.num_states() > max_states:
+                raise VerificationError(
+                    "state space exceeds {} states; "
+                    "is the design finite-state?".format(max_states)
+                )
+            lts.stats["store"] = "hit"
+            lts.stats["elapsed"] = 0.0
+            lts.stats["workers"] = workers or 1
+            return lts
     t0 = time.perf_counter()
     if workers is not None and workers > 1:
         if oracle is not None:
@@ -179,6 +209,11 @@ def compile_lts(
     if memo is not None:
         PERF.incr("mc.memo_hits", int(lts.stats.get("memo_hits", 0)))
         PERF.incr("mc.memo_misses", int(lts.stats.get("memo_misses", 0)))
+    if key is not None:
+        from repro.mc.lts import lts_to_dict
+
+        store.put(key, "explicit-lts", lts_to_dict(lts))
+        lts.stats["store"] = "miss"
     return lts
 
 

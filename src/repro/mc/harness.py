@@ -6,7 +6,12 @@ The explicit backend (:func:`repro.mc.compile.compile_lts` +
 5.2 obligation with disjoint machinery — reachable-set enumeration versus
 BDD image computation.  Running both and demanding identical verdicts is
 therefore a strong self-check: a bug would have to hit both backends the
-same way to go unnoticed.
+same way to go unnoticed.  Two further participants are available on
+request: ``"bounded"`` (the :mod:`repro.mc.bmc` depth-limited search,
+with its state-pruning default — agreement is exact whenever ``depth``
+covers the shortest counterexample) and ``"compose"`` (the
+assume-guarantee decomposition of :mod:`repro.mc.compose`, whose
+verdicts are monolithic-identical by construction).
 
 :func:`cross_check_never_present` runs the obligation on every requested
 backend and reports per-backend verdicts, counterexample lengths and
@@ -24,7 +29,7 @@ from repro.errors import VerificationError
 class BackendVerdict(NamedTuple):
     """One backend's answer to ``never <signal>``."""
 
-    backend: str                 # "explicit" | "symbolic"
+    backend: str                 # "explicit" | "symbolic" | "bounded" | "compose"
     holds: bool
     counterexample: object       # Optional[CounterExample]
     states: int                  # reachable states the backend visited
@@ -88,20 +93,53 @@ def cross_check_never_present(
     alphabet: Optional[List[Dict[str, object]]] = None,
     backends: Sequence[str] = ("explicit", "symbolic"),
     max_states: int = 200000,
+    depth: int = 12,
+    int_values: Sequence[int] = (0, 1),
+    always_present: Sequence[str] = (),
+    never_present: Sequence[str] = (),
+    contracts=None,
+    store=None,
 ) -> CrossCheckReport:
     """Check ``never <signal>`` on every backend; never short-circuits.
 
     The symbolic backend accepts boolean programs only; passing it an
     integer-typed design raises
     :class:`~repro.errors.VerificationError` as usual.
+
+    The ``"bounded"`` backend explores up to ``depth`` reactions with
+    the pruned BFS (``prune_states=True`` — the :mod:`repro.mc.bmc`
+    default); ``holds`` then means *safe up to the bound*, so pick a
+    depth at least the shortest counterexample for exact agreement on
+    refuted obligations.  The ``"compose"`` backend derives its own
+    per-component sub-alphabets from the alphabet options
+    (``int_values``/``always_present``/``never_present``) rather than
+    from a pre-built ``alphabet``; when cross-checking it, pass the
+    options and leave ``alphabet`` to be derived so every backend sees
+    the same environment.  ``store`` threads the persistent verification
+    store (:mod:`repro.mc.store`) into the explicit, symbolic and
+    compose participants.
     """
+    from repro.lang.analysis import flatten_program
+    from repro.lang.ast import Program
+    from repro.mc.compile import input_alphabet
+
+    if alphabet is None:
+        flat = flatten_program(design) if isinstance(design, Program) else design
+        alphabet = input_alphabet(
+            flat,
+            int_values=int_values,
+            always_present=always_present,
+            never_present=never_present,
+        )
     verdicts: List[BackendVerdict] = []
     for backend in backends:
         if backend == "explicit":
             from repro.mc.compile import compile_lts
             from repro.mc.safety import check_never_present
 
-            lts = compile_lts(design, alphabet=alphabet, max_states=max_states)
+            lts = compile_lts(
+                design, alphabet=alphabet, max_states=max_states, store=store
+            )
             ce = check_never_present(lts, signal)
             verdicts.append(
                 BackendVerdict("explicit", ce is None, ce, lts.num_states())
@@ -109,10 +147,45 @@ def cross_check_never_present(
         elif backend == "symbolic":
             from repro.mc.symbolic import SymbolicChecker
 
-            chk = SymbolicChecker(design, alphabet=alphabet)
+            chk = SymbolicChecker(design, alphabet=alphabet, store=store)
             ce = chk.check_never_present(signal)
             verdicts.append(
                 BackendVerdict("symbolic", ce is None, ce, chk.state_count())
+            )
+        elif backend == "bounded":
+            from repro.mc.bmc import bounded_never_present
+
+            res = bounded_never_present(
+                design, signal, depth=depth, alphabet=alphabet
+            )
+            verdicts.append(
+                BackendVerdict(
+                    "bounded",
+                    res.safe_up_to_bound,
+                    res.counterexample,
+                    res.explored,
+                )
+            )
+        elif backend == "compose":
+            from repro.mc.compose import verify_composed
+
+            cert = verify_composed(
+                design,
+                signal,
+                contracts=contracts,
+                int_values=int_values,
+                always_present=always_present,
+                never_present=never_present,
+                max_states=max_states,
+                store=store,
+            )
+            verdicts.append(
+                BackendVerdict(
+                    "compose",
+                    cert.holds,
+                    cert.counterexample,
+                    cert.largest_check_states,
+                )
             )
         else:
             raise ValueError("unknown backend {!r}".format(backend))

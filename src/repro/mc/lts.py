@@ -133,3 +133,80 @@ class LTS:
         return "LTS({} states, {} transitions)".format(
             self.num_states(), self.num_transitions()
         )
+
+
+# -- serialization ------------------------------------------------------------
+#
+# JSON interchange for compiled LTSs, so the on-disk verification store
+# (:mod:`repro.mc.store`) can persist exploration results across runs.
+# JSON has no tuples, so state data and letters are round-tripped through
+# a recursive freeze; state ids are positional (the compiler always
+# interns the initial state as id 0, which `lts_to_dict` asserts).
+
+LTS_FORMAT = "lts-v1"
+
+
+def _freeze(value):
+    """Recursively turn JSON lists back into the tuples the reactor uses."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+#: lts.stats keys that are deterministic functions of the design and
+#: alphabet (wall time, worker counts and memo hit rates are not — they
+#: would make stored payloads differ run to run)
+_STABLE_STATS = ("reactions",)
+
+
+def lts_to_dict(lts: "LTS") -> Dict[str, object]:
+    """Serialize an LTS to a JSON-safe dict (see :func:`lts_from_dict`)."""
+    if lts.initial != 0:
+        raise ValueError("serializable LTSs intern the initial state first")
+    return {
+        "format": LTS_FORMAT,
+        "states": [lts._data_of[sid] for sid in range(lts.num_states())],
+        "transitions": [
+            [t.source, list(t.letter), list(t.outputs), t.target]
+            for sid in range(lts.num_states())
+            for t in lts._succ[sid].values()
+        ],
+        "invalid": [
+            [sid, [list(lt) for lt in letters]]
+            for sid, letters in sorted(lts.invalid.items())
+            if letters
+        ],
+        "stats": {
+            k: lts.stats[k] for k in _STABLE_STATS if k in lts.stats
+        },
+    }
+
+
+def lts_from_dict(payload: Dict[str, object]) -> "LTS":
+    """Rebuild an LTS serialized by :func:`lts_to_dict`.
+
+    The reconstruction interns states in id order, so state numbering —
+    and therefore every downstream counterexample — is identical to the
+    original compile.
+    """
+    if payload.get("format") != LTS_FORMAT:
+        raise ValueError(
+            "unsupported LTS format {!r} (want {!r})".format(
+                payload.get("format"), LTS_FORMAT
+            )
+        )
+    states = payload["states"]
+    lts = LTS(_freeze(states[0]))
+    for data in states[1:]:
+        lts.intern(_freeze(data))
+    for source, letter, outputs, target in payload["transitions"]:
+        frozen_letter = tuple((n, v) for n, v in letter)
+        frozen_outputs = tuple((n, v) for n, v in outputs)
+        lts.add_transition_frozen(
+            source, frozen_letter, frozen_outputs, lts.state_data(target)
+        )
+    for sid, letters in payload.get("invalid", ()):
+        for letter in letters:
+            lts.mark_invalid_frozen(sid, tuple((n, v) for n, v in letter))
+    lts.stats.update(payload.get("stats", {}))
+    return lts

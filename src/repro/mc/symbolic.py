@@ -82,6 +82,14 @@ class SymbolicChecker:
     top of the dataflow seed order.  Every BDD the checker retains
     (relation parts, reachability rings, cached fixpoints) is pinned, so
     callers may invoke :meth:`repro.mc.bdd.BDD.gc` between queries.
+
+    ``store`` (an :class:`repro.mc.store.MCStore`) persists the ordered
+    transition partition and the reachable-set fixpoint — rings included,
+    so warm counterexample reconstruction replays the exact cold-run walk
+    — keyed by the normalized component content, the alphabet and the
+    image strategy.  A fresh checker on the same design registers the
+    same variables in the same order, so the loaded BDDs hash-cons onto
+    identical node ids and every downstream answer is byte-identical.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class SymbolicChecker:
         alphabet: Optional[Sequence[Dict[str, object]]] = None,
         partitioned: bool = True,
         sift: bool = False,
+        store=None,
     ):
         comp = flatten_program(design) if isinstance(design, Program) else design
         for name, ty in comp.signals().items():
@@ -102,6 +111,11 @@ class SymbolicChecker:
         self.component = comp
         self.bdd = BDD(sift=sift)
         self.partitioned = partitioned
+        self._store = store
+        self._alphabet = (
+            [dict(letter) for letter in alphabet] if alphabet is not None else None
+        )
+        self._reach_key: Optional[str] = None
         self._types = comp.signals()
 
         # Variable order drives BDD size.  Register variables in *dataflow
@@ -448,9 +462,15 @@ class SymbolicChecker:
         return self._transition
 
     def reachable_states(self) -> int:
-        """Fixpoint of the image computation; cached."""
+        """Fixpoint of the image computation; cached (in memory, and in
+        the persistent store when one was given — rings included, so the
+        warm path reconstructs the identical counterexamples)."""
         if self._reached is not None:
             return self._reached
+        if self._store is not None:
+            payload = self._store.get(self._store_key(), kind="symbolic-reach")
+            if payload is not None and self._load_reach(payload):
+                return self._reached
         bdd = self.bdd
         trans = None if self.partitioned else self.transition()
         frontier = self.initial_states()
@@ -473,7 +493,63 @@ class SymbolicChecker:
             frontier = new
             self._rings.append(bdd.pin(new))
         self._reached = bdd.pin(reached)
+        if self._store is not None:
+            self._store.put(
+                self._store_key(), "symbolic-reach", self._dump_reach()
+            )
         return reached
+
+    # -- persistence ------------------------------------------------------------
+
+    def _store_key(self) -> str:
+        """Content address of this checker's fixpoint: normalized
+        component + alphabet + image strategy (``sift`` only moves
+        levels, never changes any answer, so it stays out of the key —
+        but the payload's name-keyed BDD dump is order-independent, so
+        either setting can serve the other)."""
+        if self._reach_key is None:
+            from repro.mc.store import design_content_key, store_key
+
+            self._reach_key = store_key(
+                "symbolic-reach",
+                design_content_key(self.component),
+                {"alphabet": self._alphabet, "partitioned": self.partitioned},
+            )
+        return self._reach_key
+
+    def _dump_reach(self) -> Dict[str, object]:
+        clusters = self._ordered_parts() if self.partitioned else []
+        roots = list(clusters) + list(self._rings) + [self._reached]
+        return {
+            "clusters": len(clusters),
+            "rings": len(self._rings),
+            "iterations": self.iterations,
+            "peak_nodes": self.peak_nodes,
+            "bdd": self.bdd.dump(roots),
+        }
+
+    def _load_reach(self, payload) -> bool:
+        """Adopt a stored fixpoint; False (a miss) on any malformed
+        payload rather than an exception — the store is advisory."""
+        try:
+            n_clusters = int(payload["clusters"])
+            n_rings = int(payload["rings"])
+            iterations = int(payload["iterations"])
+            peak_nodes = int(payload["peak_nodes"])
+            roots = self.bdd.load(payload["bdd"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        if len(roots) != n_clusters + n_rings + 1 or n_rings < 1:
+            return False
+        for root in roots:
+            self.bdd.pin(root)
+        if self.partitioned:
+            self._ordered = list(roots[:n_clusters])
+        self._rings = list(roots[n_clusters : n_clusters + n_rings])
+        self._reached = roots[-1]
+        self.iterations = iterations
+        self.peak_nodes = peak_nodes
+        return True
 
     def state_count(self) -> int:
         """Number of reachable memory valuations."""

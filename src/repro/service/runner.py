@@ -171,9 +171,18 @@ def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
     """``verify``: a "``never`` is never present" obligation.
 
     Params: ``never`` (signal, default ``alarm``), ``backend``
-    (``explicit``/``symbolic``/``bounded``), ``int_values``,
+    (``explicit``/``symbolic``/``bounded``/``compose``), ``int_values``,
     ``always`` / ``never_input`` (pinned inputs), ``max_states``
     (explicit), ``depth`` (bounded).
+
+    When the persistent verification store is enabled (see
+    :mod:`repro.mc.store`), final verdicts are cached under a
+    ``verify-verdict`` key of the resolved design plus every
+    result-relevant parameter, and the store is threaded into the
+    backends so exploration intermediates (compiled LTSs, symbolic
+    fixpoints) persist even across *different* obligations on the same
+    design.  The cached payload is the handler's own return value, so a
+    warm hit is digest-identical by construction.
     """
     from repro.lang import flatten_program
     from repro.mc import (
@@ -182,6 +191,7 @@ def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
         compile_lts,
         input_alphabet,
     )
+    from repro.mc.store import default_store
 
     never = params.get("never", "alarm")
     backend = params.get("backend", "explicit")
@@ -192,12 +202,36 @@ def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
         always_present=tuple(_as_list(params.get("always"))),
         never_present=tuple(_as_list(params.get("never_input"))),
     )
+    store = default_store()
+    verdict_key = None
+    if store is not None:
+        from repro.mc.store import design_content_key, store_key
+
+        relevant: Dict[str, Any] = {
+            "backend": backend,
+            "never": never,
+            "int_values": list(_as_list(params.get("int_values")) or (0, 1)),
+            "always": _as_list(params.get("always")),
+            "never_input": _as_list(params.get("never_input")),
+        }
+        if backend in ("explicit", "compose"):
+            relevant["max_states"] = int(params.get("max_states", 20000))
+        if backend == "compose":
+            relevant["contracts"] = params.get("contracts") or {}
+        if backend == "bounded":
+            relevant["depth"] = int(params.get("depth", 6))
+        verdict_key = store_key(
+            "verify-verdict", design_content_key(flat), relevant
+        )
+        cached = store.get(verdict_key, kind="verify-verdict")
+        if cached is not None:
+            return cached
     if backend == "symbolic":
         from repro.mc.symbolic import SymbolicChecker
 
-        chk = SymbolicChecker(flat, alphabet=alphabet)
+        chk = SymbolicChecker(flat, alphabet=alphabet, store=store)
         ce = chk.check_never_present(never)
-        return {
+        result = {
             "backend": backend,
             "never": never,
             "verdict": "proven" if ce is None else "refuted",
@@ -205,10 +239,10 @@ def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
             "iterations": chk.iterations,
             "counterexample": None if ce is None else ce.render(),
         }
-    if backend == "bounded":
+    elif backend == "bounded":
         depth = int(params.get("depth", 6))
         res = bounded_never_present(flat, never, depth=depth, alphabet=alphabet)
-        return {
+        result = {
             "backend": backend,
             "never": never,
             "verdict": "safe_up_to_bound" if res.safe_up_to_bound else "refuted",
@@ -218,20 +252,53 @@ def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
                 None if res.counterexample is None else res.counterexample.render()
             ),
         }
-    if backend != "explicit":
+    elif backend == "compose":
+        from repro.mc.compose import verify_composed
+
+        cert = verify_composed(
+            program,
+            never,
+            contracts=params.get("contracts"),
+            int_values=tuple(_as_list(params.get("int_values")) or (0, 1)),
+            always_present=tuple(_as_list(params.get("always"))),
+            never_present=tuple(_as_list(params.get("never_input"))),
+            max_states=int(params.get("max_states", 20000)),
+            store=store,
+        )
+        result = {
+            "backend": backend,
+            "never": never,
+            "verdict": cert.verdict,
+            "method": cert.method,
+            "checks": cert.num_checks,
+            "largest_check_states": cert.largest_check_states,
+            "counterexample": (
+                None
+                if cert.counterexample is None
+                else cert.counterexample.render()
+            ),
+        }
+    elif backend == "explicit":
+        lts = compile_lts(
+            flat,
+            alphabet=alphabet,
+            max_states=int(params.get("max_states", 20000)),
+            store=store,
+        )
+        ce = check_never_present(lts, never)
+        result = {
+            "backend": backend,
+            "never": never,
+            "verdict": "proven" if ce is None else "refuted",
+            "states": lts.num_states(),
+            "transitions": lts.num_transitions(),
+            "counterexample": None if ce is None else ce.render(),
+        }
+    else:
         raise ValueError("unknown verify backend {!r}".format(backend))
-    lts = compile_lts(
-        flat, alphabet=alphabet, max_states=int(params.get("max_states", 20000))
-    )
-    ce = check_never_present(lts, never)
-    return {
-        "backend": backend,
-        "never": never,
-        "verdict": "proven" if ce is None else "refuted",
-        "states": lts.num_states(),
-        "transitions": lts.num_transitions(),
-        "counterexample": None if ce is None else ce.render(),
-    }
+    if verdict_key is not None:
+        store.put(verdict_key, "verify-verdict", result)
+    return result
 
 
 def _run_soak(program, params: Dict[str, Any]) -> Dict[str, Any]:

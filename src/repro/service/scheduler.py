@@ -307,6 +307,9 @@ class Scheduler:
             }
         out["result_cache"] = self.cache.stats()
         out["plan_cache"] = plan_cache_stats()
+        from repro.mc.store import global_stats
+
+        out["mc_store"] = global_stats()
         return out
 
     # -- waiting and events -------------------------------------------------

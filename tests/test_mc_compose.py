@@ -1,0 +1,221 @@
+"""Tests for assume-guarantee decomposition (:mod:`repro.mc.compose`):
+channel contracts, compositional proofs on the GALS relay chain, the
+monolithic fallback, and cross-backend agreement via the harness."""
+
+import pytest
+
+from repro.lang.types import BOOL
+
+from repro import designs
+from repro.lang.analysis import flatten_program
+from repro.mc import (
+    AlternatingBitContract,
+    FreeContract,
+    check_never_present,
+    compile_lts,
+    cross_check_never_present,
+    input_alphabet,
+    verify_composed,
+)
+from repro.mc.compose import resolve_contract
+
+
+def chain_env(stages):
+    """The polled-reader environment of the A13 family: read requests
+    pinned present, the producer's activation clock left free."""
+    return designs.gals_relay_chain_rreqs(stages)
+
+
+def dup_contracts(stages):
+    """Alternating-bit contracts on every cut of the relay chain."""
+    c = {"x0": "alternating"}
+    for i in range(stages):
+        c["f{}_msgout".format(i)] = "alternating"
+        c["x{}".format(i + 1)] = "alternating"
+    return c
+
+
+def monolithic_never(program, signal, always_present):
+    flat = flatten_program(program)
+    alphabet = input_alphabet(flat, always_present=always_present)
+    lts = compile_lts(flat, alphabet=alphabet)
+    return check_never_present(lts, signal), lts.num_states()
+
+
+class TestContracts:
+    def test_registry_resolution(self):
+        assert isinstance(resolve_contract("free"), FreeContract)
+        assert isinstance(resolve_contract("alternating"),
+                          AlternatingBitContract)
+        contract = AlternatingBitContract()
+        assert resolve_contract(contract) is contract
+        with pytest.raises(ValueError):
+            resolve_contract("lossy")
+
+    def test_free_contract_is_unconstrained(self):
+        free = FreeContract()
+        assert free.assumption("x", BOOL) is None
+        assert free.observer("x", BOOL) is None
+
+    def test_alternating_assumption_alternates(self):
+        from repro.sim import Reactor
+
+        comp = AlternatingBitContract().assumption("x", BOOL)
+        r = Reactor(comp)
+        values = [r.react({"x__assume_tick": True})["x"] for _ in range(4)]
+        assert values == [True, False, True, False]
+
+    def test_alternating_observer_flags_violations(self):
+        from repro.sim import Reactor
+
+        comp = AlternatingBitContract().observer("x", BOOL)
+        r = Reactor(comp)
+        assert "x__viol" not in r.react({"x": True})
+        assert "x__viol" not in r.react({"x": False})
+        assert "x__viol" in r.react({"x": False})  # repeated value
+
+
+class TestRelayChainCompositional:
+    def test_alarm_obligation_is_one_local_check(self):
+        program = designs.gals_relay_chain(3)
+        cert = verify_composed(
+            program, "f0_alarm", always_present=chain_env(3)
+        )
+        assert cert.holds and cert.method == "compositional"
+        assert cert.num_checks == 1
+        assert cert.largest_check_states <= 8
+
+    def test_dup_obligation_under_alternating_contracts(self):
+        stages = 3
+        program = designs.gals_relay_chain(stages)
+        cert = verify_composed(
+            program, "dup",
+            contracts=dup_contracts(stages),
+            always_present=chain_env(stages),
+        )
+        assert cert.holds and cert.method == "compositional"
+        assert cert.num_checks == 2 * stages + 2
+        assert cert.largest_check_states <= 8
+        assert "proven" in cert.render()
+
+    def test_local_checks_stay_constant_as_the_chain_grows(self):
+        sizes = {}
+        for stages in (1, 4):
+            cert = verify_composed(
+                designs.gals_relay_chain(stages), "dup",
+                contracts=dup_contracts(stages),
+                always_present=chain_env(stages),
+            )
+            assert cert.method == "compositional"
+            sizes[stages] = cert.largest_check_states
+        assert sizes[1] == sizes[4]  # local work independent of length
+
+    def test_agrees_with_monolithic(self):
+        stages = 2
+        program = designs.gals_relay_chain(stages)
+        for signal, contracts in (
+            ("f0_alarm", None),
+            ("dup", dup_contracts(stages)),
+        ):
+            cert = verify_composed(
+                program, signal, contracts=contracts,
+                always_present=chain_env(stages),
+            )
+            ce, _ = monolithic_never(program, signal, chain_env(stages))
+            assert cert.holds == (ce is None)
+
+
+class TestFallback:
+    def test_refuted_obligation_falls_back_and_matches(self):
+        program = designs.boolean_producer_consumer()
+        cert = verify_composed(program, "y")
+        ce, states = monolithic_never(program, "y", ())
+        assert not cert.holds and cert.method == "monolithic"
+        assert cert.counterexample.inputs == ce.inputs
+        assert cert.largest_check_states == states
+
+    def test_single_component_falls_back(self):
+        cert = verify_composed(designs.toggle_producer(), "x")
+        assert cert.method == "monolithic"
+        assert not cert.holds  # x fires on the first activation
+
+    def test_contract_on_non_cut_signal_is_rejected(self):
+        with pytest.raises(ValueError):
+            verify_composed(
+                designs.gals_relay_chain(1), "dup",
+                contracts={"no_such_signal": "alternating"},
+                always_present=chain_env(1),
+            )
+
+    def test_free_contract_spurious_refutation_falls_back(self):
+        # without the alternating assumption the dup check refutes
+        # locally; the certificate must come from the monolithic run
+        program = designs.gals_relay_chain(1)
+        cert = verify_composed(
+            program, "dup", always_present=chain_env(1)
+        )
+        assert cert.holds and cert.method == "monolithic"
+
+
+class TestHarnessCrossCheck:
+    # boolean corpus members safe for all backends (the known free-clock
+    # divergence of boolean_producer_consumer under "symbolic" excluded)
+    CORPUS = [
+        ("gals_relay_chain", 1, "f0_alarm"),
+        ("gals_relay_chain", 1, "dup"),
+        ("gals_relay_chain", 2, "dup"),
+    ]
+
+    def test_three_backend_corpus_agreement(self):
+        """Satellite: bounded joins explicit+symbolic as a third
+        cross-check participant on the corpus."""
+        for name, stages, signal in self.CORPUS:
+            program = getattr(designs, name)(stages)
+            report = cross_check_never_present(
+                program, signal,
+                backends=("explicit", "symbolic", "bounded"),
+                depth=6,
+                always_present=chain_env(stages),
+            )
+            assert report.agree, report.render()
+            assert report.holds
+
+    def test_bounded_finds_short_counterexamples(self):
+        report = cross_check_never_present(
+            designs.toggle_producer(), "x",
+            backends=("explicit", "bounded"),
+            depth=4,
+        )
+        assert report.agree and not report.holds
+        assert report.verdict("bounded").ce_length == 1
+
+    def test_compose_joins_the_harness(self):
+        stages = 2
+        report = cross_check_never_present(
+            designs.gals_relay_chain(stages), "dup",
+            backends=("explicit", "symbolic", "compose"),
+            contracts=dup_contracts(stages),
+            always_present=chain_env(stages),
+        )
+        assert report.agree and report.holds
+        compose = report.verdict("compose")
+        explicit = report.verdict("explicit")
+        assert compose.states < explicit.states  # local checks are tiny
+
+    def test_corpus_fallback_designs_still_agree(self):
+        # designs compose cannot decompose (or refutes locally) must
+        # still match the explicit backend bit for bit
+        for program, signal in (
+            (designs.boolean_producer_consumer(), "y"),
+            (designs.gals_relay_chain(1), "dup"),  # free contracts
+        ):
+            report = cross_check_never_present(
+                program, signal, backends=("explicit", "compose"),
+                always_present=(
+                    chain_env(1) if signal == "dup" else ()
+                ),
+            )
+            assert report.agree, report.render()
+            exp, com = report.verdict("explicit"), report.verdict("compose")
+            if not report.holds:
+                assert com.counterexample.inputs == exp.counterexample.inputs
