@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-quick bench-a11 bench-a12 bench-a13 serve-smoke soak-quick recover-quick lint
+.PHONY: test test-fast bench bench-quick bench-a11 bench-a12 bench-a13 prove-smoke serve-smoke soak-quick recover-quick lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q
@@ -54,6 +54,16 @@ bench-a12:
 bench-a13:
 	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
 		bench_a13_mc_scaling.py -q -s
+
+# static flow-equivalence prover benchmark (experiment A14): corpus
+# cross-validation (static PROVEN <=> dynamic Theorem 2 ok), >= 3
+# refuted mutants with simulator-replayed witnesses, warm
+# prove-certificate rate >= 90%, worker digest identity; wall-time
+# pinned inside the bench; writes benchmarks/out/A14_prove.txt and
+# BENCH_A14_prove.json
+prove-smoke:
+	cd benchmarks && BENCH_QUICK=1 PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_a14_prove.py -q -s
 
 # end-to-end service gate: boot a real server on an ephemeral port,
 # push a mixed batch over the socket API, assert byte-identity vs

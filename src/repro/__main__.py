@@ -208,6 +208,16 @@ def cmd_lint(args) -> int:
         names[0] if len(names) == 1 else "{} programs".format(len(names)),
         diagnostics,
     )
+    if args.json:
+        _emit_text(args.json, merged.to_json())
+    if args.sarif:
+        _emit_text(args.sarif, merged.to_sarif())
+    if args.json or args.sarif:
+        # digest-flag mode (the `faults soak --json` convention): the text
+        # report only renders when no digest went to stdout
+        if args.json != "-" and args.sarif != "-":
+            print(merged.render_text())
+        return 1 if merged.has_errors() else 0
     if args.format == "json":
         text = merged.to_json()
     elif args.format == "sarif":
@@ -465,6 +475,92 @@ def cmd_mc(args) -> int:
     return rc
 
 
+def cmd_prove(args) -> int:
+    """Static flow-equivalence prover (PROVEN / REFUTED / unknown)."""
+    from repro.lint import parse_rates
+    from repro.mc.store import MCStore, default_store
+    from repro.prove import prove_flow_equivalence, replay_witness
+
+    prog = _mc_target(args.target)
+    try:
+        rates = parse_rates(args.rate or [])
+    except ValueError as exc:
+        raise SystemExit("prove: {}".format(exc))
+    capacities = 1
+    cap_map = {}
+    for spec in args.capacity or ():
+        sig, eq, raw = spec.partition("=")
+        try:
+            if eq:
+                cap_map[sig] = int(raw)
+            else:
+                capacities = int(spec)
+        except ValueError:
+            raise SystemExit(
+                "prove: bad --capacity {!r}: want N or SIGNAL=N".format(spec)
+            )
+    if cap_map:
+        if capacities != 1:
+            raise SystemExit(
+                "prove: give either one bare --capacity N or per-signal "
+                "SIGNAL=N entries, not both"
+            )
+        capacities = cap_map
+    backpressure = {}
+    for pair in args.backpressure or ():
+        comp, eq, inp = pair.partition("=")
+        if not eq:
+            raise SystemExit(
+                "prove: bad --backpressure {!r}: want "
+                "COMPONENT=INPUT".format(pair)
+            )
+        backpressure[comp] = inp
+
+    store = MCStore(args.store) if args.store else default_store()
+    cert = prove_flow_equivalence(
+        prog,
+        rates=rates,
+        capacities=capacities,
+        backend=args.backend,
+        int_values=tuple(int(v) for v in args.int_values.split(",")),
+        always=tuple(args.always or ()),
+        never_input=tuple(args.never_input or ()),
+        max_states=args.max_states,
+        fifo=args.fifo,
+        backpressure=backpressure or None,
+        store=store,
+    )
+    if args.json:
+        _emit_json(args.json, cert.to_dict())
+    if args.json != "-":
+        print("prove {}: {} (method {}, backend {})".format(
+            cert.program, cert.verdict.upper(), cert.method, cert.backend))
+        for ob in cert.obligations:
+            bound = " bound={}".format(ob["bound"]) if "bound" in ob else ""
+            print("  {} on {} [capacity {}]: {}{}".format(
+                ob["kind"], ob["channel"], ob["capacity"], ob["status"], bound))
+        if cert.reason:
+            print("  reason: {}".format(cert.reason))
+        if cert.witness:
+            print("  witness: {} at instant {} ({} stimulus row(s))".format(
+                cert.witness["event"], cert.witness["instant"],
+                len(cert.witness.get("inputs", []))))
+        stats = " ".join(
+            "{}={}".format(k, v) for k, v in sorted(cert.stats.items())
+        )
+        if stats:
+            print("  stats: {}".format(stats))
+    if args.replay:
+        if not cert.witness:
+            print("nothing to replay: the certificate carries no witness")
+        else:
+            rep = replay_witness(prog, cert)
+            print(rep.render())
+            if not rep.ok:
+                return 2
+    return {"proven": 0, "refuted": 1}.get(cert.verdict, 2)
+
+
 _FAULT_DESIGNS = {
     "prodcons": "producer_consumer",
     "prodacc": "producer_accumulator",
@@ -538,7 +634,10 @@ def cmd_faults(args) -> int:
 def _emit_json(path: str, data) -> None:
     import json
 
-    text = json.dumps(data, indent=2, sort_keys=True)
+    _emit_text(path, json.dumps(data, indent=2, sort_keys=True))
+
+
+def _emit_text(path: str, text: str) -> None:
     if path == "-":
         print(text)
     else:
@@ -786,6 +885,15 @@ def build_parser() -> argparse.ArgumentParser:
         "unused inputs); Signal source files only",
     )
     p.add_argument("--output", metavar="PATH", help="write the report to PATH")
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="write the JSON report to PATH ('-' for stdout); exit code "
+        "still reflects error findings",
+    )
+    p.add_argument(
+        "--sarif", metavar="PATH",
+        help="write the SARIF 2.1.0 report to PATH ('-' for stdout)",
+    )
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("format", help="pretty-print Signal source")
@@ -894,6 +1002,60 @@ def build_parser() -> argparse.ArgumentParser:
                     help="tie an input off")
     mp.add_argument("--max-states", type=int, default=200000)
     _mc_store_arg(mp)
+
+    p = sub.add_parser(
+        "prove",
+        help="static flow-equivalence prover: PROVEN / REFUTED / unknown "
+        "with refutation witnesses",
+    )
+    p.add_argument(
+        "target", help="Signal file, or corpus design name[:k=v,...]"
+    )
+    p.add_argument(
+        "--rate", action="append", metavar="NAME:SPEC",
+        help="clock-rate assumption: name:period[:phase] or name:CYCLE "
+        "(enables the affine inductive path)",
+    )
+    p.add_argument(
+        "--capacity", action="append", metavar="N|SIGNAL=N",
+        help="channel capacity: one bare int for every channel, or "
+        "SIGNAL=N (repeatable)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "affine", "explicit", "symbolic", "compose"),
+        default="auto",
+        help="auto: affine induction when applicable, else model checking "
+        "on the source/deployment product",
+    )
+    p.add_argument(
+        "--fifo", choices=("direct", "boolean"), default="direct",
+        help="boolean: deploy the paper's one-place boolean FIFO "
+        "(all-boolean product; symbolic-backend friendly)",
+    )
+    p.add_argument(
+        "--backpressure", action="append", metavar="COMPONENT=INPUT",
+        help="mask a producer activation input with the channel's full "
+        "status (repeatable)",
+    )
+    p.add_argument("--int-values", default="0,1", help="integer input domain")
+    p.add_argument("--always", action="append", help="pin an input present")
+    p.add_argument("--never-input", action="append", help="tie an input off")
+    p.add_argument("--max-states", type=int, default=20000)
+    p.add_argument(
+        "--store", metavar="DIR",
+        help="certificate store root (default: $REPRO_MC_STORE)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="write the certificate to PATH ('-' for stdout)",
+    )
+    p.add_argument(
+        "--replay", action="store_true",
+        help="replay a refutation witness in the simulator and check the "
+        "divergence instant",
+    )
+    p.set_defaults(fn=cmd_prove)
 
     p = sub.add_parser(
         "faults", help="fault-injection soak of a GALS deployment"

@@ -39,35 +39,84 @@ class Rule(NamedTuple):
     severity: str
     title: str
     fixable: bool = False
+    detail: str = ""      # SARIF fullDescription; falls back to the title
+
+    @property
+    def help_uri(self) -> str:
+        """Stable per-rule anchor into the rule catalogue docs."""
+        return "docs/static-analysis.md#{}".format(self.code.lower())
 
 
 RULES: Dict[str, Rule] = {
     r.code: r
     for r in [
         Rule("SIG001", WARNING, "design is not input-deterministic "
-                                "(free clocks need an oracle)"),
+                                "(free clocks need an oracle)",
+             detail="Some clocks are determined by neither the inputs nor "
+                    "the clock calculus; simulation needs an oracle to "
+                    "resolve them and two runs on the same inputs may "
+                    "differ."),
         Rule("SIG002", ERROR, "signal written by more than one equation "
-                              "(multi-driver race)"),
+                              "(multi-driver race)",
+             detail="Two equations define the same signal; at any instant "
+                    "both fire, the reaction is ill-formed."),
         Rule("SIG003", ERROR, "instantaneous dependency cycle "
-                              "(no reaction order exists)"),
+                              "(no reaction order exists)",
+             detail="A cycle of same-instant dependencies admits no "
+                    "evaluation order; break it with a pre (delay)."),
         Rule("SIG004", ERROR, "uninitialized pre (no initial value)",
-             fixable=True),
-        Rule("SIG005", WARNING, "dead signal (defined but never read)"),
-        Rule("SIG006", WARNING, "unused input", fixable=True),
+             fixable=True,
+             detail="A pre without an initial value reads undefined memory "
+                    "at the first instant of its clock."),
+        Rule("SIG005", WARNING, "dead signal (defined but never read)",
+             detail="The signal is computed but nothing consumes it."),
+        Rule("SIG006", WARNING, "unused input", fixable=True,
+             detail="The declared input occurs in no equation."),
         Rule("SIG007", ERROR, "undefined signal (non-input without a "
-                              "defining equation)"),
-        Rule("SIG008", WARNING, "dead clock (signal provably never present)"),
+                              "defining equation)",
+             detail="The signal is read but neither an input nor defined "
+                    "by any equation."),
+        Rule("SIG008", WARNING, "dead clock (signal provably never present)",
+             detail="The clock calculus proves the signal's clock empty: "
+                    "it can never be present."),
         Rule("GALS001", ERROR, "inter-node instantaneous cycle through "
-                               "FIFO-free channel edges"),
+                               "FIFO-free channel edges",
+             detail="Nodes depend on each other within one instant along "
+                    "edges that desynchronization will not buffer; the "
+                    "deployed network can deadlock."),
         Rule("GALS002", ERROR, "write-write race across GALS domain "
                                "boundaries (shared signal has several "
-                               "producing nodes)"),
+                               "producing nodes)",
+             detail="More than one node produces the shared signal, so the "
+                    "desynchronized channels race on writes."),
         Rule("GALS003", INFO, "static FIFO capacity bound inferred from "
-                              "affine clocks"),
+                              "affine clocks",
+             detail="Under the assumed rates the channel's peak occupancy "
+                    "is bounded; a FIFO of this capacity never overflows "
+                    "on these rates."),
         Rule("GALS004", WARNING, "declared channel capacity below the "
-                                 "static bound"),
+                                 "static bound",
+             detail="The deployed capacity is smaller than the statically "
+                    "inferred peak occupancy; writes will be rejected."),
         Rule("GALS005", WARNING, "channel unbounded under the assumed "
-                                 "rates (writer outpaces reader)"),
+                                 "rates (writer outpaces reader)",
+             detail="The writer's long-run rate exceeds the reader's; no "
+                    "finite FIFO suffices."),
+        Rule("GALS006", INFO, "flow equivalence PROVEN for the channel "
+                              "(inductive occupancy argument)",
+             detail="The occupancy induction over the affine clock words "
+                    "discharges the channel: under the assumed rates the "
+                    "deployed FIFO never rejects a write, so the "
+                    "desynchronized flow equals the synchronous one for "
+                    "every input stream at these rates.  Upgrades the "
+                    "GALS003 bound from inferred to proven."),
+        Rule("GALS007", ERROR, "flow equivalence REFUTED for the channel "
+                               "(overflow witness found)",
+             detail="The occupancy induction exhibits a concrete instant "
+                    "at which the deployed FIFO rejects a write under the "
+                    "assumed rates; the refutation witness replays in "
+                    "repro.sim (repro prove --replay) and the deployment "
+                    "is not flow-equivalent to the source."),
     ]
 }
 
@@ -193,12 +242,21 @@ class LintReport:
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def to_sarif(self) -> str:
-        """Minimal SARIF 2.1.0: one run, rule metadata, physical locations."""
+        """Minimal SARIF 2.1.0: one run, rule metadata, physical locations.
+
+        Byte-deterministic: the rule array is sorted by rule id, results
+        keep report order, and the serializer sorts keys — two runs over
+        the same findings emit identical bytes.
+        """
         used = sorted({d.code for d in self.diagnostics})
         rules = [
             {
                 "id": code,
                 "shortDescription": {"text": RULES[code].title},
+                "fullDescription": {
+                    "text": RULES[code].detail or RULES[code].title
+                },
+                "helpUri": RULES[code].help_uri,
                 "defaultConfiguration": {
                     "level": _SARIF_LEVEL[RULES[code].severity]
                 },

@@ -24,6 +24,8 @@ GALS002   error     write-write race across GALS domain boundaries
 GALS003   info      static FIFO capacity bound (affine clocks)
 GALS004   warning   declared capacity below the static bound
 GALS005   warning   channel unbounded under the assumed rates
+GALS006   info      flow equivalence PROVEN (occupancy induction)
+GALS007   error     flow equivalence REFUTED (overflow witness)
 ========  ========  ====================================================
 """
 
@@ -439,121 +441,142 @@ def rule_buffer_bounds(ctx: _Context) -> List[Diagnostic]:
     the read-request words of the channels (``<signal>_rreq`` by default,
     or the consumer's own delivery when it is data-driven).  Channels
     whose clocks are not derivable from the assumptions are skipped.
+
+    The per-edge words and bounds come from
+    :func:`repro.prove.affine.channel_edge_words` — the same
+    producer-to-consumer delivered sweep the flow-equivalence prover
+    runs, so lint's bound and the prover's induction can never disagree.
     """
     if not ctx.rates or not ctx.cut_channels:
         return []
-    try:
-        flat = flatten_program(ctx.program, namespace_locals=True)
-    except ReproError:
-        return []
-    words = infer_clock_words(flat, ctx.rates)
-    out: List[Diagnostic] = []
-    edges = [(s, c) for s in ctx.shared if s.producers for c in s.consumers]
-    keys = {(s.name, c) for s, c in edges}
-    consumed_by: Dict[str, List[Tuple[str, str]]] = {}
-    for s, c in edges:
-        consumed_by.setdefault(c, []).append((s.name, c))
-    delivered: Dict[Tuple[str, str], PeriodicWord] = {}
-    failed: set = set()
+    from repro.prove.affine import BOUNDED, UNBOUNDED, channel_edge_words
 
-    # producer -> consumer sweep: a node fed by exactly one channel fires
-    # at that channel's *delivered* rate, so a pipeline's downstream write
-    # words come from the upstream channel, not the synchronous source.
-    # Edges on consumption cycles (request/response) fall back to the
-    # synchronous clock word after the fixpoint stalls.
-    pending = list(edges)
-    settled = False
-    while pending:
-        progress = False
-        deferred = []
-        for s, consumer in pending:
-            producer = s.producers[0]
-            upstream = [
-                k for k in consumed_by.get(producer, ()) if k in keys
-            ]
-            write = None
-            if len(upstream) == 1 and not settled:
-                (up,) = upstream
-                if up in delivered:
-                    write = delivered[up]
-                elif up not in failed:
-                    deferred.append((s, consumer))
-                    continue
-            if write is None:
-                write = words.get(s.name)
-            progress = True
-            self_key = (s.name, consumer)
-            if write is None:
-                failed.add(self_key)
-                continue
-            diag = _bound_edge(ctx, s, consumer, write, delivered)
-            if diag:
-                out.extend(diag)
-            else:
-                failed.add(self_key)
-        pending = deferred
-        if not progress:
-            settled = True  # break consumption cycles: synchronous words
+    out: List[Diagnostic] = []
+    for e in channel_edge_words(ctx.program, ctx.rates):
+        edge = "{} -> {} : {}".format(e.producer, e.consumer, e.signal)
+        if e.status == UNBOUNDED:
+            out.append(
+                make(
+                    "GALS005",
+                    "channel {} is unbounded under the assumed rates "
+                    "(write rate {} > read rate {})".format(
+                        edge, e.write.rate(), e.read.rate()
+                    ),
+                    component=e.producer,
+                    signal=e.signal,
+                    file=ctx.file,
+                )
+            )
+        elif e.status == BOUNDED:
+            out.append(
+                make(
+                    "GALS003",
+                    "channel {} needs capacity {} (static bound from "
+                    "write word {!r}, read word {!r})".format(
+                        edge, e.bound, e.write.normalized(),
+                        e.read.normalized()
+                    ),
+                    component=e.producer,
+                    signal=e.signal,
+                    file=ctx.file,
+                )
+            )
+            declared = ctx.capacities.get(e.signal)
+            if declared is not None and declared < e.bound:
+                out.append(
+                    make(
+                        "GALS004",
+                        "channel {} declared with capacity {} but the "
+                        "static bound is {}".format(edge, declared, e.bound),
+                        component=e.producer,
+                        signal=e.signal,
+                        file=ctx.file,
+                    )
+                )
     return sorted(out, key=lambda d: (d.signal, d.code, d.message))
 
 
-def _bound_edge(
-    ctx: _Context,
-    s,
-    consumer: str,
-    write: PeriodicWord,
-    delivered: Dict[Tuple[str, str], PeriodicWord],
-) -> List[Diagnostic]:
-    """Bound one channel edge; records its delivered-read word on success."""
-    out: List[Diagnostic] = []
-    read = ctx.rates.get("{}_rreq".format(s.name))
-    if read is None:
-        read = ctx.rates.get("{}_{}_rreq".format(s.name, consumer))
-    if read is None:
-        # data-driven consumer: reads whenever data can arrive
-        read = PeriodicWord.always()
-    bound = channel_bound(write, read)
-    edge = "{} -> {} : {}".format(s.producers[0], consumer, s.name)
-    if bound is None:
-        out.append(
-            make(
-                "GALS005",
-                "channel {} is unbounded under the assumed rates "
-                "(write rate {} > read rate {})".format(
-                    edge, write.rate(), read.rate()
-                ),
-                component=s.producers[0],
-                signal=s.name,
-                file=ctx.file,
-            )
-        )
-        return out
-    delivered[(s.name, consumer)] = delivered_reads(write, read)
-    out.append(
-        make(
-            "GALS003",
-            "channel {} needs capacity {} (static bound from "
-            "write word {!r}, read word {!r})".format(
-                edge, bound, write.normalized(), read.normalized()
-            ),
-            component=s.producers[0],
-            signal=s.name,
-            file=ctx.file,
-        )
+def rule_flow_equivalence(ctx: _Context) -> List[Diagnostic]:
+    """GALS006/GALS007: escalate the GALS003 bound to a proof verdict.
+
+    When the design is endochronous under the assumed rates and every
+    channel's clock words are derivable, the occupancy induction of
+    :mod:`repro.prove.affine` turns each bound into a theorem: GALS006
+    (info) records that the channel's deployment is flow-equivalent to
+    the synchronous source for every input stream at these rates;
+    GALS007 (error) records a refutation with the exact first overflow
+    instant — replay the witness with ``repro prove --replay``.  The
+    rule stays silent when the inductive argument does not apply (the
+    model-checking path of ``repro prove`` takes over there).
+    """
+    if not ctx.rates or not ctx.cut_channels:
+        return []
+    from repro.prove.affine import (
+        BOUNDED,
+        UNBOUNDED,
+        affine_flow_analysis,
+        overflow_instant,
     )
-    declared = ctx.capacities.get(s.name)
-    if declared is not None and declared < bound:
-        out.append(
-            make(
-                "GALS004",
-                "channel {} declared with capacity {} but the static "
-                "bound is {}".format(edge, declared, bound),
-                component=s.producers[0],
-                signal=s.name,
-                file=ctx.file,
+
+    analysis = affine_flow_analysis(ctx.program, ctx.rates)
+    if not (analysis.endochronous and analysis.complete and analysis.edges):
+        return []
+    out: List[Diagnostic] = []
+    for e in analysis.edges:
+        edge = "{} -> {} : {}".format(e.producer, e.consumer, e.signal)
+        declared = ctx.capacities.get(e.signal)
+        if e.status == UNBOUNDED:
+            cap = declared if declared is not None else 1
+            instant = overflow_instant(e.write, e.read, cap)
+            out.append(
+                make(
+                    "GALS007",
+                    "flow equivalence REFUTED for channel {}: no finite "
+                    "capacity suffices under the assumed rates; with "
+                    "capacity {} the first rejected write is at instant "
+                    "{}".format(edge, cap, instant),
+                    component=e.producer,
+                    signal=e.signal,
+                    file=ctx.file,
+                )
             )
-        )
-    return out
+        elif e.status == BOUNDED and declared is not None and declared < e.bound:
+            instant = overflow_instant(e.write, e.read, declared)
+            out.append(
+                make(
+                    "GALS007",
+                    "flow equivalence REFUTED for channel {}: deployed "
+                    "capacity {} is below the inductive bound {}; the "
+                    "first rejected write is at instant {}".format(
+                        edge, declared, e.bound, instant
+                    ),
+                    component=e.producer,
+                    signal=e.signal,
+                    file=ctx.file,
+                )
+            )
+        elif e.status == BOUNDED:
+            where = (
+                "capacity {}".format(declared)
+                if declared is not None
+                else "any capacity >= {}".format(e.bound)
+            )
+            out.append(
+                make(
+                    "GALS006",
+                    "flow equivalence PROVEN for channel {} at {}: "
+                    "inductive occupancy bound {} (write word {!r}, read "
+                    "word {!r}); the deployed FIFO never rejects a write "
+                    "under the assumed rates".format(
+                        edge, where, e.bound, e.write.normalized(),
+                        e.read.normalized()
+                    ),
+                    component=e.producer,
+                    signal=e.signal,
+                    file=ctx.file,
+                )
+            )
+    return sorted(out, key=lambda d: (d.signal, d.code, d.message))
 
 
 ALL_RULES = (
@@ -564,4 +587,5 @@ ALL_RULES = (
     rule_hygiene,
     rule_network_causality,
     rule_buffer_bounds,
+    rule_flow_equivalence,
 )

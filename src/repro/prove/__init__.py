@@ -1,0 +1,56 @@
+"""Static flow-equivalence proofs for desynchronized deployments.
+
+The theorems of the paper say *when* a GALS deployment is flow-equivalent
+to its synchronous source; :mod:`repro.desync.theorems` checks those
+hypotheses on the stimuli we happened to run.  This package discharges
+the property *statically*, for every input stream the environment can
+offer:
+
+- :func:`repro.prove.affine.affine_flow_analysis` — the inductive
+  argument over :mod:`repro.clocks.calculus` constraints and affine
+  clock words (endochronous designs under rate assumptions);
+- :func:`repro.prove.observers.flow_observer` — per-signal
+  flow-comparison observers composed with the desynchronized program,
+  turning flow equivalence into ``never``-present obligations for the
+  explicit/symbolic/compose model-checking backends;
+- :func:`repro.prove.core.prove_flow_equivalence` — the prover proper,
+  returning a :class:`~repro.prove.core.ProofCertificate` with verdict
+  ``proven`` / ``refuted`` / ``unknown``; refutations carry a concrete
+  witness stimulus;
+- :func:`repro.prove.witness.replay_witness` — replays a refutation in
+  :mod:`repro.sim` and checks the co-simulation diverges at exactly the
+  reported signal and instant.
+"""
+
+from repro.prove.affine import (
+    AffineAnalysis,
+    EdgeWords,
+    affine_flow_analysis,
+    channel_edge_words,
+    overflow_instant,
+)
+from repro.prove.core import (
+    CERT_FORMAT,
+    ProofCertificate,
+    certificate_from_dict,
+    prove_certificate_key,
+    prove_flow_equivalence,
+)
+from repro.prove.observers import flow_observer
+from repro.prove.witness import ReplayReport, replay_witness
+
+__all__ = [
+    "AffineAnalysis",
+    "CERT_FORMAT",
+    "EdgeWords",
+    "ProofCertificate",
+    "ReplayReport",
+    "affine_flow_analysis",
+    "certificate_from_dict",
+    "channel_edge_words",
+    "flow_observer",
+    "overflow_instant",
+    "prove_certificate_key",
+    "prove_flow_equivalence",
+    "replay_witness",
+]

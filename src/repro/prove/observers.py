@@ -1,0 +1,349 @@
+"""Per-signal flow-comparison observers for the product construction.
+
+A flow observer is a Signal component composed *next to* a channel of the
+desynchronized deployment.  It maintains the reference FIFO denotation
+(Definition 9) of the channel — a queue of the values the channel
+*accepted* (its ``ok`` event), popped by the channel's successful reads —
+and raises a ``<signal>__flowdiv`` event at the first instant the
+implementation diverges from the reference:
+
+- a read offered while the reference queue is empty (phantom item);
+- a read whose value differs from the reference head (order or value
+  corruption);
+- an accepted write while the reference queue is already full and no
+  same-instant read frees a slot (occupancy violation).
+
+``never <signal>__flowdiv`` on the composed (product) system is then the
+static analogue of Theorem 2's per-channel FIFO-faithfulness check: it
+quantifies over *every* input stream of the alphabet instead of one
+observed trace.  Together with ``never <signal>_alarm`` (no rejected
+write, i.e. no lost item) the two obligations discharge flow equivalence
+of the deployment against its synchronous source.
+
+Keying the reference queue on ``ok`` rather than on the raw write port
+makes the observer independent of the FIFO's accept rule — it compares
+flows, not occupancy policies — so the same observer is sound for the
+direct, chained and simultaneous FIFO constructions.
+
+For capacity 1 the observer is a single slot plus one occupancy boolean;
+with a boolean payload the whole product stays in the fragment the
+symbolic (BDD) backend accepts.  Larger capacities use a shift-register
+queue with a clamped integer occupancy counter (explicit backend).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple, Union
+
+from repro.desync.transform import Channel, DesyncResult, desynchronize
+from repro.lang.ast import Component, Const, Program, pre
+from repro.lang.builder import ComponentBuilder
+from repro.lang.types import BOOL, EVENT, INT, Type
+
+
+def _init_for(dtype: Type):
+    return False if dtype is BOOL else 0
+
+
+def flowdiv_signal(signal: str) -> str:
+    """Name of the divergence event the observer of ``signal`` raises."""
+    return "{}__flowdiv".format(signal)
+
+
+def flow_observer(
+    signal: str,
+    write_port: str,
+    read_port: str,
+    ok: str,
+    capacity: int,
+    dtype: Type = INT,
+) -> Component:
+    """Build the flow-comparison observer for one channel.
+
+    Inputs: the channel's ``write_port`` (payload of write attempts),
+    ``read_port`` (payload of successful reads) and ``ok`` (accepted
+    writes).  Output: the ``<signal>__flowdiv`` divergence event.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if capacity == 1:
+        return _observer_cap1(signal, write_port, read_port, ok, dtype)
+    return _observer_capn(signal, write_port, read_port, ok, capacity, dtype)
+
+
+def _observer_cap1(
+    signal: str, write_port: str, read_port: str, ok: str, dtype: Type
+) -> Component:
+    p = "obs_{}_".format(signal)
+    init = _init_for(dtype)
+    b = ComponentBuilder("Obs_{}".format(signal))
+    xw = b.input(write_port, dtype)
+    xr = b.input(read_port, dtype)
+    okv = b.input(ok, EVENT)
+    div = b.output(flowdiv_signal(signal), EVENT)
+
+    base = b.let(p + "base", EVENT, xw.clock().default(xr.clock()))
+    okb = b.let(
+        p + "okb", BOOL,
+        Const(True).when(okv).default(Const(False).when(base)),
+    )
+    rdb = b.let(
+        p + "rdb", BOOL,
+        Const(True).when(xr.clock()).default(Const(False).when(base)),
+    )
+    occ = b.local(p + "occ", BOOL)
+    occp = b.let(p + "occp", BOOL, pre(False, occ))
+    # reference queue: pop first (a read returns the pre-state head),
+    # then push the accepted value into the freed slot
+    b.define(occ, okb | (occp & ~rdb))
+    b.sync(occ, base)
+    slot = b.local(p + "slot", dtype)
+    b.define(slot, xw.when(okb).default(pre(init, slot).when(base)))
+    b.sync(slot, base)
+
+    underflow = b.let(p + "underflow", BOOL, rdb & ~occp)
+    overflow = b.let(p + "overflow", BOOL, okb & occp & ~rdb)
+    # value comparison at the read clock: sample the held head there
+    head = b.let(p + "head", dtype, pre(init, slot).when(xr.clock()))
+    bad = b.let(p + "bad", BOOL, xr.ne(head))
+    b.define(
+        div,
+        Const(True).when(underflow | overflow).default(Const(True).when(bad)),
+    )
+    return b.build()
+
+
+def _observer_capn(
+    signal: str,
+    write_port: str,
+    read_port: str,
+    ok: str,
+    capacity: int,
+    dtype: Type,
+) -> Component:
+    p = "obs_{}_".format(signal)
+    init = _init_for(dtype)
+    b = ComponentBuilder("Obs_{}".format(signal))
+    xw = b.input(write_port, dtype)
+    xr = b.input(read_port, dtype)
+    okv = b.input(ok, EVENT)
+    div = b.output(flowdiv_signal(signal), EVENT)
+
+    base = b.let(p + "base", EVENT, xw.clock().default(xr.clock()))
+    okb = b.let(
+        p + "okb", BOOL,
+        Const(True).when(okv).default(Const(False).when(base)),
+    )
+    rdb = b.let(
+        p + "rdb", BOOL,
+        Const(True).when(xr.clock()).default(Const(False).when(base)),
+    )
+    occ = b.local(p + "occ", INT)
+    occp = b.let(p + "occp", INT, pre(0, occ))
+    wi = b.let(
+        p + "wi", INT, Const(1).when(okb).default(Const(0).when(base))
+    )
+    ri = b.let(
+        p + "ri", INT, Const(1).when(rdb).default(Const(0).when(base))
+    )
+    occn = b.let(p + "occn", INT, occp + wi - ri)
+    # clamp so the observer stays finite-state even past a divergence
+    b.define(
+        occ,
+        Const(0).when(occn < 0)
+        .default(Const(capacity).when(occn > capacity))
+        .default(occn),
+    )
+    b.sync(occ, base)
+
+    underflow = b.let(p + "underflow", BOOL, rdb & occp.eq(0))
+    overflow = b.let(
+        p + "overflow", BOOL, okb & occp.eq(capacity) & ~rdb
+    )
+
+    # shift-register queue: a read pops slot 0 (everything shifts down),
+    # an accepted write lands at the post-read occupancy index
+    idx = b.let(p + "idx", INT, occp - ri)
+    slots = [b.local("{}s{}".format(p, i), dtype) for i in range(capacity)]
+    prevs = [
+        b.let("{}s{}p".format(p, i), dtype, pre(init, slots[i]))
+        for i in range(capacity)
+    ]
+    for i in range(capacity):
+        wcond = b.let("{}w{}".format(p, i), BOOL, okb & idx.eq(i))
+        shifted = (
+            prevs[i + 1].when(rdb) if i + 1 < capacity
+            else prevs[i].when(rdb)
+        )
+        b.define(
+            slots[i],
+            xw.when(wcond).default(shifted).default(prevs[i].when(base)),
+        )
+        b.sync(slots[i], base)
+
+    head = b.let(p + "head", dtype, prevs[0].when(xr.clock()))
+    bad = b.let(p + "bad", BOOL, xr.ne(head))
+    b.define(
+        div,
+        Const(True).when(underflow | overflow).default(Const(True).when(bad)),
+    )
+    return b.build()
+
+
+# -- the product construction -------------------------------------------------
+
+#: obligation kinds
+NO_OVERFLOW = "no-overflow"      # never <channel>_alarm: no write is lost
+FIFO_FAITHFUL = "fifo-faithful"  # never <signal>__flowdiv: reads replay writes
+
+
+class Obligation(NamedTuple):
+    """One ``never``-present check of the product construction."""
+
+    label: str      # unique channel label (signal, plus consumer when forked)
+    signal: str     # the original shared signal
+    producer: str
+    consumer: str
+    event: str      # the signal that must never be present
+    kind: str       # NO_OVERFLOW or FIFO_FAITHFUL
+    capacity: int
+
+    @property
+    def channel(self) -> str:
+        return "{} -> {} : {}".format(self.producer, self.consumer, self.signal)
+
+
+class ProductInfo(NamedTuple):
+    """Desynchronized deployment composed with its flow observers."""
+
+    program: Program                  # deployment + observers
+    deployment: DesyncResult          # the bare desynchronized program
+    obligations: Tuple[Obligation, ...]
+
+
+def product(
+    program: Program,
+    capacities: Union[int, Dict[str, int]] = 1,
+    read_requests: Optional[Dict[str, str]] = None,
+    kind: str = "direct",
+    backpressure: Optional[Dict[str, str]] = None,
+) -> ProductInfo:
+    """Desynchronize ``program`` and compose a flow observer per channel.
+
+    Returns the product program plus the obligation list whose joint
+    discharge (every event never present) establishes flow equivalence:
+    per channel, :data:`NO_OVERFLOW` on the FIFO's alarm and
+    :data:`FIFO_FAITHFUL` on the observer's divergence event.
+
+    ``kind`` is the deployment's FIFO construction: ``direct`` / ``chain``
+    (as in :func:`repro.desync.transform.desynchronize`) or ``boolean`` —
+    the paper's 1-place buffer (:func:`repro.desync.fifo.one_place_fifo`,
+    boolean occupancy, capacity 1 only), whose product stays inside the
+    fragment the symbolic BDD backend accepts when payloads are boolean.
+    """
+    deployment = desynchronize(
+        program,
+        capacities=capacities,
+        kind="direct" if kind == "boolean" else kind,
+        read_requests=read_requests,
+        backpressure=backpressure,
+    )
+    if kind == "boolean":
+        deployment = _booleanize(deployment, program)
+    signal_types = {}
+    for comp in program.components:
+        for name, ty in comp.signals().items():
+            signal_types.setdefault(name, ty)
+    per_signal: Dict[str, int] = {}
+    for ch in deployment.channels:
+        per_signal[ch.signal] = per_signal.get(ch.signal, 0) + 1
+    forked = {sig for sig, n in per_signal.items() if n > 1}
+    observers = []
+    obligations = []
+    for ch in deployment.channels:
+        label = (
+            "{}_{}".format(ch.signal, ch.consumer)
+            if ch.signal in forked
+            else ch.signal
+        )
+        observers.append(
+            flow_observer(
+                label,
+                ch.write_port,
+                ch.read_port,
+                ch.ok,
+                ch.capacity,
+                dtype=signal_types.get(ch.signal, INT),
+            )
+        )
+        obligations.append(
+            Obligation(
+                label, ch.signal, ch.producer, ch.consumer,
+                ch.alarm, NO_OVERFLOW, ch.capacity,
+            )
+        )
+        obligations.append(
+            Obligation(
+                label, ch.signal, ch.producer, ch.consumer,
+                flowdiv_signal(label), FIFO_FAITHFUL, ch.capacity,
+            )
+        )
+    composed = Program(
+        program.name + "_prove",
+        list(deployment.program.components) + observers,
+    )
+    return ProductInfo(composed, deployment, tuple(obligations))
+
+
+def _booleanize(deployment: DesyncResult, program: Program) -> DesyncResult:
+    """Swap every channel's n-FIFO for the paper's 1-place buffer.
+
+    The 1-place buffer's state is one boolean plus the data slot, so a
+    boolean-payload product is entirely boolean — the shape
+    :class:`repro.mc.symbolic.SymbolicChecker` partitions.  Note the
+    Section 5.1 accept rule differs from ``n_fifo_direct`` at capacity 1:
+    a same-instant read does *not* free the slot for the incoming write,
+    so this deployment alarms (slightly) earlier — the proof is about
+    this deployment, and the certificate records ``fifo: boolean``.
+    """
+    from repro.errors import TransformError
+    from repro.desync.fifo import one_place_fifo
+
+    signal_types = {}
+    for comp in program.components:
+        for name, ty in comp.signals().items():
+            signal_types.setdefault(name, ty)
+    replaced = {}
+    for ch in deployment.channels:
+        if ch.capacity != 1:
+            raise TransformError(
+                "boolean fifo kind needs capacity 1 on every channel; "
+                "{!r} has {}".format(ch.signal, ch.capacity)
+            )
+        prefix = "{}_b{}_".format(
+            ch.signal, "_" + ch.consumer if ch.read_port.endswith(
+                "_" + ch.consumer) else "",
+        )
+        fifo, ports = one_place_fifo(
+            name="Fifo_" + ch.signal,
+            dtype=signal_types.get(ch.signal, INT),
+            prefix=prefix,
+        )
+        fifo = fifo.rename({
+            ports.msgin: ch.write_port,
+            ports.msgout: ch.read_port,
+            ports.rreq: ch.rreq,
+            ports.full: ch.full,
+            ports.alarm: ch.alarm,
+            ports.ok: ch.ok,
+        })
+        replaced[ch.alarm] = fifo
+    components = []
+    for comp in deployment.program.components:
+        swap = next(
+            (replaced[a] for a in replaced if a in comp.outputs), None
+        )
+        components.append(swap if swap is not None else comp)
+    return DesyncResult(
+        Program(deployment.program.name, components), deployment.channels
+    )

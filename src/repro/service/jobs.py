@@ -5,8 +5,10 @@ A job is ``(kind, design, params, priority)``:
 - ``kind`` is one of :data:`JOB_KINDS` — ``lint`` (static desync-safety
   analysis), ``estimate`` (the Section 5.2 buffer-size loop), ``verify``
   (a "signal never present" obligation on the explicit, symbolic or
-  bounded backend) and ``soak`` (seeded fault injection co-simulated
-  against the zero-fault reference);
+  bounded backend), ``prove`` (the static flow-equivalence prover of
+  :mod:`repro.prove`, returning a ``prove-cert-v1`` certificate) and
+  ``soak`` (seeded fault injection co-simulated against the zero-fault
+  reference);
 - ``design`` names what to check: a constructor in :mod:`repro.designs`
   (``"producer_consumer"``), a constructor with arguments
   (``{"name": "pipeline", "args": {"stages": 4}}``) or an inline program
@@ -32,7 +34,7 @@ import hashlib
 import json
 from typing import Any, Dict, NamedTuple, Optional, Tuple
 
-JOB_KINDS = ("lint", "estimate", "verify", "soak")
+JOB_KINDS = ("lint", "estimate", "verify", "prove", "soak")
 
 PENDING = "pending"
 RUNNING = "running"

@@ -301,6 +301,45 @@ def _run_verify(program, params: Dict[str, Any]) -> Dict[str, Any]:
     return result
 
 
+def _run_prove(program, params: Dict[str, Any]) -> Dict[str, Any]:
+    """``prove``: the static flow-equivalence prover.
+
+    Params: ``rates`` (list of ``name:word`` assumptions — enables the
+    affine inductive path), ``capacities`` (int or ``{signal: n}``),
+    ``backend`` (``auto``/``affine``/``explicit``/``symbolic``/
+    ``compose``), ``fifo`` (``direct``/``boolean``), ``backpressure``
+    (``{component: input}``), ``int_values`` / ``always`` /
+    ``never_input`` / ``max_states`` (product alphabet and bounds).
+
+    The certificate is itself store-cached (kind ``prove-certificate``)
+    inside :func:`repro.prove.prove_flow_equivalence`, so no extra
+    caching layer is needed here — a warm run returns the byte-identical
+    ``to_dict()`` payload the cold run stored.
+    """
+    from repro.lint import parse_rates
+    from repro.mc.store import default_store
+    from repro.prove import prove_flow_equivalence
+
+    capacities = params.get("capacities", 1)
+    if not isinstance(capacities, int):
+        capacities = {k: int(v) for k, v in dict(capacities).items()}
+    cert = prove_flow_equivalence(
+        program,
+        rates=parse_rates(_as_list(params.get("rates"))),
+        capacities=capacities,
+        backend=params.get("backend", "auto"),
+        int_values=tuple(_as_list(params.get("int_values")) or (0, 1)),
+        always=tuple(_as_list(params.get("always"))),
+        never_input=tuple(_as_list(params.get("never_input"))),
+        max_states=int(params.get("max_states", 20000)),
+        read_requests=params.get("read_requests"),
+        fifo=params.get("fifo", "direct"),
+        backpressure=params.get("backpressure"),
+        store=default_store(),
+    )
+    return cert.to_dict()
+
+
 def _run_soak(program, params: Dict[str, Any]) -> Dict[str, Any]:
     """``soak``: seeded fault injection against the zero-fault reference.
 
@@ -343,5 +382,6 @@ _HANDLERS = {
     "lint": _run_lint,
     "estimate": _run_estimate,
     "verify": _run_verify,
+    "prove": _run_prove,
     "soak": _run_soak,
 }

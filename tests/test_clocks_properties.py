@@ -1,0 +1,153 @@
+"""Property-based tests for the clock calculus (repro.clocks.calculus).
+
+The generator emits components already in core (one-operator-deep) form,
+so ``normalize_component`` introduces no fresh locals — which is what
+makes the two properties crisp:
+
+1. **idempotence** — extracting with ``normalize=True`` from a core-form
+   component yields the same constraints as extracting without
+   normalization, and re-normalizing never changes the constraint set;
+2. **order-insensitivity** — permuting a component's statements permutes
+   the constraint list but never changes its multiset: the calculus has
+   no hidden dependence on statement order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.calculus import extract_constraints
+from repro.lang.analysis import normalize_component
+from repro.lang.ast import (
+    App,
+    Component,
+    Const,
+    Default,
+    Equation,
+    Pre,
+    SyncConstraint,
+    Var,
+    When,
+)
+from repro.lang.typecheck import check_component
+from repro.lang.types import BOOL, EVENT, INT
+
+INPUTS = {"a": INT, "b": INT, "c": BOOL, "d": BOOL, "e": EVENT}
+
+
+@st.composite
+def core_equation(draw, name, env):
+    """One core-form (one operator deep) equation defining ``name``."""
+    ints = sorted(n for n, t in env.items() if t is INT)
+    bools = sorted(n for n, t in env.items() if t is BOOL)
+    kind = draw(st.integers(0, 5))
+    if kind == 0:  # copy
+        ty = draw(st.sampled_from([INT, BOOL]))
+        src = draw(st.sampled_from(ints if ty is INT else bools))
+        return Equation(name, Var(src)), ty
+    if kind == 1:  # pre
+        ty = draw(st.sampled_from([INT, BOOL]))
+        src = draw(st.sampled_from(ints if ty is INT else bools))
+        init = draw(st.integers(-3, 3)) if ty is INT else draw(st.booleans())
+        return Equation(name, Pre(init, Var(src))), ty
+    if kind == 2:  # when over a variable base
+        ty = draw(st.sampled_from([INT, BOOL]))
+        base = draw(st.sampled_from(ints if ty is INT else bools))
+        cond = draw(st.sampled_from(bools))
+        return Equation(name, When(Var(base), Var(cond))), ty
+    if kind == 3:  # when over a constant base (clock is the sample alone)
+        cond = draw(st.sampled_from(bools))
+        return Equation(name, When(Const(draw(st.integers(0, 3))),
+                                   Var(cond))), INT
+    if kind == 4:  # default merge
+        ty = draw(st.sampled_from([INT, BOOL]))
+        pool = ints if ty is INT else bools
+        left = draw(st.sampled_from(pool))
+        right = draw(st.sampled_from(pool))
+        return Equation(name, Default(Var(left), Var(right))), ty
+    # pointwise application
+    ty = draw(st.sampled_from([INT, BOOL]))
+    if ty is INT:
+        op = draw(st.sampled_from(["+", "-", "*", "min", "max"]))
+        pool = ints
+    else:
+        op = draw(st.sampled_from(["and", "or", "xor"]))
+        pool = bools
+    x = draw(st.sampled_from(pool))
+    y = draw(st.sampled_from(pool))
+    return Equation(name, App(op, (Var(x), Var(y)))), ty
+
+
+@st.composite
+def core_component(draw):
+    """A random well-typed component already in core form."""
+    env = dict(INPUTS)
+    outputs = {}
+    statements = []
+    for i in range(draw(st.integers(1, 5))):
+        name = "x{}".format(i)
+        eq, ty = draw(core_equation(name, env))
+        env[name] = ty
+        outputs[name] = ty
+        statements.append(eq)
+    if draw(st.booleans()):
+        names = draw(
+            st.lists(
+                st.sampled_from(sorted(env)), min_size=2, max_size=3,
+                unique=True,
+            )
+        )
+        statements.append(SyncConstraint(tuple(names)))
+    comp = Component("RandCore", INPUTS, outputs, {}, statements)
+    check_component(comp)
+    return comp
+
+
+def constraint_set(constraints):
+    """Order-free fingerprint of a constraint list."""
+    return sorted(
+        (repr(c.left), repr(c.right), c.origin) for c in constraints
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(core_component())
+def test_normalize_is_idempotent_on_core_form(comp):
+    # a core-form component gains nothing from normalization: the
+    # constraints with and without it agree exactly
+    with_norm = extract_constraints(comp, normalize=True)
+    without = extract_constraints(comp, normalize=False)
+    assert constraint_set(with_norm) == constraint_set(without)
+    # and normalizing the already-normalized component is a fixpoint
+    once = normalize_component(comp, lower_clocks=False, to_core=True)
+    again = extract_constraints(once, normalize=True)
+    assert constraint_set(again) == constraint_set(with_norm)
+
+
+@settings(max_examples=80, deadline=None)
+@given(core_component(), st.randoms(use_true_random=False))
+def test_extraction_is_statement_order_insensitive(comp, rng):
+    baseline = constraint_set(extract_constraints(comp, normalize=True))
+    shuffled = list(comp.statements)
+    rng.shuffle(shuffled)
+    permuted = Component(
+        comp.name, comp.inputs, comp.outputs, comp.locals, shuffled
+    )
+    assert constraint_set(
+        extract_constraints(permuted, normalize=True)
+    ) == baseline
+
+
+@settings(max_examples=40, deadline=None)
+@given(core_component())
+def test_every_core_statement_yields_bounded_constraints(comp):
+    # sanity envelope: an application yields one constraint per operand,
+    # other equations at most one, a k-name sync exactly k-1
+    constraints = extract_constraints(comp, normalize=False)
+    expected_max = 0
+    for stmt in comp.statements:
+        if isinstance(stmt, SyncConstraint):
+            expected_max += len(stmt.names) - 1
+        elif isinstance(stmt.expr, App):
+            expected_max += len(stmt.expr.args)
+        else:
+            expected_max += 1
+    assert len(constraints) <= expected_max

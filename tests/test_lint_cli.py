@@ -101,6 +101,65 @@ class TestFormatsAndSuppression:
             main(["lint", "producer_consumer", "--rate", "nocolon"])
 
 
+class TestDigestFlags:
+    """--json/--sarif PATH follow the `faults soak --json` convention:
+    '-' streams the digest to stdout, a path writes it; either way the
+    exit code still reflects error-severity findings."""
+
+    def test_json_stdout_exits_nonzero_on_errors(self, race_file, capsys):
+        rc = main(["lint", race_file, "--json", "-"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert any(d["code"] == "GALS002" for d in data["diagnostics"])
+
+    def test_sarif_stdout_exits_nonzero_on_errors(self, race_file, capsys):
+        rc = main(["lint", race_file, "--sarif", "-"])
+        assert rc == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "GALS002" for r in sarif["runs"][0]["results"]
+        )
+
+    def test_json_stdout_exits_zero_when_clean(self, capsys):
+        rc = main(["lint", "producer_consumer", "--json", "-"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["diagnostics"] == []
+
+    def test_json_file_keeps_text_report_and_exit_code(
+        self, race_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "lint.json")
+        rc = main(["lint", race_file, "--json", out])
+        assert rc == 1
+        data = json.loads(open(out).read())
+        assert any(d["code"] == "GALS002" for d in data["diagnostics"])
+        assert "GALS002" in capsys.readouterr().out  # text still renders
+
+    def test_sarif_file_is_byte_deterministic(self, race_file, tmp_path):
+        a, b = str(tmp_path / "a.sarif"), str(tmp_path / "b.sarif")
+        assert main(["lint", race_file, "--sarif", a]) == 1
+        assert main(["lint", race_file, "--sarif", b]) == 1
+        assert open(a).read() == open(b).read()
+
+    def test_json_and_sarif_together(self, race_file, tmp_path, capsys):
+        j, s = str(tmp_path / "l.json"), str(tmp_path / "l.sarif")
+        rc = main(["lint", race_file, "--json", j, "--sarif", s])
+        assert rc == 1
+        assert json.loads(open(j).read())["diagnostics"]
+        assert json.loads(open(s).read())["runs"][0]["results"]
+
+    def test_sarif_rules_carry_help_metadata(self, race_file, capsys):
+        main(["lint", race_file, "--sarif", "-"])
+        sarif = json.loads(capsys.readouterr().out)
+        rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+        assert rules == sorted(rules, key=lambda r: r["id"])
+        for rule in rules:
+            assert rule["fullDescription"]["text"]
+            assert rule["helpUri"].startswith("docs/static-analysis.md#")
+
+
 class TestFix:
     def test_fix_rewrites_and_reexits_clean(self, fixable_file, capsys):
         assert main(["lint", fixable_file]) == 1

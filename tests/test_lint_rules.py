@@ -32,12 +32,15 @@ class TestRuleCatalogue:
             "SIG001", "SIG002", "SIG003", "SIG004", "SIG005", "SIG006",
             "SIG007", "SIG008",
             "GALS001", "GALS002", "GALS003", "GALS004", "GALS005",
+            "GALS006", "GALS007",
         }
 
     def test_severities(self):
         assert RULES["SIG002"].severity is ERROR
         assert RULES["SIG001"].severity is WARNING
         assert RULES["GALS003"].severity is INFO
+        assert RULES["GALS006"].severity is INFO
+        assert RULES["GALS007"].severity is ERROR
 
     def test_fixable_flags(self):
         fixable = {code for code, rule in RULES.items() if rule.fixable}
